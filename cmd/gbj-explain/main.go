@@ -1,0 +1,89 @@
+// Command gbj-explain shows the optimizer's full decision for one query:
+// the Section 3 normalization, the TestFD trace, both plans with estimated
+// cardinalities, and the cost-based choice.
+//
+// The schema is loaded from a SQL script (CREATE TABLE / DOMAIN / VIEW and
+// optional INSERTs for statistics); the query is read from the command line
+// or stdin.
+//
+// Usage:
+//
+//	gbj-explain -schema schema.sql "SELECT ... GROUP BY ..."
+//	gbj-explain -schema schema.sql < query.sql
+//	gbj-explain -demo              # built-in Example 1 demonstration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+const demoSchema = `
+	CREATE TABLE Department (
+		DeptID INTEGER PRIMARY KEY,
+		Name CHARACTER(30));
+	CREATE TABLE Employee (
+		EmpID INTEGER PRIMARY KEY,
+		LastName CHARACTER(30),
+		FirstName CHARACTER(30),
+		DeptID INTEGER,
+		FOREIGN KEY (DeptID) REFERENCES Department);
+	INSERT INTO Department VALUES (1, 'Sales'), (2, 'Eng');
+	INSERT INTO Employee VALUES
+		(1, 'Yan', 'W', 1), (2, 'Larson', 'P', 1), (3, 'A', 'A', 2);`
+
+const demoQuery = `
+	SELECT D.DeptID, D.Name, COUNT(E.EmpID)
+	FROM Employee E, Department D
+	WHERE E.DeptID = D.DeptID
+	GROUP BY D.DeptID, D.Name`
+
+func main() {
+	schemaFile := flag.String("schema", "", "SQL script defining tables, views and data")
+	demo := flag.Bool("demo", false, "explain the paper's Example 1 on a built-in schema")
+	flag.Parse()
+
+	engine := gbj.New()
+	var query string
+	switch {
+	case *demo:
+		engine.MustExec(demoSchema)
+		query = demoQuery
+	default:
+		if *schemaFile == "" {
+			fmt.Fprintln(os.Stderr, "gbj-explain: -schema or -demo is required")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := engine.Exec(string(data)); err != nil {
+			fmt.Fprintln(os.Stderr, "loading schema:", err)
+			os.Exit(1)
+		}
+		if flag.NArg() > 0 {
+			query = strings.Join(flag.Args(), " ")
+		} else {
+			in, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			query = string(in)
+		}
+	}
+
+	text, err := engine.Explain(query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(text)
+}

@@ -1,0 +1,108 @@
+package gbj
+
+import (
+	"strings"
+	"testing"
+)
+
+func csvEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	e.MustExec(`CREATE TABLE T (
+		id INTEGER PRIMARY KEY,
+		name CHARACTER(30),
+		score DOUBLE PRECISION,
+		active BOOLEAN)`)
+	return e
+}
+
+func TestLoadCSVPositional(t *testing.T) {
+	e := csvEngine(t)
+	n, err := e.LoadCSV("T", strings.NewReader(
+		"1,alice,2.5,true\n2,bob,NULL,false\n3,,1.0,true\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("inserted %d rows, want 3", n)
+	}
+	res, err := e.Query(`SELECT T.id, T.name, T.score, T.active FROM T ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1].(string) != "alice" || res.Rows[0][2].(float64) != 2.5 {
+		t.Errorf("row 1 = %v", res.Rows[0])
+	}
+	if res.Rows[1][2] != nil {
+		t.Errorf("NULL field loaded as %v", res.Rows[1][2])
+	}
+	if res.Rows[2][1] != nil {
+		t.Errorf("empty field loaded as %v, want NULL", res.Rows[2][1])
+	}
+}
+
+func TestLoadCSVWithHeader(t *testing.T) {
+	e := csvEngine(t)
+	// Header reorders and omits columns.
+	n, err := e.LoadCSV("T", strings.NewReader(
+		"name,id\nalice,1\nbob,2\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("inserted %d rows, want 2", n)
+	}
+	res, err := e.Query(`SELECT T.id, T.name, T.score FROM T ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 1 || res.Rows[0][1].(string) != "alice" {
+		t.Errorf("row 1 = %v", res.Rows[0])
+	}
+	if res.Rows[0][2] != nil {
+		t.Errorf("omitted column loaded as %v, want NULL", res.Rows[0][2])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	e := csvEngine(t)
+	cases := []struct {
+		name   string
+		data   string
+		header bool
+		want   string
+	}{
+		{"unknown column", "bogus\n1\n", true, "unknown column"},
+		{"bad integer", "x,alice,1.0,true\n", false, "bad integer"},
+		{"bad number", "1,alice,zzz,true\n", false, "bad number"},
+		{"bad boolean", "1,alice,1.0,maybe\n", false, "bad boolean"},
+		{"field count", "1,alice\n", false, "fields"},
+	}
+	for _, c := range cases {
+		if _, err := e.LoadCSV("T", strings.NewReader(c.data), c.header); err == nil ||
+			!strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	// Constraint violations surface with the line number.
+	if _, err := e.LoadCSV("T", strings.NewReader("1,a,1.0,true\n1,b,2.0,false\n"), false); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Errorf("duplicate key error = %v", err)
+	}
+	if _, err := e.LoadCSV("NoSuch", strings.NewReader("1\n"), false); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	e := newExample1Engine(t)
+	text, err := e.ExplainAnalyze(example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rows", "GroupBy", "(3 rows)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ExplainAnalyze missing %q:\n%s", want, text)
+		}
+	}
+}

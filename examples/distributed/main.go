@@ -1,0 +1,68 @@
+// Distributed: the Section 7 communication-cost analysis.
+//
+// When R1 and R2 live at different sites and the join runs at R2's site,
+// the standard plan ships every qualifying R1 row across the network while
+// the transformed plan ships one row per group. The paper observes that
+// "since communication costs often dominate the query processing cost,
+// this may reduce the overall cost significantly."
+//
+// This example sweeps the employees-per-department fan-out and prints the
+// shipped-row counts under each plan.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const query = `
+		SELECT D.DeptID, D.Name, COUNT(E.EmpID)
+		FROM Employee E, Department D
+		WHERE E.DeptID = D.DeptID
+		GROUP BY D.DeptID, D.Name`
+
+	fmt.Println("scenario: Employee at site 1, Department at site 2, join at site 2")
+	fmt.Println()
+	fmt.Printf("%-12s  %-12s  %-18s  %-18s  %s\n",
+		"employees", "departments", "shipped(standard)", "shipped(transformed)", "reduction")
+
+	for _, scale := range []struct{ emps, depts int }{
+		{1000, 100},
+		{10000, 100},
+		{100000, 100},
+		{10000, 1000},
+		{10000, 10000},
+	} {
+		e := gbj.New()
+		e.MustExec(`
+			CREATE TABLE Department (DeptID INTEGER PRIMARY KEY, Name CHARACTER(30));
+			CREATE TABLE Employee (
+				EmpID INTEGER PRIMARY KEY,
+				Name CHARACTER(30),
+				DeptID INTEGER)`)
+		for d := 0; d < scale.depts; d++ {
+			e.MustExec(fmt.Sprintf(`INSERT INTO Department VALUES (%d, 'D%d')`, d, d))
+		}
+		for emp := 0; emp < scale.emps; emp++ {
+			e.MustExec(fmt.Sprintf(`INSERT INTO Employee VALUES (%d, 'E%d', %d)`,
+				emp, emp, emp%scale.depts))
+		}
+		est, err := e.EstimateDistributed(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d  %-12d  %-18.0f  %-18.0f  %.0fx\n",
+			scale.emps, scale.depts, est.StandardRows, est.TransformedRows,
+			est.StandardRows/est.TransformedRows)
+	}
+
+	fmt.Println()
+	fmt.Println("the transformed plan ships one row per (DeptID) group — the")
+	fmt.Println("reduction equals the employees-per-department fan-out, and the")
+	fmt.Println("transformation never ships MORE rows (Section 7's observation).")
+}

@@ -1,0 +1,108 @@
+// Printer usage: the paper's Example 3 (Section 6.3) and Example 5
+// (Section 8) on the UserAccount/PrinterAuth/Printer schema.
+//
+// Part 1 runs the three-table aggregation query and shows TestFD's trace —
+// the same derivation the paper walks through step by step. Part 2 defines
+// the aggregated view UserInfo and shows the reverse transformation:
+// merging the view into the outer query so the join runs before the
+// group-by.
+//
+//	go run ./examples/printer_usage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	e := gbj.New()
+	e.MustExec(`
+		CREATE TABLE UserAccount (
+			UserId INTEGER,
+			Machine CHARACTER(20),
+			UserName CHARACTER(30),
+			PRIMARY KEY (UserId, Machine));
+		CREATE TABLE Printer (
+			PNo INTEGER PRIMARY KEY,
+			Speed INTEGER,
+			Make CHARACTER(20));
+		CREATE TABLE PrinterAuth (
+			UserId INTEGER,
+			Machine CHARACTER(20),
+			PNo INTEGER,
+			Usage INTEGER,
+			PRIMARY KEY (UserId, Machine, PNo))`)
+
+	// A small fleet: 60 accounts over 3 machines, 8 printers.
+	machines := []string{"dragon", "tiger", "phoenix"}
+	for p := 0; p < 8; p++ {
+		e.MustExec(fmt.Sprintf(
+			`INSERT INTO Printer VALUES (%d, %d, 'ACME')`, p, 5+p*5))
+	}
+	for u := 0; u < 60; u++ {
+		m := machines[u%3]
+		e.MustExec(fmt.Sprintf(
+			`INSERT INTO UserAccount VALUES (%d, '%s', 'user%02d')`, u, m, u))
+		for k := 0; k < 3; k++ {
+			e.MustExec(fmt.Sprintf(
+				`INSERT INTO PrinterAuth VALUES (%d, '%s', %d, %d)`,
+				u, m, (u+k)%8, (u*37+k*11)%500))
+		}
+	}
+
+	// ---- Example 3: the Section 6.3 query -------------------------------
+	const query = `
+		SELECT U.UserId, U.UserName, SUM(A.Usage), MAX(P.Speed), MIN(P.Speed)
+		FROM UserAccount U, PrinterAuth A, Printer P
+		WHERE U.UserId = A.UserId AND U.Machine = A.Machine
+		      AND A.PNo = P.PNo AND U.Machine = 'dragon'
+		GROUP BY U.UserId, U.UserName`
+
+	fmt.Println("---- Example 3: for each user on 'dragon', total usage and printer speeds ----")
+	plan, err := e.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+
+	res, err := e.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d dragon users; first three rows:\n", len(res.Rows))
+	for i := 0; i < 3 && i < len(res.Rows); i++ {
+		r := res.Rows[i]
+		fmt.Printf("  user=%v total=%v maxSpeed=%v minSpeed=%v\n", r[1], r[2], r[3], r[4])
+	}
+
+	// ---- Example 5: the aggregated view and the reverse direction -------
+	e.MustExec(`
+		CREATE VIEW UserInfo (UserId, Machine, TotUsage, MaxSpeed, MinSpeed) AS
+		SELECT A.UserId, A.Machine, SUM(A.Usage), MAX(P.Speed), MIN(P.Speed)
+		FROM PrinterAuth A, Printer P
+		WHERE A.PNo = P.PNo
+		GROUP BY A.UserId, A.Machine`)
+
+	const viewQuery = `
+		SELECT U.UserId, U.UserName, I.TotUsage, I.MaxSpeed, I.MinSpeed
+		FROM UserInfo I, UserAccount U
+		WHERE I.UserId = U.UserId AND I.Machine = U.Machine
+		      AND U.Machine = 'dragon'`
+
+	fmt.Println("\n---- Example 5: the same question through the UserInfo view ----")
+	plan, err = e.Explain(viewQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+
+	res2, err := e.Query(viewQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("view query returns the same %d rows: %v\n",
+		len(res2.Rows), len(res.Rows) == len(res2.Rows))
+}

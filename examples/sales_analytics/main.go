@@ -1,0 +1,137 @@
+// Sales analytics: a realistic star-schema workload showing the cost-based
+// decision in both directions.
+//
+// Orders reference Customers and Products. Query 1 (revenue per customer)
+// is the Figure 1 pattern: many orders fold into few customer groups, so
+// eager aggregation wins and the optimizer applies it. Query 2 (revenue
+// per order-line discount code for one rare product) is the Figure 8
+// pattern: the join is highly selective, so grouping early would aggregate
+// everything for nothing — the transformation is valid but the optimizer
+// keeps the standard plan.
+//
+//	go run ./examples/sales_analytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	e := gbj.New()
+	e.MustExec(`
+		CREATE TABLE Customer (
+			CustID INTEGER PRIMARY KEY,
+			CustName CHARACTER(40),
+			Region CHARACTER(20));
+		CREATE TABLE Product (
+			ProdID INTEGER PRIMARY KEY,
+			ProdName CHARACTER(40),
+			Price INTEGER);
+		CREATE TABLE OrderLine (
+			LineID INTEGER PRIMARY KEY,
+			CustID INTEGER,
+			ProdID INTEGER,
+			Qty INTEGER,
+			Amount INTEGER,
+			FOREIGN KEY (CustID) REFERENCES Customer,
+			FOREIGN KEY (ProdID) REFERENCES Product)`)
+
+	regions := []string{"east", "west", "north", "south"}
+	var b strings.Builder
+	for c := 0; c < 200; c++ {
+		fmt.Fprintf(&b, "INSERT INTO Customer VALUES (%d, 'Customer-%03d', '%s');\n",
+			c, c, regions[c%len(regions)])
+	}
+	for p := 0; p < 500; p++ {
+		fmt.Fprintf(&b, "INSERT INTO Product VALUES (%d, 'Product-%03d', %d);\n",
+			p, p, 5+p%95)
+	}
+	for l := 0; l < 20000; l++ {
+		// Product 499 is rare: only every 997th line references it.
+		prod := l % 499
+		if l%997 == 0 {
+			prod = 499
+		}
+		fmt.Fprintf(&b, "INSERT INTO OrderLine VALUES (%d, %d, %d, %d, %d);\n",
+			l, l%200, prod, 1+l%5, (1+l%5)*(5+prod%95))
+	}
+	e.MustExec(b.String())
+
+	// ---- Query 1: revenue per customer (Figure 1 pattern) --------------
+	const perCustomer = `
+		SELECT C.CustID, C.CustName, SUM(L.Amount), COUNT(*)
+		FROM OrderLine L, Customer C
+		WHERE L.CustID = C.CustID
+		GROUP BY C.CustID, C.CustName`
+
+	fmt.Println("---- Query 1: revenue per customer (20000 lines -> 200 groups) ----")
+	explain1, err := e.Explain(perCustomer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(lastChoice(explain1))
+	res, err := e.Query(perCustomer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d customer groups; first: %v revenue=%v lines=%v\n\n",
+		len(res.Rows), res.Rows[0][1], res.Rows[0][2], res.Rows[0][3])
+
+	// ---- Query 2: rare product only (Figure 8 pattern) -----------------
+	const rareProduct = `
+		SELECT P.ProdID, P.ProdName, SUM(L.Amount)
+		FROM OrderLine L, Product P
+		WHERE L.ProdID = P.ProdID AND P.ProdName = 'Product-499'
+		GROUP BY P.ProdID, P.ProdName`
+
+	fmt.Println("---- Query 2: revenue for one rare product (join keeps ~20 of 20000 lines) ----")
+	explain2, err := e.Explain(rareProduct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(lastChoice(explain2))
+	res2, err := e.Query(rareProduct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res2.Rows {
+		fmt.Printf("%v revenue=%v\n", row[1], row[2])
+	}
+
+	// ---- Per-region rollup: grouping by a non-key fails TestFD ---------
+	const perRegion = `
+		SELECT C.Region, SUM(L.Amount)
+		FROM OrderLine L, Customer C
+		WHERE L.CustID = C.CustID
+		GROUP BY C.Region`
+
+	fmt.Println("\n---- Query 3: revenue per region (Region is not a key of Customer) ----")
+	explain3, err := e.Explain(perRegion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(lastChoice(explain3))
+	res3, err := e.Query(perRegion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res3.Rows {
+		fmt.Printf("%v revenue=%v\n", row[0], row[1])
+	}
+}
+
+// lastChoice extracts the decision lines from an EXPLAIN text.
+func lastChoice(explain string) string {
+	var out []string
+	for _, line := range strings.Split(explain, "\n") {
+		if strings.HasPrefix(line, "chosen:") || strings.HasPrefix(line, "answer:") ||
+			strings.HasPrefix(line, "transformation not applicable") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

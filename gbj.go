@@ -1,0 +1,551 @@
+// Package gbj ("group-by before join") is a small SQL engine built around
+// the query transformation of Yan & Larson, "Performing Group-By before
+// Join" (ICDE 1994): pushing a GROUP BY below one or more joins — eager
+// aggregation — when two functional dependencies provably hold in the join
+// result, as decided by the paper's Algorithm TestFD from key constraints
+// and equality predicates.
+//
+// The Engine is the public entry point:
+//
+//	e := gbj.New()
+//	e.MustExec(`CREATE TABLE Department (DeptID INTEGER PRIMARY KEY, Name CHARACTER(30))`)
+//	e.MustExec(`CREATE TABLE Employee (EmpID INTEGER PRIMARY KEY, DeptID INTEGER)`)
+//	// ... INSERT data ...
+//	res, err := e.Query(`
+//	    SELECT D.DeptID, D.Name, COUNT(E.EmpID)
+//	    FROM Employee E, Department D
+//	    WHERE E.DeptID = D.DeptID
+//	    GROUP BY D.DeptID, D.Name`)
+//
+// The optimizer transparently evaluates the query with the group-by pushed
+// below the join whenever that is valid and the cost model prefers it; use
+// SetMode to force either plan, and Explain to see the normalization, the
+// TestFD trace, both plans with estimated cardinalities, and the decision.
+package gbj
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Mode controls how the optimizer uses the group-by pushdown
+// transformation.
+type Mode = core.Mode
+
+// Optimizer modes: cost-based (default), always transform when valid, or
+// never transform.
+const (
+	ModeCost   = core.ModeCost
+	ModeAlways = core.ModeAlways
+	ModeNever  = core.ModeNever
+)
+
+// Engine is an embedded SQL engine instance. It is safe for concurrent
+// use: DDL/DML statements take a write lock, queries a read lock.
+type Engine struct {
+	mu    sync.RWMutex
+	store *storage.Store
+	opt   *core.Optimizer
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	store := storage.NewStore(schema.NewCatalog())
+	return &Engine{store: store, opt: core.NewOptimizer(store)}
+}
+
+// SetMode selects the optimizer mode.
+func (e *Engine) SetMode(m Mode) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opt.Mode = m
+}
+
+// Mode returns the current optimizer mode.
+func (e *Engine) Mode() Mode {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opt.Mode
+}
+
+// Result is a materialized query result with Go-native values: int64,
+// float64, string, bool, or nil for SQL NULL.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatValue(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], s)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func formatValue(v any) string {
+	if v == nil {
+		return "NULL"
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// Exec runs one or more semicolon-separated DDL/DML statements (CREATE
+// TABLE / DOMAIN / VIEW, INSERT).
+func (e *Engine) Exec(text string) error {
+	stmts, err := sql.Parse(text)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, stmt := range stmts {
+		if err := e.execStmt(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustExec runs Exec and panics on error; for setup code whose statements
+// are correct by construction.
+func (e *Engine) MustExec(text string) {
+	if err := e.Exec(text); err != nil {
+		panic(err)
+	}
+}
+
+func (e *Engine) execStmt(stmt sql.Stmt) error {
+	switch s := stmt.(type) {
+	case *sql.CreateTableStmt:
+		def, err := buildTableDef(s)
+		if err != nil {
+			return err
+		}
+		return e.store.CreateTable(def)
+	case *sql.CreateDomainStmt:
+		return e.store.Catalog().AddDomain(&schema.Domain{
+			Name:  s.Name,
+			Type:  s.Type,
+			Check: s.Check,
+		})
+	case *sql.CreateViewStmt:
+		// Validate the definition by binding it now.
+		if _, err := core.NewPlanner(e.store).Bind(s.Query); err != nil {
+			return fmt.Errorf("gbj: invalid view %s: %v", s.Name, err)
+		}
+		return e.store.Catalog().AddView(&schema.View{
+			Name:    s.Name,
+			Text:    s.Text,
+			Def:     s.Query,
+			Columns: s.Columns,
+		})
+	case *sql.InsertStmt:
+		return e.execInsert(s)
+	case *sql.SelectStmt:
+		return fmt.Errorf("gbj: use Query for SELECT statements")
+	case *sql.ExplainStmt:
+		return fmt.Errorf("gbj: use Explain for EXPLAIN statements")
+	default:
+		return fmt.Errorf("gbj: unsupported statement %T", stmt)
+	}
+}
+
+// buildTableDef converts a parsed CREATE TABLE into a catalog definition,
+// folding inline column constraints into table-level ones.
+func buildTableDef(s *sql.CreateTableStmt) (*schema.Table, error) {
+	def := &schema.Table{Name: s.Name, Checks: s.Checks}
+	for _, c := range s.Columns {
+		def.Columns = append(def.Columns, schema.Column{
+			Name:    c.Name,
+			Type:    c.Type,
+			Domain:  c.Domain,
+			NotNull: c.NotNull,
+			Check:   c.Check,
+		})
+		if c.PrimaryKey {
+			def.Keys = append(def.Keys, schema.Key{Columns: []string{c.Name}, Primary: true})
+		}
+		if c.Unique {
+			def.Keys = append(def.Keys, schema.Key{Columns: []string{c.Name}})
+		}
+		if c.References != nil {
+			def.ForeignKeys = append(def.ForeignKeys, schema.ForeignKey{
+				Columns:    c.References.Columns,
+				RefTable:   c.References.RefTable,
+				RefColumns: c.References.RefColumns,
+			})
+		}
+	}
+	for _, k := range s.Keys {
+		def.Keys = append(def.Keys, schema.Key{Columns: k.Columns, Primary: k.Primary})
+	}
+	for _, fk := range s.ForeignKeys {
+		def.ForeignKeys = append(def.ForeignKeys, schema.ForeignKey{
+			Columns:    fk.Columns,
+			RefTable:   fk.RefTable,
+			RefColumns: fk.RefColumns,
+		})
+	}
+	return def, nil
+}
+
+func (e *Engine) execInsert(s *sql.InsertStmt) error {
+	def, err := e.store.Catalog().Table(s.Table)
+	if err != nil {
+		return err
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = def.ColumnNames()
+	}
+	positions := make([]int, len(cols))
+	for i, name := range cols {
+		positions[i] = def.ColumnIndex(name)
+		if positions[i] < 0 {
+			return fmt.Errorf("gbj: table %s has no column %s", s.Table, name)
+		}
+	}
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return fmt.Errorf("gbj: INSERT into %s supplies %d values for %d columns",
+				s.Table, len(exprRow), len(cols))
+		}
+		row := make(value.Row, len(def.Columns))
+		for i := range row {
+			row[i] = value.Null
+		}
+		for i, ex := range exprRow {
+			v, err := expr.Eval(expr.FoldConstants(ex, nil), nil, nil)
+			if err != nil {
+				return fmt.Errorf("gbj: INSERT value %s: %v", ex, err)
+			}
+			row[positions[i]] = v
+		}
+		if err := e.store.Insert(s.Table, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query parses, optimizes and executes a SELECT statement.
+func (e *Engine) Query(text string) (*Result, error) {
+	return e.QueryParams(text, nil)
+}
+
+// QueryParams executes a SELECT with host-variable bindings (":name"
+// references in the query text). Values may be int/int64, float64, string,
+// bool, or nil.
+func (e *Engine) QueryParams(text string, params map[string]any) (*Result, error) {
+	q, err := sql.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	plan, err := e.choosePlan(q)
+	if err != nil {
+		return nil, err
+	}
+	p, err := convertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(plan, e.store, &exec.Options{
+		Params: p,
+		Group:  groupStrategyFor(plan),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res), nil
+}
+
+// groupStrategyFor picks the physical grouping strategy for a plan: when an
+// ascending ORDER BY sits directly above grouping output and its keys are a
+// prefix of the grouping columns, sort-based grouping makes the final sort
+// free (the executor elides it via order propagation) — the paper's
+// Section 7 note that grouped output "is normally sorted based on the
+// grouping columns" and that this can be exploited. Everything else hashes.
+func groupStrategyFor(plan algebra.Node) exec.GroupStrategy {
+	sortNode, ok := plan.(*algebra.Sort)
+	if !ok {
+		return exec.GroupHash
+	}
+	var group *algebra.GroupBy
+	algebra.Walk(sortNode, func(n algebra.Node) {
+		if g, ok := n.(*algebra.GroupBy); ok && group == nil {
+			group = g
+		}
+	})
+	if group == nil || len(sortNode.Keys) > len(group.GroupCols) {
+		return exec.GroupHash
+	}
+	for i, k := range sortNode.Keys {
+		if k.Desc || group.GroupCols[i].Name != k.Col.Name {
+			return exec.GroupHash
+		}
+	}
+	return exec.GroupSort
+}
+
+// runPlan executes a chosen plan with no host variables.
+func (e *Engine) runPlan(plan algebra.Node) (*Result, error) {
+	res, err := exec.Run(plan, e.store, nil)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res), nil
+}
+
+// choosePlan runs the optimizer, including the Section 8 reverse analysis
+// when the query references an aggregated view.
+func (e *Engine) choosePlan(q *sql.SelectStmt) (algebra.Node, error) {
+	// The reverse analysis applies to non-aggregating queries over an
+	// aggregated view; try it first, falling back to the forward path.
+	if e.referencesView(q) && e.opt.Mode != ModeNever {
+		rr, err := e.opt.TryReverse(q)
+		if err != nil {
+			return nil, err
+		}
+		if rr.Applicable && rr.Decision.OK {
+			return rr.Chosen(), nil
+		}
+	}
+	r, err := e.opt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	return r.Chosen(), nil
+}
+
+func (e *Engine) referencesView(q *sql.SelectStmt) bool {
+	for _, ref := range q.From {
+		if ref.Subquery != nil || e.store.Catalog().View(ref.Name) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Explain returns a textual account of the optimization decision for a
+// SELECT: the standard plan, the Section 3 normalization, the TestFD
+// trace, the transformed plan when valid, and the cost-based choice. For a
+// query over an aggregated view it reports the Section 8 reverse analysis.
+func (e *Engine) Explain(text string) (string, error) {
+	q, err := sql.ParseQuery(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "EXPLAIN")))
+	if err != nil {
+		return "", err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.explainQuery(q)
+}
+
+func (e *Engine) explainQuery(q *sql.SelectStmt) (string, error) {
+	if e.referencesView(q) {
+		rr, err := e.opt.TryReverse(q)
+		if err != nil {
+			return "", err
+		}
+		if rr.Applicable {
+			return explainReverse(rr), nil
+		}
+	}
+	r, err := e.opt.Optimize(q)
+	if err != nil {
+		return "", err
+	}
+	return r.Explain(), nil
+}
+
+// ExplainAnalyze executes the chosen plan and renders it with ACTUAL
+// per-operator row counts (the measured analogue of the paper's plan
+// diagrams), followed by the result cardinality.
+func (e *Engine) ExplainAnalyze(text string) (string, error) {
+	q, err := sql.ParseQuery(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "EXPLAIN")))
+	if err != nil {
+		return "", err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	plan, err := e.choosePlan(q)
+	if err != nil {
+		return "", err
+	}
+	stats := make(algebra.Annotations)
+	res, err := exec.Run(plan, e.store, &exec.Options{
+		Stats: stats,
+		Group: groupStrategyFor(plan),
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(algebra.Format(plan, stats))
+	fmt.Fprintf(&sb, "(%d rows)\n", len(res.Rows))
+	return sb.String(), nil
+}
+
+// DistributedEstimate is the Section 7 communication-cost analysis: the
+// number of rows shipped to the remote join site under each plan when R1
+// and R2 live at different sites.
+type DistributedEstimate struct {
+	// StandardRows is shipped by the standard plan: every σ[C1]R1 row.
+	StandardRows float64
+	// TransformedRows is shipped by the transformed plan: one row per
+	// GA1+ group. It never exceeds StandardRows.
+	TransformedRows float64
+}
+
+// EstimateDistributed computes the Section 7 distributed analysis for a
+// transformable query. It errors when the query is outside the
+// transformable class.
+func (e *Engine) EstimateDistributed(query string) (DistributedEstimate, error) {
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		return DistributedEstimate{}, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	b, err := e.opt.Planner().Bind(q)
+	if err != nil {
+		return DistributedEstimate{}, err
+	}
+	shape, err := core.Normalize(b, nil)
+	if err != nil {
+		return DistributedEstimate{}, err
+	}
+	model := core.NewCostModel(core.NewStoreStats(e.store), b)
+	dc, err := model.EstimateDistributed(e.opt.Planner(), shape)
+	if err != nil {
+		return DistributedEstimate{}, err
+	}
+	return DistributedEstimate{
+		StandardRows:    dc.StandardRowsShipped,
+		TransformedRows: dc.TransformedRowsShipped,
+	}, nil
+}
+
+// explainReverse renders a Section 8 reverse-transformation report.
+func explainReverse(r *core.ReverseReport) string {
+	var sb strings.Builder
+	sb.WriteString("=== Nested plan (materialize the aggregated view, then join) ===\n")
+	sb.WriteString(algebra.Format(r.Nested, r.NestedCost.Ann))
+	fmt.Fprintf(&sb, "estimated cost: %.0f\n\n", r.NestedCost.Total)
+	if !r.Decision.OK {
+		fmt.Fprintf(&sb, "reverse transformation rejected: %s\n", r.WhyNot)
+		return sb.String()
+	}
+	sb.WriteString("=== TestFD on the merged query (paper Section 8) ===\n")
+	sb.WriteString(r.Decision.TraceString())
+	sb.WriteString("\nanswer: YES — join-before-group-by is equivalent\n\n")
+	sb.WriteString("=== Flat plan (join first, group once at the top) ===\n")
+	sb.WriteString(algebra.Format(r.FlatPlan, r.FlatCost.Ann))
+	fmt.Fprintf(&sb, "estimated cost: %.0f\n\n", r.FlatCost.Total)
+	if r.UseFlat {
+		sb.WriteString("chosen: flat plan (join before group-by)\n")
+	} else {
+		sb.WriteString("chosen: nested plan (view materialization)\n")
+	}
+	return sb.String()
+}
+
+func convertParams(params map[string]any) (expr.Params, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	out := make(expr.Params, len(params))
+	for k, v := range params {
+		switch x := v.(type) {
+		case nil:
+			out[k] = value.Null
+		case int:
+			out[k] = value.NewInt(int64(x))
+		case int64:
+			out[k] = value.NewInt(x)
+		case float64:
+			out[k] = value.NewFloat(x)
+		case string:
+			out[k] = value.NewString(x)
+		case bool:
+			out[k] = value.NewBool(x)
+		default:
+			return nil, fmt.Errorf("gbj: unsupported parameter type %T for :%s", v, k)
+		}
+	}
+	return out, nil
+}
+
+func convertResult(res *exec.Result) *Result {
+	out := &Result{}
+	for _, d := range res.Schema {
+		out.Columns = append(out.Columns, d.ID.Name)
+	}
+	for _, row := range res.Rows {
+		conv := make([]any, len(row))
+		for i, v := range row {
+			switch v.Kind() {
+			case value.KindNull:
+				conv[i] = nil
+			case value.KindInt:
+				conv[i] = v.Int()
+			case value.KindFloat:
+				conv[i] = v.Float()
+			case value.KindString:
+				conv[i] = v.Str()
+			case value.KindBool:
+				conv[i] = v.Bool()
+			}
+		}
+		out.Rows = append(out.Rows, conv)
+	}
+	return out
+}

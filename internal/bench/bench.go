@@ -1,0 +1,228 @@
+// Package bench is the experiment harness behind EXPERIMENTS.md and the
+// cmd/gbj-bench tool: it runs a query under both the standard plan (group
+// after join) and the transformed plan (group before join), collects the
+// per-operator cardinalities the paper annotates its plan diagrams with
+// (Figures 1 and 8), measures wall time, and verifies that both plans
+// produce identical multisets before reporting anything.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// JoinStat is the measured shape of one join: the paper's "N x M" plan
+// annotations.
+type JoinStat struct {
+	LeftRows, RightRows, OutRows int64
+}
+
+// String renders "10000 x 100 -> 10000".
+func (j JoinStat) String() string {
+	return fmt.Sprintf("%d x %d -> %d", j.LeftRows, j.RightRows, j.OutRows)
+}
+
+// PlanRun is one measured execution of a plan.
+type PlanRun struct {
+	Label string
+	Plan  algebra.Node
+	// OutRows is the result cardinality.
+	OutRows int64
+	// Joins lists each join's input/output cardinalities, outermost
+	// first.
+	Joins []JoinStat
+	// GroupInput and GroupOutput are the grouping operator's
+	// cardinalities (the paper's central trade-off quantities).
+	GroupInput, GroupOutput int64
+	// Duration is the wall time of the fastest repetition.
+	Duration time.Duration
+	// Ann carries the measured per-node cardinalities for plan display.
+	Ann algebra.Annotations
+
+	checksum []string
+}
+
+// Tree renders the plan with measured cardinalities.
+func (r *PlanRun) Tree() string { return algebra.Format(r.Plan, r.Ann) }
+
+// RunPlan executes the plan reps times (at least once), recording operator
+// cardinalities and the fastest wall time.
+func RunPlan(label string, plan algebra.Node, store *storage.Store, reps int) (*PlanRun, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	run := &PlanRun{Label: label, Plan: plan}
+	var rows []value.Row
+	for i := 0; i < reps; i++ {
+		ann := make(algebra.Annotations)
+		start := time.Now()
+		res, err := exec.Run(plan, store, &exec.Options{Stats: ann})
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || elapsed < run.Duration {
+			run.Duration = elapsed
+		}
+		rows = res.Rows
+		run.Ann = ann
+	}
+	run.OutRows = int64(len(rows))
+	run.checksum = canonical(rows)
+	extractStats(plan, run)
+	return run, nil
+}
+
+// extractStats pulls the join and grouping cardinalities out of the
+// measured annotations.
+func extractStats(plan algebra.Node, run *PlanRun) {
+	algebra.Walk(plan, func(n algebra.Node) {
+		switch node := n.(type) {
+		case *algebra.Join:
+			run.Joins = append(run.Joins, JoinStat{
+				LeftRows:  run.Ann[node.L].Rows,
+				RightRows: run.Ann[node.R].Rows,
+				OutRows:   run.Ann[node].Rows,
+			})
+		case *algebra.Product:
+			run.Joins = append(run.Joins, JoinStat{
+				LeftRows:  run.Ann[node.L].Rows,
+				RightRows: run.Ann[node.R].Rows,
+				OutRows:   run.Ann[node].Rows,
+			})
+		case *algebra.GroupBy:
+			run.GroupInput = run.Ann[node.Input].Rows
+			run.GroupOutput = run.Ann[node].Rows
+		}
+	})
+}
+
+func canonical(rows []value.Row) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = value.GroupKeyAll(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameChecksum(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Comparison is a measured standard-vs-transformed experiment.
+type Comparison struct {
+	Query    string
+	Report   *core.Report
+	Standard *PlanRun
+	// Transformed is nil when the transformation is invalid or not
+	// applicable.
+	Transformed *PlanRun
+}
+
+// Speedup returns standard time / transformed time (0 when not available).
+func (c *Comparison) Speedup() float64 {
+	if c.Transformed == nil || c.Transformed.Duration == 0 {
+		return 0
+	}
+	return float64(c.Standard.Duration) / float64(c.Transformed.Duration)
+}
+
+// CompareForward runs the full pipeline on a query: optimize, execute both
+// plans (when the transformation is valid), and verify equivalence.
+func CompareForward(store *storage.Store, query string, reps int) (*Comparison, error) {
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.NewOptimizer(store)
+	report, err := opt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{Query: query, Report: report}
+	if c.Standard, err = RunPlan("standard (group after join)", report.Standard, store, reps); err != nil {
+		return nil, err
+	}
+	if report.Alternative == nil {
+		return c, nil
+	}
+	if c.Transformed, err = RunPlan("transformed (group before join)", report.Alternative, store, reps); err != nil {
+		return nil, err
+	}
+	if !sameChecksum(c.Standard.checksum, c.Transformed.checksum) {
+		return nil, fmt.Errorf("bench: plans disagree on %q — Main Theorem violation", query)
+	}
+	return c, nil
+}
+
+// CompareReverse runs the Section 8 experiment: nested (materialize the
+// view) vs flat (join first), verifying equivalence.
+func CompareReverse(store *storage.Store, query string, reps int) (*Comparison, error) {
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.NewOptimizer(store)
+	rr, err := opt.TryReverse(q)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{Query: query}
+	if c.Standard, err = RunPlan("nested (materialize view, then join)", rr.Nested, store, reps); err != nil {
+		return nil, err
+	}
+	if !rr.Applicable || !rr.Decision.OK {
+		return c, nil
+	}
+	if c.Transformed, err = RunPlan("flat (join before group-by)", rr.FlatPlan, store, reps); err != nil {
+		return nil, err
+	}
+	if !sameChecksum(c.Standard.checksum, c.Transformed.checksum) {
+		return nil, fmt.Errorf("bench: reverse plans disagree on %q", query)
+	}
+	return c, nil
+}
+
+// Table renders the comparison in the shape of the paper's plan-diagram
+// annotations plus measured times.
+func (c *Comparison) Table() string {
+	var sb strings.Builder
+	row := func(label string, r *PlanRun) {
+		if r == nil {
+			fmt.Fprintf(&sb, "%-34s (not run)\n", label)
+			return
+		}
+		joins := make([]string, len(r.Joins))
+		for i, j := range r.Joins {
+			joins[i] = j.String()
+		}
+		fmt.Fprintf(&sb, "%-34s join %-28s  group %7d -> %-7d  out %6d  %12v\n",
+			label, strings.Join(joins, "; "), r.GroupInput, r.GroupOutput, r.OutRows, r.Duration)
+	}
+	row("standard (group after join)", c.Standard)
+	if c.Transformed != nil {
+		row("transformed (group before join)", c.Transformed)
+		fmt.Fprintf(&sb, "speedup: %.2fx\n", c.Speedup())
+	} else if c.Report != nil {
+		fmt.Fprintf(&sb, "transformation not applied: %s\n", c.Report.WhyNot)
+	}
+	return sb.String()
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Stats supplies the optimizer's statistics: table cardinalities and
+// per-column distinct counts. StoreStats computes them from the actual
+// data (the moral equivalent of ANALYZE); tests may supply synthetic
+// implementations.
+type Stats interface {
+	// TableRows returns the row count of a base table.
+	TableRows(table string) int64
+	// DistinctValues returns the number of distinct values (under =ⁿ) in
+	// a base-table column.
+	DistinctValues(table, column string) int64
+}
+
+// StoreStats derives statistics from a live store, caching distinct counts.
+// It is safe for concurrent use (several queries may optimize at once).
+type StoreStats struct {
+	store    *storage.Store
+	mu       sync.Mutex
+	distinct map[[2]string]int64
+}
+
+// NewStoreStats returns statistics backed by the store's current contents.
+func NewStoreStats(store *storage.Store) *StoreStats {
+	return &StoreStats{store: store, distinct: make(map[[2]string]int64)}
+}
+
+// TableRows returns the table's current cardinality (0 for unknown tables).
+func (s *StoreStats) TableRows(table string) int64 {
+	t, err := s.store.Table(table)
+	if err != nil {
+		return 0
+	}
+	return int64(t.Len())
+}
+
+// DistinctValues counts distinct values in the column under =ⁿ.
+func (s *StoreStats) DistinctValues(table, column string) int64 {
+	key := [2]string{table, column}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.distinct[key]; ok {
+		return v
+	}
+	t, err := s.store.Table(table)
+	if err != nil {
+		return 0
+	}
+	idx := t.Def.ColumnIndex(column)
+	if idx < 0 {
+		return 0
+	}
+	seen := make(map[string]bool)
+	for _, row := range t.Rows() {
+		seen[value.GroupKey(row, []int{idx})] = true
+	}
+	n := int64(len(seen))
+	s.distinct[key] = n
+	return n
+}
+
+// CostModel estimates plan cardinalities and costs following the paper's
+// Section 7 discussion: the interesting quantities are the input
+// cardinalities of the join and of the group-by, which the transformation
+// trades against each other.
+type CostModel struct {
+	Stats Stats
+	// aliasTable maps a query alias to its base-table name.
+	aliasTable map[string]string
+}
+
+// NewCostModel builds a cost model for a bound query.
+func NewCostModel(stats Stats, b *BoundQuery) *CostModel {
+	m := &CostModel{Stats: stats, aliasTable: make(map[string]string)}
+	for _, bt := range b.tables {
+		if bt.def != nil {
+			m.aliasTable[bt.alias] = bt.def.Name
+		}
+	}
+	return m
+}
+
+// PlanCost is a cost estimate with its per-node cardinality annotations.
+type PlanCost struct {
+	// Total is the estimated total cost in abstract row-touch units.
+	Total float64
+	// Rows is the estimated output cardinality of the root.
+	Rows float64
+	// Ann holds per-node estimated cardinalities for EXPLAIN display.
+	Ann algebra.Annotations
+}
+
+// Estimate walks the plan bottom-up, estimating output cardinality and
+// accumulated cost for every node. Scan aliases found in the plan (e.g.
+// inside expanded view subplans) are added to the alias map so column
+// statistics resolve there too.
+func (m *CostModel) Estimate(plan algebra.Node) PlanCost {
+	m.collectAliases(plan)
+	ann := make(algebra.Annotations)
+	total, rows := m.estimate(plan, ann)
+	return PlanCost{Total: total, Rows: rows, Ann: ann}
+}
+
+// collectAliases maps every scan's alias to its base table.
+func (m *CostModel) collectAliases(plan algebra.Node) {
+	for _, s := range algebra.FindScans(plan) {
+		alias := s.Alias
+		if alias == "" {
+			alias = s.Table
+		}
+		m.aliasTable[alias] = s.Table
+	}
+}
+
+// Per-operator cost coefficients, in abstract "row touches". Grouping rows
+// is costlier than streaming them (hashing + accumulator work), which is
+// exactly the trade-off Figure 8 turns on.
+const (
+	costScanRow   = 1.0
+	costFilterRow = 1.0
+	costJoinProbe = 1.5 // per input row of a hash join (build + probe)
+	costJoinOut   = 0.5 // per output row materialized
+	costGroupRow  = 2.0 // per input row of a grouping operator
+	costProjRow   = 0.5
+	costSortRow   = 3.0 // n log n folded into a coefficient
+)
+
+func (m *CostModel) estimate(n algebra.Node, ann algebra.Annotations) (cost, rows float64) {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		rows = float64(m.Stats.TableRows(node.Table))
+		cost = rows * costScanRow
+	case *algebra.Values:
+		rows = float64(len(node.Rows))
+		cost = rows
+	case *algebra.Select:
+		inCost, inRows := m.estimate(node.Input, ann)
+		rows = inRows * m.selectivity(node.Cond, inRows)
+		cost = inCost + inRows*costFilterRow
+	case *algebra.Project:
+		inCost, inRows := m.estimate(node.Input, ann)
+		rows = inRows
+		if node.Distinct {
+			rows = inRows / 2 // crude: duplicates assumed common
+			if rows < 1 && inRows > 0 {
+				rows = 1
+			}
+		}
+		cost = inCost + inRows*costProjRow
+	case *algebra.Product:
+		lCost, lRows := m.estimate(node.L, ann)
+		rCost, rRows := m.estimate(node.R, ann)
+		rows = lRows * rRows
+		cost = lCost + rCost + (lRows+rRows)*costJoinProbe + rows*costJoinOut
+	case *algebra.Join:
+		lCost, lRows := m.estimate(node.L, ann)
+		rCost, rRows := m.estimate(node.R, ann)
+		rows = lRows * rRows * m.joinSelectivity(node)
+		cost = lCost + rCost + (lRows+rRows)*costJoinProbe + rows*costJoinOut
+	case *algebra.GroupBy:
+		inCost, inRows := m.estimate(node.Input, ann)
+		rows = m.groupCount(node, inRows)
+		cost = inCost + inRows*costGroupRow
+	case *algebra.Sort:
+		inCost, inRows := m.estimate(node.Input, ann)
+		rows = inRows
+		cost = inCost + inRows*costSortRow
+	default:
+		rows = 1
+		cost = 1
+	}
+	ann[n] = algebra.Annotation{Rows: int64(math.Round(rows))}
+	return cost, rows
+}
+
+// selectivity estimates the fraction of rows a predicate keeps: 1/distinct
+// for column-constant equalities, 1/3 for other comparisons, combined
+// multiplicatively across conjuncts.
+func (m *CostModel) selectivity(cond expr.Expr, inRows float64) float64 {
+	if cond == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, conj := range expr.Conjuncts(cond) {
+		atom := expr.ClassifyAtom(conj)
+		switch atom.Class {
+		case expr.AtomColConst:
+			if d := m.distinctOf(atom.Col); d > 0 {
+				sel *= 1 / float64(d)
+				continue
+			}
+			sel *= 0.1
+		case expr.AtomColCol:
+			d1, d2 := m.distinctOf(atom.Col), m.distinctOf(atom.Col2)
+			d := max64(d1, d2)
+			if d > 0 {
+				sel *= 1 / float64(d)
+			} else {
+				sel *= 0.1
+			}
+		default:
+			sel *= 1.0 / 3
+		}
+	}
+	return sel
+}
+
+// joinSelectivity estimates the fraction of the cross product surviving the
+// join predicate: 1/max(distinct) per equi-conjunct (the textbook formula).
+func (m *CostModel) joinSelectivity(j *algebra.Join) float64 {
+	return m.selectivity(j.Cond, 0)
+}
+
+// groupCount estimates the number of groups: per source table, the product
+// of its grouping columns' distinct counts capped by that table's
+// cardinality (distinct combinations of one table's columns can never
+// exceed its row count — grouping by a key plus dependent columns, as in
+// Example 1's GROUP BY D.DeptID, D.Name, stays at |D|); the per-table
+// contributions multiply, capped by the input cardinality.
+func (m *CostModel) groupCount(g *algebra.GroupBy, inRows float64) float64 {
+	if len(g.GroupCols) == 0 {
+		return 1
+	}
+	perAlias := make(map[string]float64)
+	for _, c := range g.GroupCols {
+		d := float64(10)
+		if dv := m.distinctOf(c); dv > 0 {
+			d = float64(dv)
+		}
+		if cur, ok := perAlias[c.Table]; ok {
+			perAlias[c.Table] = cur * d
+		} else {
+			perAlias[c.Table] = d
+		}
+	}
+	groups := 1.0
+	for alias, contrib := range perAlias {
+		if table, ok := m.aliasTable[alias]; ok {
+			if rows := float64(m.Stats.TableRows(table)); rows > 0 && contrib > rows {
+				contrib = rows
+			}
+		}
+		groups *= contrib
+	}
+	if groups > inRows {
+		groups = inRows
+	}
+	if groups < 1 && inRows >= 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// distinctOf resolves a qualified column to base-table statistics; 0 means
+// unknown (derived column).
+func (m *CostModel) distinctOf(c expr.ColumnID) int64 {
+	table, ok := m.aliasTable[c.Table]
+	if !ok {
+		return 0
+	}
+	return m.Stats.DistinctValues(table, c.Name)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DistributedCost models the Section 7 bullet on distributed queries: when
+// R1 and R2 live at different sites and the join executes at R2's site, the
+// standard plan ships every σ[C1]R1 row while the transformed plan ships
+// one row per GA1+ group. The returned values are rows shipped across the
+// network under each plan; the paper's observation is that the transformed
+// plan never ships more.
+type DistributedCost struct {
+	StandardRowsShipped    float64
+	TransformedRowsShipped float64
+}
+
+// EstimateDistributed computes the shipped-row counts for a normalized
+// query under the cost model's statistics.
+func (m *CostModel) EstimateDistributed(p *Planner, shape *Shape) (DistributedCost, error) {
+	b := shape.Bound
+	var r1Tables []boundTable
+	for _, bt := range b.tables {
+		if shape.InR1(bt.alias) {
+			r1Tables = append(r1Tables, bt)
+		}
+	}
+	r1Side, err := p.buildJoinTree(b, r1Tables, shape.C1)
+	if err != nil {
+		return DistributedCost{}, err
+	}
+	m.collectAliases(r1Side)
+	_, r1Rows := m.estimate(r1Side, make(algebra.Annotations))
+	grouped := &algebra.GroupBy{Input: r1Side, GroupCols: shape.GA1Plus, Aggs: shape.AggItems}
+	groups := m.groupCount(grouped, r1Rows)
+	return DistributedCost{
+		StandardRowsShipped:    r1Rows,
+		TransformedRowsShipped: groups,
+	}, nil
+}

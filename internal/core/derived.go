@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/expr"
+	"repro/internal/schema"
+)
+
+// This file implements the paper's Example 2 reasoning — derived key
+// dependencies — for views and FROM-subqueries, so that TestFD can prove
+// FD1/FD2 when R1 or R2 is itself a derived table:
+//
+//   - an aggregated derived table is unique on its grouping columns under
+//     =ⁿ (one output row per group, including a possible all-NULL group),
+//     so the grouping columns form a NULL-SAFE key;
+//   - a DISTINCT projection is unique on all of its output columns, also
+//     null-safely;
+//   - a simple selection/projection over a single base table preserves
+//     every key whose columns survive the projection, along with NOT NULL
+//     declarations; and equality conjuncts of its WHERE clause become
+//     CHECK-like predicates on the derived table (they hold for every
+//     visible row).
+//
+// Derived keys marked nullSafe hold under =ⁿ regardless of NULLs, unlike
+// base-table UNIQUE constraints.
+
+// derivedConstraints carries the constraint view of a derived table, with
+// columns identified by their OUTER (visible) names.
+type derivedConstraints struct {
+	keys    []derivedKey
+	notNull map[string]bool
+	// checks hold with unqualified column names (like base-table CHECKs).
+	checks []expr.Expr
+}
+
+type derivedKey struct {
+	cols     []string
+	nullSafe bool
+	display  string
+}
+
+// deriveConstraints analyzes a bound derived-table definition. outNames are
+// the outer-visible column names, positionally matching vb.Items.
+func deriveConstraints(vb *BoundQuery, outNames []string) *derivedConstraints {
+	dc := &derivedConstraints{notNull: make(map[string]bool)}
+
+	// Map inner column identity → outer name, for items that are bare
+	// column references.
+	innerToOuter := make(map[expr.ColumnID]string)
+	for i, it := range vb.Items {
+		if c, ok := it.E.(*expr.ColumnRef); ok {
+			if _, dup := innerToOuter[c.ID]; !dup {
+				innerToOuter[c.ID] = outNames[i]
+			}
+		}
+	}
+	mapCols := func(cols []expr.ColumnID) ([]string, bool) {
+		out := make([]string, len(cols))
+		for i, c := range cols {
+			name, ok := innerToOuter[c]
+			if !ok {
+				return nil, false
+			}
+			out[i] = name
+		}
+		return out, true
+	}
+
+	// Aggregated definition: the grouping columns are a null-safe key of
+	// the output (one row per =ⁿ-group).
+	if len(vb.GroupBy) > 0 {
+		if cols, ok := mapCols(vb.GroupBy); ok {
+			dc.keys = append(dc.keys, derivedKey{
+				cols: cols, nullSafe: true,
+				display: "GROUP BY key (" + joinNames(cols) + ")",
+			})
+		}
+	}
+
+	// DISTINCT: the full output is a null-safe key.
+	if vb.Distinct {
+		all := append([]string{}, outNames...)
+		dc.keys = append(dc.keys, derivedKey{
+			cols: all, nullSafe: true,
+			display: "DISTINCT key (" + joinNames(all) + ")",
+		})
+	}
+
+	// Non-aggregated single-table selection/projection: keys and NOT NULL
+	// pass through; π_A introduces no duplicates beyond the base table's.
+	if len(vb.GroupBy) == 0 && !hasAggregateItems(vb) && len(vb.tables) == 1 && vb.tables[0].def != nil {
+		base := vb.tables[0].def
+		alias := vb.tables[0].alias
+		for _, k := range base.Keys {
+			inner := make([]expr.ColumnID, len(k.Columns))
+			for i, name := range k.Columns {
+				inner[i] = expr.ColumnID{Table: alias, Name: name}
+			}
+			if cols, ok := mapCols(inner); ok {
+				dc.keys = append(dc.keys, derivedKey{
+					cols:    cols,
+					display: "inherited " + schema.Key{Columns: k.Columns, Primary: k.Primary}.String(),
+				})
+			}
+		}
+		for _, c := range base.Columns {
+			if !c.NotNull {
+				continue
+			}
+			if name, ok := innerToOuter[expr.ColumnID{Table: alias, Name: c.Name}]; ok {
+				dc.notNull[name] = true
+			}
+		}
+	}
+
+	// Equality conjuncts of the definition's WHERE hold for every visible
+	// row: export the ones over mapped columns as derived checks, with
+	// columns renamed to the outer names.
+	for _, conj := range expr.Conjuncts(vb.Where) {
+		mappable := true
+		for _, c := range expr.Columns(conj) {
+			if _, ok := innerToOuter[c]; !ok {
+				mappable = false
+				break
+			}
+		}
+		if !mappable {
+			continue
+		}
+		if atom := expr.ClassifyAtom(conj); atom.Class == expr.AtomOther {
+			continue // only equality atoms matter to TestFD
+		}
+		renamed := expr.Rewrite(conj, func(n expr.Expr) expr.Expr {
+			if c, ok := n.(*expr.ColumnRef); ok {
+				return expr.Column("", innerToOuter[c.ID])
+			}
+			return n
+		})
+		dc.checks = append(dc.checks, renamed)
+	}
+	return dc
+}
+
+func hasAggregateItems(vb *BoundQuery) bool {
+	for _, it := range vb.Items {
+		if expr.HasAggregate(it.E) {
+			return true
+		}
+	}
+	return false
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// outNamesFor computes the outer-visible column names of a derived table.
+func outNamesFor(vb *BoundQuery, columns []string) []string {
+	out := make([]string, len(vb.Items))
+	for i := range vb.Items {
+		if len(columns) != 0 {
+			out[i] = columns[i]
+		} else {
+			out[i] = vb.Items[i].As.Name
+		}
+	}
+	return out
+}

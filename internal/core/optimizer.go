@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Mode selects how the optimizer uses the transformation.
+type Mode uint8
+
+// Optimizer modes.
+const (
+	// ModeCost applies the transformation when it is valid AND the cost
+	// model prefers the transformed plan (the paper's Section 7: validity
+	// does not imply profitability).
+	ModeCost Mode = iota
+	// ModeAlways applies the transformation whenever it is valid.
+	ModeAlways
+	// ModeNever always uses the standard plan.
+	ModeNever
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeCost:
+		return "cost"
+	case ModeAlways:
+		return "always"
+	case ModeNever:
+		return "never"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Optimizer decides between the standard plan (group after join) and the
+// transformed plan (group before join).
+type Optimizer struct {
+	planner *Planner
+	stats   Stats
+	Mode    Mode
+	// DisablePredicateExpansion turns off the Section 6.3 predicate
+	// expansion (deriving constant predicates for R1's join columns from
+	// equality chains); on by default, off only for ablation studies.
+	DisablePredicateExpansion bool
+}
+
+// NewOptimizer builds an optimizer over the store with live statistics.
+func NewOptimizer(store *storage.Store) *Optimizer {
+	return &Optimizer{
+		planner: NewPlanner(store),
+		stats:   NewStoreStats(store),
+	}
+}
+
+// Planner exposes the underlying planner.
+func (o *Optimizer) Planner() *Planner { return o.planner }
+
+// SetStats overrides the statistics source (tests, what-if analysis).
+func (o *Optimizer) SetStats(s Stats) { o.stats = s }
+
+// Report documents an optimization decision for EXPLAIN output.
+type Report struct {
+	// Shape is the Section 3 normalization; nil when not applicable.
+	Shape *Shape
+	// Applicable is false when the query is outside the transformable
+	// class (with the reason in WhyNot).
+	Applicable bool
+	// Decision is the TestFD outcome (zero value when not applicable).
+	Decision Decision
+	// WhyNot explains why the transformation was not applied.
+	WhyNot string
+	// ExpandedPredicates are the conjuncts derived by predicate
+	// expansion and added to C1 (empty when disabled or nothing was
+	// derivable).
+	ExpandedPredicates []expr.Expr
+	// SubstitutionNote documents a Section 9 column-substitution /
+	// partition-override rescue, when the default partition was not
+	// transformable but an equivalent rewriting was.
+	SubstitutionNote string
+	// Transformed reports whether the chosen plan is the transformed one.
+	Transformed bool
+	// StandardCost and TransformedCost are the cost estimates (the
+	// latter only when the transformation is valid).
+	StandardCost    PlanCost
+	TransformedCost PlanCost
+	// Standard and Alternative are both plans: Standard is always the
+	// group-after-join plan; Alternative is the group-before-join plan
+	// when valid, else nil.
+	Standard    algebra.Node
+	Alternative algebra.Node
+}
+
+// Chosen returns the plan the optimizer selected.
+func (r *Report) Chosen() algebra.Node {
+	if r.Transformed {
+		return r.Alternative
+	}
+	return r.Standard
+}
+
+// Optimize plans a query, deciding whether to perform the group-by before
+// the join.
+func (o *Optimizer) Optimize(q *sql.SelectStmt) (*Report, error) {
+	b, err := o.planner.Bind(q)
+	if err != nil {
+		return nil, err
+	}
+	return o.OptimizeBound(b)
+}
+
+// OptimizeBound runs the decision pipeline on a bound query: normalize
+// (Section 3), TestFD (Section 6.3), transform (Main Theorem / Theorem 2),
+// choose by cost (Section 7).
+func (o *Optimizer) OptimizeBound(b *BoundQuery) (*Report, error) {
+	standard, err := o.planner.PlanStandard(b)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{Standard: standard}
+	model := NewCostModel(o.stats, b)
+	r.StandardCost = model.Estimate(standard)
+
+	if o.Mode == ModeNever {
+		r.WhyNot = "optimizer mode: never transform"
+		return r, nil
+	}
+
+	var defaultR1 map[string]bool
+	shape, err := Normalize(b, nil)
+	switch {
+	case err == nil:
+		defaultR1 = shape.r1Set
+		r.Shape = shape
+		r.Applicable = true
+		r.Decision = TestFD(shape)
+		if !r.Decision.OK {
+			r.WhyNot = "TestFD: " + r.Decision.Reason
+		}
+	default:
+		na, ok := err.(*ErrNotApplicable)
+		if !ok {
+			return nil, err
+		}
+		r.WhyNot = na.Why
+		shape = nil
+	}
+
+	// Section 9 rescue: when the default partition fails normalization or
+	// TestFD, try column-substituted partitions (the paper: "all possible
+	// partitions of the tables can be performed and the resulting queries
+	// can all be tested"). Only worth attempting for failures the
+	// enumeration can fix — not for structural exclusions like HAVING.
+	if shape == nil || !r.Decision.OK {
+		if len(b.GroupBy) > 0 {
+			for _, cand := range substitutionCandidates(b, defaultR1) {
+				cshape, err := Normalize(cand.bound, cand.r1)
+				if err != nil {
+					continue
+				}
+				dec := TestFD(cshape)
+				if !dec.OK {
+					continue
+				}
+				shape = cshape
+				r.Shape = cshape
+				r.Applicable = true
+				r.Decision = dec
+				r.SubstitutionNote = cand.note
+				r.WhyNot = ""
+				break
+			}
+		}
+		if shape == nil || !r.Decision.OK {
+			return r, nil
+		}
+	}
+
+	if !o.DisablePredicateExpansion {
+		r.ExpandedPredicates = ExpandPredicates(shape)
+	}
+	transformed, err := o.planner.PlanTransformed(shape)
+	if err != nil {
+		return nil, err
+	}
+	r.Alternative = transformed
+	r.TransformedCost = model.Estimate(transformed)
+
+	switch o.Mode {
+	case ModeAlways:
+		r.Transformed = true
+	default:
+		if r.TransformedCost.Total < r.StandardCost.Total {
+			r.Transformed = true
+		} else {
+			r.WhyNot = fmt.Sprintf("valid but not chosen: estimated cost %.0f (transformed) >= %.0f (standard)",
+				r.TransformedCost.Total, r.StandardCost.Total)
+		}
+	}
+	return r, nil
+}
+
+// Explain renders the full decision: normalization, TestFD trace, both
+// plans with estimated cardinalities, and the choice.
+func (r *Report) Explain() string {
+	var sb strings.Builder
+	sb.WriteString("=== Standard plan (group-by after join) ===\n")
+	sb.WriteString(algebra.Format(r.Standard, r.StandardCost.Ann))
+	fmt.Fprintf(&sb, "estimated cost: %.0f\n\n", r.StandardCost.Total)
+
+	if !r.Applicable {
+		fmt.Fprintf(&sb, "transformation not applicable: %s\n", r.WhyNot)
+		return sb.String()
+	}
+	sb.WriteString("=== Normalization (paper Section 3) ===\n")
+	sb.WriteString(r.Shape.String())
+	sb.WriteString("\n\n=== TestFD (paper Section 6.3) ===\n")
+	sb.WriteString(r.Decision.TraceString())
+	if !r.Decision.OK {
+		fmt.Fprintf(&sb, "\nanswer: NO (%s)\n", r.Decision.Reason)
+		return sb.String()
+	}
+	sb.WriteString("\nanswer: YES — FD1 and FD2 hold in the join result\n")
+	if r.SubstitutionNote != "" {
+		fmt.Fprintf(&sb, "via Section 9 substitution: %s\n", r.SubstitutionNote)
+	}
+	if len(r.ExpandedPredicates) > 0 {
+		preds := make([]string, len(r.ExpandedPredicates))
+		for i, p := range r.ExpandedPredicates {
+			preds[i] = p.String()
+		}
+		fmt.Fprintf(&sb, "predicate expansion added to C1: %s\n", strings.Join(preds, " AND "))
+	}
+
+	sb.WriteString("\n=== Transformed plan (group-by before join) ===\n")
+	sb.WriteString(algebra.Format(r.Alternative, r.TransformedCost.Ann))
+	fmt.Fprintf(&sb, "estimated cost: %.0f\n\n", r.TransformedCost.Total)
+	if r.Transformed {
+		sb.WriteString("chosen: transformed plan\n")
+	} else {
+		fmt.Fprintf(&sb, "chosen: standard plan (%s)\n", r.WhyNot)
+	}
+	return sb.String()
+}

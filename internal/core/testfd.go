@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/fd"
+	"repro/internal/value"
+)
+
+// Decision is the outcome of Algorithm TestFD.
+type Decision struct {
+	// OK is true when the transformation is proven valid: FD1 and FD2
+	// are guaranteed to hold in the join result σ[C1∧C0∧C2](R1 × R2).
+	OK bool
+	// Reason explains a NO answer. Because TestFD tests a sufficient
+	// condition, NO does not mean the transformation is invalid — only
+	// that it could not be proven valid cheaply.
+	Reason string
+	// Trace is a human-readable account of the run (clauses kept,
+	// closure steps), for EXPLAIN output.
+	Trace []string
+	// Terms is the number of DNF terms examined.
+	Terms int
+}
+
+// TestFD implements the paper's Algorithm TestFD (Section 6.3): decide
+// whether FD1: (GA1, GA2) → GA1+ and FD2: (GA1+, GA2) → RowID(R2) are
+// guaranteed to hold in the join result, using only the primary/candidate
+// key constraints and the equality atoms of the query predicates and CHECK
+// constraints.
+//
+// Two deliberate refinements over the published pseudo-code, both on the
+// sound side:
+//
+//  1. Candidate keys may contain NULLs (SQL2 UNIQUE uses "NULL not equal to
+//     NULL"), so a UNIQUE key yields a usable key dependency under =ⁿ only
+//     when each key column is known non-null — declared NOT NULL, or forced
+//     non-null by an equality atom of the term under consideration (a row
+//     qualifies only when the atom is true, which requires both operands
+//     non-null).
+//  2. The published algorithm checks each DNF term against itself; for two
+//     rows satisfying *different* terms Ei and Ej, only the equality atoms
+//     common to both terms are known to hold for both rows. We therefore
+//     check every unordered pair of terms using the intersection of their
+//     atom sets. For purely conjunctive predicates (one term) this is
+//     identical to the paper.
+//
+// Additionally, where the paper's step 3 answers NO when no equality atoms
+// survive, we proceed with an empty term: key constraints alone can still
+// establish the FDs (e.g. when the grouping columns contain a key of R2).
+func TestFD(shape *Shape) Decision {
+	d := Decision{}
+
+	// Refinement 3 (soundness, beyond the paper): the Main Theorem's
+	// degenerate case 1 (GA1+ empty: no grouping or join columns on the
+	// R1 side) claims E1 ≡ E2 whenever FD2 holds, but the proof silently
+	// assumes σ[C1]R1 is non-empty. On an empty R1 side, E1 groups an
+	// empty input into zero rows while E2's scalar aggregation produces
+	// one row that joins with every σ[C2]R2 row — they differ. Since
+	// non-emptiness cannot be guaranteed from integrity constraints, we
+	// answer NO. (TestDegenerateCase1EmptyR1 demonstrates the
+	// counterexample.)
+	if len(shape.GA1Plus) == 0 {
+		d.Reason = "GA1+ is empty: the degenerate transformation is unsound when σ[C1]R1 is empty (paper's case 1 assumes a non-empty R1 side)"
+		return d
+	}
+
+	// Gather per-table constraints.
+	var constraints []tableConstraints
+	for _, bt := range shape.Bound.tables {
+		constraints = append(constraints, constraintsFor(bt))
+	}
+
+	// Step 1: C = C1 ∧ C0 ∧ C2 ∧ T1 ∧ T2 in CNF. First derive extra
+	// equality atoms from range conjuncts (the paper's Section 6.2:
+	// simplify the Theorem 3 conditions into a stronger condition in the
+	// restricted class): a >= 5 ∧ a <= 5 implies a = 5, a BETWEEN c AND c
+	// implies a = c, and a IN (c) implies a = c.
+	all := make([]expr.Expr, 0, len(shape.C1)+len(shape.C0)+len(shape.C2))
+	all = append(all, shape.C1...)
+	all = append(all, shape.C0...)
+	all = append(all, shape.C2...)
+	for _, tc := range constraints {
+		all = append(all, tc.checks...)
+	}
+	if derived := derivedEqualities(all); len(derived) > 0 {
+		for _, e := range derived {
+			d.Trace = append(d.Trace, fmt.Sprintf("derived equality: %s", e))
+		}
+		all = append(all, derived...)
+	}
+	clauses, err := expr.CNF(expr.And(all...))
+	if err != nil {
+		d.Reason = "predicate normal form too large: " + err.Error()
+		return d
+	}
+
+	// Step 2: drop clauses containing an atom not of Type 1 or Type 2.
+	var kept [][]expr.EqAtom
+	dropped := 0
+	for _, clause := range clauses {
+		atoms := make([]expr.EqAtom, 0, len(clause))
+		usable := true
+		for _, atom := range clause {
+			ea := expr.ClassifyAtom(atom)
+			if ea.Class == expr.AtomOther {
+				usable = false
+				break
+			}
+			atoms = append(atoms, ea)
+		}
+		if usable {
+			kept = append(kept, atoms)
+		} else {
+			dropped++
+		}
+	}
+	d.Trace = append(d.Trace, fmt.Sprintf("CNF: %d clauses, %d kept after dropping non-equality clauses", len(clauses), len(kept)))
+
+	// Step 3 (relaxed): an empty C proceeds as one empty term.
+	// Step 4 preparation: DNF terms = cross product of the kept clauses.
+	terms := [][]expr.EqAtom{{}}
+	for _, clause := range kept {
+		if len(terms)*len(clause) > 4096 {
+			d.Reason = "disjunctive normal form too large"
+			return d
+		}
+		var next [][]expr.EqAtom
+		for _, term := range terms {
+			for _, atom := range clause {
+				t := make([]expr.EqAtom, len(term), len(term)+1)
+				copy(t, term)
+				next = append(next, append(t, atom))
+			}
+		}
+		terms = next
+	}
+	d.Terms = len(terms)
+	d.Trace = append(d.Trace, fmt.Sprintf("DNF: %d term(s)", len(terms)))
+
+	// Step 4: check every pair of terms on the intersection of their
+	// atoms (see refinement 2 above; i == j gives the paper's check).
+	seed := fd.NewColSet()
+	for _, c := range shape.GA1 {
+		seed.Add(c)
+	}
+	for _, c := range shape.GA2 {
+		seed.Add(c)
+	}
+	for i := 0; i < len(terms); i++ {
+		for j := i; j < len(terms); j++ {
+			atoms := intersectAtoms(terms[i], terms[j])
+			label := fmt.Sprintf("term %d", i+1)
+			if i != j {
+				label = fmt.Sprintf("terms %d∩%d", i+1, j+1)
+			}
+			if ok, why := checkTerm(shape, constraints, atoms, seed, label, &d); !ok {
+				d.Reason = why
+				return d
+			}
+		}
+	}
+	d.OK = true
+	return d
+}
+
+// derivedEqualities extracts column = constant atoms implied by the
+// top-level range conjuncts: matching inclusive bounds (a >= c ∧ a <= c),
+// degenerate BETWEEN (a BETWEEN c AND c), and singleton IN lists (a IN (c)).
+// Only literal constants participate; rows qualify only when every
+// top-level conjunct is true, which makes each derivation sound.
+func derivedEqualities(conjuncts []expr.Expr) []expr.Expr {
+	type bounds struct {
+		lo, hi *value.Value // inclusive bounds, nil when absent
+	}
+	perCol := make(map[expr.ColumnID]*bounds)
+	get := func(c expr.ColumnID) *bounds {
+		b, ok := perCol[c]
+		if !ok {
+			b = &bounds{}
+			perCol[c] = b
+		}
+		return b
+	}
+	// tighten keeps the tightest inclusive bound seen.
+	tightenLo := func(b *bounds, v value.Value) {
+		if b.lo == nil {
+			b.lo = &v
+			return
+		}
+		if sign, ok := value.Compare(v, *b.lo); ok && sign > 0 {
+			b.lo = &v
+		}
+	}
+	tightenHi := func(b *bounds, v value.Value) {
+		if b.hi == nil {
+			b.hi = &v
+			return
+		}
+		if sign, ok := value.Compare(v, *b.hi); ok && sign < 0 {
+			b.hi = &v
+		}
+	}
+	literal := func(e expr.Expr) (value.Value, bool) {
+		if lit, ok := e.(*expr.Literal); ok && !lit.Val.IsNull() {
+			return lit.Val, true
+		}
+		return value.Null, false
+	}
+
+	var out []expr.Expr
+	for _, conj := range conjuncts {
+		switch n := conj.(type) {
+		case *expr.Binary:
+			col, isCol := n.L.(*expr.ColumnRef)
+			v, isLit := literal(n.R)
+			op := n.Op
+			if !isCol || !isLit {
+				// Try the reversed orientation (c <= a etc.).
+				col, isCol = n.R.(*expr.ColumnRef)
+				v, isLit = literal(n.L)
+				if !isCol || !isLit {
+					continue
+				}
+				switch n.Op {
+				case expr.OpLe:
+					op = expr.OpGe // c <= a ≡ a >= c
+				case expr.OpGe:
+					op = expr.OpLe
+				case expr.OpLt, expr.OpGt:
+					continue // strict bounds never meet an inclusive one exactly
+				default:
+					continue
+				}
+			}
+			switch op {
+			case expr.OpGe:
+				tightenLo(get(col.ID), v)
+			case expr.OpLe:
+				tightenHi(get(col.ID), v)
+			}
+		case *expr.Between:
+			if n.Negate {
+				continue
+			}
+			col, isCol := n.E.(*expr.ColumnRef)
+			lo, loLit := literal(n.Lo)
+			hi, hiLit := literal(n.Hi)
+			if isCol && loLit && hiLit {
+				b := get(col.ID)
+				tightenLo(b, lo)
+				tightenHi(b, hi)
+			}
+		case *expr.InList:
+			if n.Negate || len(n.List) != 1 {
+				continue
+			}
+			col, isCol := n.E.(*expr.ColumnRef)
+			v, isLit := literal(n.List[0])
+			if isCol && isLit {
+				out = append(out, expr.Eq(expr.Column(col.ID.Table, col.ID.Name), expr.Lit(v)))
+			}
+		}
+	}
+	cols := make([]expr.ColumnID, 0, len(perCol))
+	for c := range perCol {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		if cols[i].Table != cols[j].Table {
+			return cols[i].Table < cols[j].Table
+		}
+		return cols[i].Name < cols[j].Name
+	})
+	for _, c := range cols {
+		b := perCol[c]
+		if b.lo == nil || b.hi == nil {
+			continue
+		}
+		if sign, ok := value.Compare(*b.lo, *b.hi); ok && sign == 0 {
+			out = append(out, expr.Eq(expr.Column(c.Table, c.Name), expr.Lit(*b.lo)))
+		}
+	}
+	return out
+}
+
+// intersectAtoms returns the atoms present (structurally) in both terms.
+func intersectAtoms(a, b []expr.EqAtom) []expr.EqAtom {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	var out []expr.EqAtom
+	for _, x := range a {
+		for _, y := range b {
+			if atomEqual(x, y) {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func atomEqual(a, b expr.EqAtom) bool {
+	if a.Class != b.Class {
+		return false
+	}
+	switch a.Class {
+	case expr.AtomColConst:
+		return a.Col == b.Col && expr.Equal(a.Const, b.Const)
+	case expr.AtomColCol:
+		return (a.Col == b.Col && a.Col2 == b.Col2) || (a.Col == b.Col2 && a.Col2 == b.Col)
+	default:
+		return false
+	}
+}
+
+// checkTerm runs steps 4(a)–(h) for one atom set: build the FD set (key
+// dependencies + the term's equality atoms), compute the closure of
+// GA1 ∪ GA2, and verify that it covers a key of every R2 table (FD2) and
+// GA1+ (FD1).
+func checkTerm(
+	shape *Shape,
+	constraints []tableConstraints,
+	atoms []expr.EqAtom,
+	seed fd.ColSet,
+	label string,
+	d *Decision,
+) (bool, string) {
+	// Columns known non-null for rows satisfying this atom set: an
+	// equality atom can only be true when its operands are non-null.
+	nonNull := make(map[expr.ColumnID]bool)
+	set := fd.NewSet()
+	for _, a := range atoms {
+		switch a.Class {
+		case expr.AtomColConst:
+			set.AddConstant(a.Col, fmt.Sprintf("%s = %s", a.Col, a.Const))
+			nonNull[a.Col] = true
+		case expr.AtomColCol:
+			set.AddEquality(a.Col, a.Col2, fmt.Sprintf("%s = %s", a.Col, a.Col2))
+			nonNull[a.Col] = true
+			nonNull[a.Col2] = true
+		}
+	}
+	for _, tc := range constraints {
+		for _, k := range tc.keys {
+			usable := k.nullSafe
+			if !usable {
+				usable = true
+				for _, col := range k.cols {
+					if !tc.notNull[col] && !nonNull[col] {
+						usable = false
+						break
+					}
+				}
+			}
+			if !usable {
+				d.Trace = append(d.Trace, fmt.Sprintf("%s: key %s unusable (nullable column without a forcing equality)", label, k.display))
+				continue
+			}
+			set.AddKey(k.cols, tc.allCols, k.display)
+		}
+	}
+
+	closure, steps := set.ClosureTrace(seed)
+	d.Trace = append(d.Trace, fmt.Sprintf("%s: S = %s", label, seed))
+	for _, st := range steps {
+		d.Trace = append(d.Trace, fmt.Sprintf("%s:   %s", label, st))
+	}
+
+	// FD2: the closure must pin one row of R2, i.e. cover a usable key
+	// of every table in the R2 group.
+	for _, tc := range constraints {
+		if shape.InR1(tc.alias) {
+			continue
+		}
+		covered := false
+		for _, k := range tc.keys {
+			if !closure.ContainsAll(k.cols) {
+				continue
+			}
+			// The key must also be usable (non-null) under this
+			// term: a nullable UNIQUE key in the closure does not
+			// pin a row under =ⁿ.
+			usable := k.nullSafe
+			if !usable {
+				usable = true
+				for _, col := range k.cols {
+					if !tc.notNull[col] && !nonNull[col] {
+						usable = false
+						break
+					}
+				}
+			}
+			if usable {
+				covered = true
+				d.Trace = append(d.Trace, fmt.Sprintf("%s: FD2 witness for %s: %s ⊆ S", label, tc.alias, k.display))
+				break
+			}
+		}
+		if !covered {
+			return false, fmt.Sprintf("%s: no key of R2 table %s is functionally determined by (GA1, GA2)", label, tc.alias)
+		}
+	}
+
+	// FD1: GA1+ ⊆ closure.
+	for _, c := range shape.GA1Plus {
+		if !closure.Has(c) {
+			return false, fmt.Sprintf("%s: GA1+ column %s is not functionally determined by (GA1, GA2)", label, c)
+		}
+	}
+	d.Trace = append(d.Trace, fmt.Sprintf("%s: FD1 holds: GA1+ %s ⊆ S", label, colList(shape.GA1Plus)))
+	return true, ""
+}
+
+// TraceString joins the trace lines for display.
+func (d Decision) TraceString() string { return strings.Join(d.Trace, "\n") }

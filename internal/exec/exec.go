@@ -1,0 +1,441 @@
+// Package exec implements the physical executor: a Volcano-style iterator
+// engine that lowers logical plans (package algebra) onto in-memory tables
+// (package storage). Each logical operator has one or more physical
+// implementations — joins can run as hash, sort-merge or nested-loop;
+// grouping as hash aggregation or sort-based aggregation pipelined with the
+// sort (the Klug/Dayal technique the paper's Section 2 recounts).
+//
+// The executor records the number of rows each plan node produces. Those
+// counts are how the benchmark harness regenerates the paper's Figure 1 and
+// Figure 8 plan diagrams, whose annotations are exactly per-operator
+// cardinalities.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// JoinStrategy selects the physical join implementation.
+type JoinStrategy uint8
+
+// Join strategies. Auto picks hash when an equi-key exists, else nested
+// loop.
+const (
+	JoinAuto JoinStrategy = iota
+	JoinHash
+	JoinSortMerge
+	JoinNestedLoop
+)
+
+// String names the strategy.
+func (s JoinStrategy) String() string {
+	switch s {
+	case JoinAuto:
+		return "auto"
+	case JoinHash:
+		return "hash"
+	case JoinSortMerge:
+		return "sort-merge"
+	case JoinNestedLoop:
+		return "nested-loop"
+	default:
+		return fmt.Sprintf("JoinStrategy(%d)", uint8(s))
+	}
+}
+
+// GroupStrategy selects the physical grouping implementation.
+type GroupStrategy uint8
+
+// Grouping strategies. GroupAuto exploits interesting orders (the paper's
+// Section 7: grouped output "is normally sorted based on the grouping
+// columns" and sortedness can be exploited downstream): when the input is
+// already ordered on the grouping columns, grouping runs as a single
+// streaming pass with no sort; otherwise it hashes.
+const (
+	GroupHash GroupStrategy = iota
+	GroupSort
+	GroupAuto
+)
+
+// String names the strategy.
+func (s GroupStrategy) String() string {
+	switch s {
+	case GroupHash:
+		return "hash"
+	case GroupSort:
+		return "sort"
+	case GroupAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("GroupStrategy(%d)", uint8(s))
+	}
+}
+
+// Options configures an execution.
+type Options struct {
+	Join   JoinStrategy
+	Group  GroupStrategy
+	Params expr.Params
+	// Stats, when non-nil, receives the actual output cardinality of
+	// every plan node.
+	Stats algebra.Annotations
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema algebra.Schema
+	Rows   []value.Row
+}
+
+// Run executes a logical plan to completion.
+func Run(root algebra.Node, store *storage.Store, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	c := &compiler{store: store, opts: opts}
+	out, err := c.compile(root)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := drain(out.op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: root.Schema(), Rows: rows}, nil
+}
+
+// compiled couples a physical operator with its output-order guarantee:
+// order lists the output column positions the stream is sorted by
+// (ascending under value.OrderKey); nil means no guarantee. The compiler
+// propagates this "interesting order" property to skip redundant sorts —
+// the paper's Section 7 observation that grouped output arrives sorted on
+// the grouping columns and downstream operators can exploit it.
+type compiled struct {
+	op    Operator
+	order []int
+}
+
+// orderedPrefixSet reports whether the first len(cols) entries of order
+// cover exactly the column set cols. Rows sorted by a column-sequence
+// prefix are contiguous on any permutation of that prefix, which is all
+// streaming grouping and merge joins need.
+func orderedPrefixSet(order []int, cols []int) bool {
+	if len(order) < len(cols) || len(cols) == 0 {
+		return false
+	}
+	set := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	for _, o := range order[:len(cols)] {
+		if !set[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// Operator is a pull-based physical operator.
+type Operator interface {
+	// Open prepares the operator for iteration.
+	Open() error
+	// Next returns the next row; ok is false at end of stream.
+	Next() (row value.Row, ok bool, err error)
+	// Close releases resources. It is safe after a failed Open.
+	Close() error
+}
+
+// drain pulls an operator to completion.
+func drain(op Operator) ([]value.Row, error) {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	var rows []value.Row
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// compiler lowers logical nodes to physical operators.
+type compiler struct {
+	store *storage.Store
+	opts  *Options
+}
+
+func (c *compiler) compile(n algebra.Node) (compiled, error) {
+	out, err := c.compileInner(n)
+	if err != nil {
+		return compiled{}, err
+	}
+	if c.opts.Stats != nil {
+		out.op = &statsOp{inner: out.op, node: n, sink: c.opts.Stats}
+	}
+	return out, nil
+}
+
+func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		tab, err := c.store.Table(node.Table)
+		if err != nil {
+			return compiled{}, err
+		}
+		return compiled{op: &scanOp{table: tab}}, nil
+	case *algebra.Values:
+		return compiled{op: &valuesOp{rows: node.Rows}}, nil
+	case *algebra.Select:
+		in, err := c.compile(node.Input)
+		if err != nil {
+			return compiled{}, err
+		}
+		cond, err := expr.Bind(node.Cond, node.Input.Schema())
+		if err != nil {
+			return compiled{}, err
+		}
+		// Filtering preserves order.
+		return compiled{
+			op:    &filterOp{input: in.op, cond: cond, params: c.opts.Params},
+			order: in.order,
+		}, nil
+	case *algebra.Project:
+		in, err := c.compile(node.Input)
+		if err != nil {
+			return compiled{}, err
+		}
+		items := make([]expr.Expr, len(node.Items))
+		for i, item := range node.Items {
+			bound, err := expr.Bind(item.E, node.Input.Schema())
+			if err != nil {
+				return compiled{}, err
+			}
+			items[i] = bound
+		}
+		// Projection preserves order for the prefix of input-order
+		// columns that survive as bare column items (dedup of a sorted
+		// stream stays sorted).
+		var order []int
+		for _, src := range in.order {
+			mapped := -1
+			for i, item := range items {
+				if cr, ok := item.(*expr.ColumnRef); ok && cr.Index == src {
+					mapped = i
+					break
+				}
+			}
+			if mapped < 0 {
+				break
+			}
+			order = append(order, mapped)
+		}
+		return compiled{
+			op:    &projectOp{input: in.op, items: items, distinct: node.Distinct, params: c.opts.Params},
+			order: order,
+		}, nil
+	case *algebra.Product:
+		return c.compileJoin(&algebra.Join{L: node.L, R: node.R})
+	case *algebra.Join:
+		return c.compileJoin(node)
+	case *algebra.GroupBy:
+		return c.compileGroupBy(node)
+	case *algebra.Sort:
+		in, err := c.compile(node.Input)
+		if err != nil {
+			return compiled{}, err
+		}
+		schema := node.Input.Schema()
+		keys := make([]sortKey, len(node.Keys))
+		allAsc := true
+		keyCols := make([]int, len(node.Keys))
+		for i, k := range node.Keys {
+			idx, err := schema.IndexOf(k.Col)
+			if err != nil {
+				return compiled{}, err
+			}
+			keys[i] = sortKey{col: idx, desc: k.Desc}
+			keyCols[i] = idx
+			if k.Desc {
+				allAsc = false
+			}
+		}
+		// Skip the sort entirely when the input already streams in the
+		// requested (all-ascending) key sequence.
+		if allAsc && hasSequencePrefix(in.order, keyCols) {
+			return in, nil
+		}
+		outOrder := keyCols
+		if !allAsc {
+			outOrder = nil // mixed directions: no OrderKey-ascending guarantee
+		}
+		return compiled{op: &sortOp{input: in.op, keys: keys}, order: outOrder}, nil
+	default:
+		return compiled{}, fmt.Errorf("exec: no physical implementation for %T", n)
+	}
+}
+
+// hasSequencePrefix reports whether order starts with exactly the sequence
+// want.
+func hasSequencePrefix(order, want []int) bool {
+	if len(order) < len(want) || len(want) == 0 {
+		return false
+	}
+	for i, w := range want {
+		if order[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// statsOp counts rows flowing out of a node.
+type statsOp struct {
+	inner Operator
+	node  algebra.Node
+	sink  algebra.Annotations
+	count int64
+}
+
+func (s *statsOp) Open() error { s.count = 0; return s.inner.Open() }
+
+func (s *statsOp) Next() (value.Row, bool, error) {
+	row, ok, err := s.inner.Next()
+	if ok && err == nil {
+		s.count++
+	}
+	return row, ok, err
+}
+
+func (s *statsOp) Close() error {
+	a := s.sink[s.node]
+	a.Rows = s.count
+	s.sink[s.node] = a
+	return s.inner.Close()
+}
+
+// scanOp iterates a stored table.
+type scanOp struct {
+	table *storage.Table
+	pos   int
+}
+
+func (s *scanOp) Open() error { s.pos = 0; return nil }
+
+func (s *scanOp) Next() (value.Row, bool, error) {
+	rows := s.table.Rows()
+	if s.pos >= len(rows) {
+		return nil, false, nil
+	}
+	row := rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+func (s *scanOp) Close() error { return nil }
+
+// valuesOp iterates literal rows.
+type valuesOp struct {
+	rows []value.Row
+	pos  int
+}
+
+func (v *valuesOp) Open() error { v.pos = 0; return nil }
+
+func (v *valuesOp) Next() (value.Row, bool, error) {
+	if v.pos >= len(v.rows) {
+		return nil, false, nil
+	}
+	row := v.rows[v.pos]
+	v.pos++
+	return row, true, nil
+}
+
+func (v *valuesOp) Close() error { return nil }
+
+// filterOp keeps rows whose condition is true (σ[C] under ⌊·⌋
+// interpretation: unknown disqualifies).
+type filterOp struct {
+	input  Operator
+	cond   expr.Expr
+	params expr.Params
+}
+
+func (f *filterOp) Open() error { return f.input.Open() }
+
+func (f *filterOp) Next() (value.Row, bool, error) {
+	for {
+		row, ok, err := f.input.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		truth, err := expr.EvalTruth(f.cond, row, f.params)
+		if err != nil {
+			return nil, false, err
+		}
+		if truth == value.True {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *filterOp) Close() error { return f.input.Close() }
+
+// projectOp evaluates the item expressions per row; with distinct set it
+// eliminates duplicates under =ⁿ (SQL2 duplicate semantics).
+type projectOp struct {
+	input    Operator
+	items    []expr.Expr
+	distinct bool
+	params   expr.Params
+	seen     map[string]bool
+}
+
+func (p *projectOp) Open() error {
+	if p.distinct {
+		p.seen = make(map[string]bool)
+	}
+	return p.input.Open()
+}
+
+func (p *projectOp) Next() (value.Row, bool, error) {
+	for {
+		row, ok, err := p.input.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		out := make(value.Row, len(p.items))
+		for i, item := range p.items {
+			v, err := expr.Eval(item, row, p.params)
+			if err != nil {
+				return nil, false, err
+			}
+			out[i] = v
+		}
+		if p.distinct {
+			key := value.GroupKeyAll(out)
+			if p.seen[key] {
+				continue
+			}
+			p.seen[key] = true
+		}
+		return out, true, nil
+	}
+}
+
+func (p *projectOp) Close() error { return p.input.Close() }

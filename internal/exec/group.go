@@ -1,0 +1,353 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// aggSpec is one compiled aggregate item: the bound output expression with
+// its aggregate subterms identified, so per-group results can be
+// substituted and the arithmetic shell evaluated.
+type aggSpec struct {
+	// expr is the full bound item expression (e.g. COUNT(A1) + SUM(A2+A3)).
+	expr expr.Expr
+	// aggs are the aggregate nodes inside expr, in discovery order.
+	aggs []*expr.Aggregate
+}
+
+// groupState accumulates one group.
+type groupState struct {
+	repr value.Row // first row of the group, for the grouping columns
+	accs [][]expr.Accumulator
+}
+
+func (c *compiler) compileGroupBy(node *algebra.GroupBy) (compiled, error) {
+	in, err := c.compile(node.Input)
+	if err != nil {
+		return compiled{}, err
+	}
+	inSchema := node.Input.Schema()
+	groupCols := make([]int, len(node.GroupCols))
+	for i, gc := range node.GroupCols {
+		idx, err := inSchema.IndexOf(gc)
+		if err != nil {
+			return compiled{}, err
+		}
+		groupCols[i] = idx
+	}
+	specs := make([]aggSpec, len(node.Aggs))
+	for i, item := range node.Aggs {
+		bound, err := expr.Bind(item.E, inSchema)
+		if err != nil {
+			return compiled{}, err
+		}
+		aggs := expr.Aggregates(bound)
+		if len(aggs) == 0 {
+			return compiled{}, fmt.Errorf("exec: aggregate item %s contains no aggregate function", item.E)
+		}
+		specs[i] = aggSpec{expr: bound, aggs: aggs}
+	}
+	base := groupCore{
+		input:     in.op,
+		groupCols: groupCols,
+		specs:     specs,
+		params:    c.opts.Params,
+	}
+	// Streams already ordered on the grouping columns have contiguous
+	// groups: a single aggregation pass with no sort and no hash table.
+	preSorted := orderedPrefixSet(in.order, groupCols)
+	strategy := c.opts.Group
+	if strategy == GroupAuto {
+		if preSorted {
+			strategy = GroupSort
+		} else {
+			strategy = GroupHash
+		}
+	}
+	// Output columns: grouping columns first (positions 0..k-1), then
+	// the aggregate results. A fresh sort orders the output by the
+	// grouping-column sequence; a pre-sorted pass preserves the input's
+	// (possibly permuted) key order.
+	outOrder := make([]int, len(groupCols))
+	for i := range outOrder {
+		outOrder[i] = i
+	}
+	if preSorted {
+		for i, src := range in.order[:len(groupCols)] {
+			for gi, gc := range groupCols {
+				if gc == src {
+					outOrder[i] = gi
+					break
+				}
+			}
+		}
+	}
+	if strategy == GroupSort {
+		return compiled{
+			op:    &sortGroupOp{groupCore: base, preSorted: preSorted},
+			order: outOrder,
+		}, nil
+	}
+	return compiled{op: &hashGroupOp{groupCore: base}}, nil
+}
+
+// groupCore holds the state shared by the hash and sort grouping operators.
+type groupCore struct {
+	input     Operator
+	groupCols []int
+	specs     []aggSpec
+	params    expr.Params
+
+	out []value.Row
+	pos int
+}
+
+// newState allocates accumulators for a fresh group.
+func (g *groupCore) newState(repr value.Row) (*groupState, error) {
+	st := &groupState{repr: repr, accs: make([][]expr.Accumulator, len(g.specs))}
+	for i, spec := range g.specs {
+		st.accs[i] = make([]expr.Accumulator, len(spec.aggs))
+		for k, agg := range spec.aggs {
+			acc, err := expr.NewAccumulator(agg)
+			if err != nil {
+				return nil, err
+			}
+			st.accs[i][k] = acc
+		}
+	}
+	return st, nil
+}
+
+// feed folds one row into a group's accumulators.
+func (g *groupCore) feed(st *groupState, row value.Row) error {
+	for i, spec := range g.specs {
+		for k, agg := range spec.aggs {
+			var v value.Value
+			if agg.Func == expr.AggCountStar {
+				v = value.Null // ignored by the COUNT(*) accumulator
+			} else {
+				var err error
+				v, err = expr.Eval(agg.Arg, row, g.params)
+				if err != nil {
+					return err
+				}
+			}
+			if err := st.accs[i][k].Add(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finalize produces the output row for a group: grouping-column values from
+// the representative row, then each aggregate item evaluated with its
+// aggregate subterms replaced by the accumulator results.
+func (g *groupCore) finalize(st *groupState) (value.Row, error) {
+	out := make(value.Row, 0, len(g.groupCols)+len(g.specs))
+	for _, c := range g.groupCols {
+		out = append(out, st.repr[c])
+	}
+	for i, spec := range g.specs {
+		results := make(map[*expr.Aggregate]value.Value, len(spec.aggs))
+		for k, agg := range spec.aggs {
+			results[agg] = st.accs[i][k].Result()
+		}
+		substituted := expr.RewritePre(spec.expr, func(n expr.Expr) expr.Expr {
+			if a, ok := n.(*expr.Aggregate); ok {
+				if v, hit := results[a]; hit {
+					return expr.Lit(v)
+				}
+			}
+			return nil
+		})
+		v, err := expr.Eval(substituted, nil, g.params)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// scalarGroup reports whether the operator aggregates the whole input as
+// one group (no grouping columns): it must emit exactly one row even for
+// empty input, per SQL2 and the paper's assumption that F(AA) "produces one
+// row for each group" with the empty grouping treated as a single group.
+func (g *groupCore) scalarGroup() bool { return len(g.groupCols) == 0 }
+
+func (g *groupCore) emit(states []*groupState) error {
+	g.out = g.out[:0]
+	for _, st := range states {
+		row, err := g.finalize(st)
+		if err != nil {
+			return err
+		}
+		g.out = append(g.out, row)
+	}
+	g.pos = 0
+	return nil
+}
+
+func (g *groupCore) next() (value.Row, bool, error) {
+	if g.pos >= len(g.out) {
+		return nil, false, nil
+	}
+	row := g.out[g.pos]
+	g.pos++
+	return row, true, nil
+}
+
+// hashGroupOp groups via a hash table keyed by the =ⁿ-respecting GroupKey.
+// Output order is first-appearance order of groups (deterministic for a
+// deterministic input order).
+type hashGroupOp struct {
+	groupCore
+}
+
+func (g *hashGroupOp) Open() error {
+	rows, err := drain(g.input)
+	if err != nil {
+		return err
+	}
+	index := make(map[string]*groupState)
+	var order []*groupState
+	if g.scalarGroup() {
+		st, err := g.newState(nil)
+		if err != nil {
+			return err
+		}
+		order = append(order, st)
+		for _, row := range rows {
+			if err := g.feed(st, row); err != nil {
+				return err
+			}
+		}
+		return g.emit(order)
+	}
+	for _, row := range rows {
+		key := value.GroupKey(row, g.groupCols)
+		st, ok := index[key]
+		if !ok {
+			st, err = g.newState(row)
+			if err != nil {
+				return err
+			}
+			index[key] = st
+			order = append(order, st)
+		}
+		if err := g.feed(st, row); err != nil {
+			return err
+		}
+	}
+	return g.emit(order)
+}
+
+func (g *hashGroupOp) Next() (value.Row, bool, error) { return g.next() }
+func (g *hashGroupOp) Close() error                   { return nil }
+
+// sortGroupOp sorts the input on the grouping columns and aggregates each
+// run of =ⁿ-equal keys in a single pass — grouping pipelined with
+// aggregation, the implementation the paper's Section 2 attributes to
+// sort-based grouping. Output is ordered by the grouping key. With
+// preSorted set (the input already streams in key order) the sort is
+// skipped entirely.
+type sortGroupOp struct {
+	groupCore
+	preSorted bool
+}
+
+func (g *sortGroupOp) Open() error {
+	rows, err := drain(g.input)
+	if err != nil {
+		return err
+	}
+	if g.scalarGroup() {
+		st, err := g.newState(nil)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if err := g.feed(st, row); err != nil {
+				return err
+			}
+		}
+		return g.emit([]*groupState{st})
+	}
+	if !g.preSorted {
+		sort.SliceStable(rows, func(i, j int) bool {
+			return compareAt(rows[i], g.groupCols, rows[j], g.groupCols) < 0
+		})
+	}
+	var states []*groupState
+	var cur *groupState
+	for _, row := range rows {
+		if cur == nil || compareAt(cur.repr, g.groupCols, row, g.groupCols) != 0 {
+			cur, err = g.newState(row)
+			if err != nil {
+				return err
+			}
+			states = append(states, cur)
+		}
+		if err := g.feed(cur, row); err != nil {
+			return err
+		}
+	}
+	return g.emit(states)
+}
+
+func (g *sortGroupOp) Next() (value.Row, bool, error) { return g.next() }
+func (g *sortGroupOp) Close() error                   { return nil }
+
+// sortKey is one compiled ORDER BY key.
+type sortKey struct {
+	col  int
+	desc bool
+}
+
+// sortOp materializes and sorts its input under value.OrderKey.
+type sortOp struct {
+	input Operator
+	keys  []sortKey
+
+	out []value.Row
+	pos int
+}
+
+func (s *sortOp) Open() error {
+	rows, err := drain(s.input)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range s.keys {
+			c := value.OrderKey(rows[i][k.col], rows[j][k.col])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.out = rows
+	s.pos = 0
+	return nil
+}
+
+func (s *sortOp) Next() (value.Row, bool, error) {
+	if s.pos >= len(s.out) {
+		return nil, false, nil
+	}
+	row := s.out[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+func (s *sortOp) Close() error { return nil }

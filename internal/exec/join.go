@@ -1,0 +1,406 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// equiKey is one equality column pair extracted from a join condition.
+type equiKey struct {
+	left, right int // positions in the left/right input schemas
+}
+
+// splitJoinCondition partitions the conjuncts of cond into equi-join keys
+// (Type 2 atoms with one side in each input) and a residual predicate
+// evaluated against the concatenated row.
+func splitJoinCondition(cond expr.Expr, left, right algebra.Schema) (keys []equiKey, residual expr.Expr) {
+	var rest []expr.Expr
+	for _, conj := range expr.Conjuncts(cond) {
+		atom := expr.ClassifyAtom(conj)
+		if atom.Class == expr.AtomColCol {
+			li, lerr := left.IndexOf(atom.Col)
+			ri, rerr := right.IndexOf(atom.Col2)
+			if lerr == nil && rerr == nil {
+				keys = append(keys, equiKey{left: li, right: ri})
+				continue
+			}
+			// Try the swapped orientation.
+			li, lerr = left.IndexOf(atom.Col2)
+			ri, rerr = right.IndexOf(atom.Col)
+			if lerr == nil && rerr == nil {
+				keys = append(keys, equiKey{left: li, right: ri})
+				continue
+			}
+		}
+		rest = append(rest, conj)
+	}
+	return keys, expr.And(rest...)
+}
+
+func (c *compiler) compileJoin(node *algebra.Join) (compiled, error) {
+	left, err := c.compile(node.L)
+	if err != nil {
+		return compiled{}, err
+	}
+	right, err := c.compile(node.R)
+	if err != nil {
+		return compiled{}, err
+	}
+	lSchema, rSchema := node.L.Schema(), node.R.Schema()
+	keys, residual := splitJoinCondition(node.Cond, lSchema, rSchema)
+	boundResidual, err := expr.Bind(residual, node.Schema())
+	if err != nil {
+		return compiled{}, err
+	}
+
+	strategy := c.opts.Join
+	if strategy == JoinAuto {
+		if len(keys) > 0 {
+			strategy = JoinHash
+		} else {
+			strategy = JoinNestedLoop
+		}
+	}
+	if len(keys) == 0 && strategy != JoinNestedLoop {
+		// Hash and merge joins need an equi-key; fall back.
+		strategy = JoinNestedLoop
+	}
+
+	switch strategy {
+	case JoinHash:
+		// Probe order follows the left input; left columns keep their
+		// positions in the concatenated schema.
+		return compiled{
+			op: &hashJoinOp{
+				left: left.op, right: right.op, keys: keys,
+				residual: boundResidual, params: c.opts.Params,
+			},
+			order: left.order,
+		}, nil
+	case JoinSortMerge:
+		// Exploit pre-sorted inputs (Section 7: eager aggregation's
+		// sorted output feeds the join): when the left input already
+		// streams in some permutation of the key columns, permute the
+		// key list to match and skip that side's sort; likewise for
+		// the right side against the (possibly permuted) keys.
+		lCols := make([]int, len(keys))
+		for i, k := range keys {
+			lCols[i] = k.left
+		}
+		lSorted := false
+		if orderedPrefixSet(left.order, lCols) {
+			perm := make([]equiKey, 0, len(keys))
+			for _, oc := range left.order[:len(keys)] {
+				for _, k := range keys {
+					if k.left == oc {
+						perm = append(perm, k)
+						break
+					}
+				}
+			}
+			if len(perm) == len(keys) {
+				keys = perm
+				lSorted = true
+			}
+		}
+		rCols := make([]int, len(keys))
+		for i, k := range keys {
+			rCols[i] = k.right
+		}
+		rSorted := lSorted && hasSequencePrefix(right.order, rCols)
+		outOrder := make([]int, len(keys))
+		for i, k := range keys {
+			outOrder[i] = k.left
+		}
+		return compiled{
+			op: &mergeJoinOp{
+				left: left.op, right: right.op, keys: keys,
+				lSorted: lSorted, rSorted: rSorted,
+				residual: boundResidual, params: c.opts.Params,
+			},
+			order: outOrder,
+		}, nil
+	default:
+		// Nested loop evaluates the full condition as a residual.
+		full, err := expr.Bind(node.Cond, node.Schema())
+		if err != nil {
+			return compiled{}, err
+		}
+		return compiled{
+			op: &nestedLoopJoinOp{
+				left: left.op, right: right.op,
+				cond: full, params: c.opts.Params,
+			},
+			order: left.order,
+		}, nil
+	}
+}
+
+// nestedLoopJoinOp materializes the right input and scans it per left row.
+type nestedLoopJoinOp struct {
+	left, right Operator
+	cond        expr.Expr
+	params      expr.Params
+
+	rightRows []value.Row
+	cur       value.Row
+	rpos      int
+	done      bool
+}
+
+func (j *nestedLoopJoinOp) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	rows, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.cur = nil
+	j.rpos = 0
+	j.done = false
+	return nil
+}
+
+func (j *nestedLoopJoinOp) Next() (value.Row, bool, error) {
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		if j.cur == nil {
+			row, ok, err := j.left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			j.cur = row
+			j.rpos = 0
+		}
+		for j.rpos < len(j.rightRows) {
+			out := j.cur.Concat(j.rightRows[j.rpos])
+			j.rpos++
+			truth, err := expr.EvalTruth(j.cond, out, j.params)
+			if err != nil {
+				return nil, false, err
+			}
+			if truth == value.True {
+				return out, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+func (j *nestedLoopJoinOp) Close() error { return j.left.Close() }
+
+// hashJoinOp builds a hash table on the right input keyed by the join
+// columns, then probes with left rows. Rows with a NULL in any key column
+// are dropped on both sides: the equality comparison would be unknown, so
+// such rows can never satisfy the join condition.
+type hashJoinOp struct {
+	left, right Operator
+	keys        []equiKey
+	residual    expr.Expr
+	params      expr.Params
+
+	table   map[string][]value.Row
+	cur     value.Row
+	matches []value.Row
+	mpos    int
+	done    bool
+}
+
+func (j *hashJoinOp) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	rows, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	rightCols := make([]int, len(j.keys))
+	for i, k := range j.keys {
+		rightCols[i] = k.right
+	}
+	j.table = make(map[string][]value.Row)
+	for _, row := range rows {
+		if anyNullAt(row, rightCols) {
+			continue
+		}
+		key := value.GroupKey(row, rightCols)
+		j.table[key] = append(j.table[key], row)
+	}
+	j.cur = nil
+	j.matches = nil
+	j.mpos = 0
+	j.done = false
+	return nil
+}
+
+func (j *hashJoinOp) Next() (value.Row, bool, error) {
+	leftCols := make([]int, len(j.keys))
+	for i, k := range j.keys {
+		leftCols[i] = k.left
+	}
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		for j.mpos < len(j.matches) {
+			out := j.cur.Concat(j.matches[j.mpos])
+			j.mpos++
+			truth, err := expr.EvalTruth(j.residual, out, j.params)
+			if err != nil {
+				return nil, false, err
+			}
+			if truth == value.True {
+				return out, true, nil
+			}
+		}
+		row, ok, err := j.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.done = true
+			return nil, false, nil
+		}
+		if anyNullAt(row, leftCols) {
+			continue
+		}
+		j.cur = row
+		j.matches = j.table[value.GroupKey(row, leftCols)]
+		j.mpos = 0
+	}
+}
+
+func (j *hashJoinOp) Close() error { return j.left.Close() }
+
+// mergeJoinOp sorts both inputs on the join keys and merges them, emitting
+// the cross product of each matching key group. NULL keys are dropped for
+// the same reason as in the hash join. lSorted/rSorted mark inputs already
+// ordered on the keys, whose sort is skipped.
+type mergeJoinOp struct {
+	left, right      Operator
+	keys             []equiKey
+	lSorted, rSorted bool
+	residual         expr.Expr
+	params           expr.Params
+
+	out []value.Row
+	pos int
+}
+
+func (j *mergeJoinOp) Open() error {
+	lrows, err := drain(j.left)
+	if err != nil {
+		return err
+	}
+	rrows, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	lCols := make([]int, len(j.keys))
+	rCols := make([]int, len(j.keys))
+	for i, k := range j.keys {
+		lCols[i] = k.left
+		rCols[i] = k.right
+	}
+	lrows = dropNullKeys(lrows, lCols)
+	rrows = dropNullKeys(rrows, rCols)
+	if !j.lSorted {
+		sortByCols(lrows, lCols)
+	}
+	if !j.rSorted {
+		sortByCols(rrows, rCols)
+	}
+
+	j.out = j.out[:0]
+	li, ri := 0, 0
+	for li < len(lrows) && ri < len(rrows) {
+		cmp := compareAt(lrows[li], lCols, rrows[ri], rCols)
+		switch {
+		case cmp < 0:
+			li++
+		case cmp > 0:
+			ri++
+		default:
+			// Find the extent of the matching group on both sides.
+			lEnd := li + 1
+			for lEnd < len(lrows) && compareAt(lrows[lEnd], lCols, rrows[ri], rCols) == 0 {
+				lEnd++
+			}
+			rEnd := ri + 1
+			for rEnd < len(rrows) && compareAt(lrows[li], lCols, rrows[rEnd], rCols) == 0 {
+				rEnd++
+			}
+			for a := li; a < lEnd; a++ {
+				for b := ri; b < rEnd; b++ {
+					row := lrows[a].Concat(rrows[b])
+					truth, err := expr.EvalTruth(j.residual, row, j.params)
+					if err != nil {
+						return err
+					}
+					if truth == value.True {
+						j.out = append(j.out, row)
+					}
+				}
+			}
+			li, ri = lEnd, rEnd
+		}
+	}
+	j.pos = 0
+	return nil
+}
+
+func (j *mergeJoinOp) Next() (value.Row, bool, error) {
+	if j.pos >= len(j.out) {
+		return nil, false, nil
+	}
+	row := j.out[j.pos]
+	j.pos++
+	return row, true, nil
+}
+
+func (j *mergeJoinOp) Close() error { return nil }
+
+func anyNullAt(row value.Row, cols []int) bool {
+	for _, c := range cols {
+		if row[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func dropNullKeys(rows []value.Row, cols []int) []value.Row {
+	out := rows[:0]
+	for _, r := range rows {
+		if !anyNullAt(r, cols) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sortByCols(rows []value.Row, cols []int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return compareAt(rows[i], cols, rows[j], cols) < 0
+	})
+}
+
+func compareAt(a value.Row, aCols []int, b value.Row, bCols []int) int {
+	for i := range aCols {
+		if c := value.OrderKey(a[aCols[i]], b[bCols[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

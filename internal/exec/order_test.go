@@ -1,0 +1,209 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// TestOrderPropagation verifies the compiler's interesting-order tracking:
+// sort establishes an order, filter and projection preserve it, hash join
+// keeps the probe side's order, and grouping/merge-join exploit it.
+func TestOrderPropagation(t *testing.T) {
+	s := fixture(t)
+	c := &compiler{store: s, opts: &Options{}}
+
+	scanE := scanOf(t, s, "Employee", "E")
+	sortE := &algebra.Sort{
+		Input: scanE,
+		Keys:  []algebra.SortItem{{Col: expr.ColumnID{Table: "E", Name: "DeptID"}}},
+	}
+
+	// Sort yields an order on its key column.
+	out, err := c.compile(sortE)
+	must(t, err)
+	deptIdx, _ := scanE.Schema().IndexOf(expr.ColumnID{Table: "E", Name: "DeptID"})
+	if len(out.order) != 1 || out.order[0] != deptIdx {
+		t.Fatalf("sort order = %v, want [%d]", out.order, deptIdx)
+	}
+
+	// A redundant sort on the same key is elided: compiling Sort(Sort)
+	// returns the inner result unchanged.
+	doubleSort := &algebra.Sort{Input: sortE, Keys: sortE.Keys}
+	out2, err := c.compile(doubleSort)
+	must(t, err)
+	if _, isSort := out2.op.(*sortOp); isSort {
+		// The outer op must not be a second sortOp over a sortOp.
+		if _, innerSort := out2.op.(*sortOp).input.(*sortOp); innerSort {
+			t.Error("redundant sort not elided")
+		}
+	}
+
+	// Filter preserves order.
+	filtered := &algebra.Select{
+		Input: sortE,
+		Cond:  expr.NewBinary(expr.OpGt, expr.Column("E", "Salary"), expr.IntLit(0)),
+	}
+	out3, err := c.compile(filtered)
+	must(t, err)
+	if len(out3.order) != 1 || out3.order[0] != deptIdx {
+		t.Errorf("filter lost order: %v", out3.order)
+	}
+
+	// Projection remaps order through bare column items.
+	proj := &algebra.Project{
+		Input: sortE,
+		Items: []algebra.ProjItem{
+			{E: expr.Column("E", "DeptID"), As: expr.ColumnID{Name: "d"}},
+			{E: expr.Column("E", "EmpID"), As: expr.ColumnID{Name: "id"}},
+		},
+	}
+	out4, err := c.compile(proj)
+	must(t, err)
+	if len(out4.order) != 1 || out4.order[0] != 0 {
+		t.Errorf("projection order = %v, want [0]", out4.order)
+	}
+
+	// Projection computing an expression over the order column loses it.
+	projExpr := &algebra.Project{
+		Input: sortE,
+		Items: []algebra.ProjItem{
+			{E: expr.NewBinary(expr.OpAdd, expr.Column("E", "DeptID"), expr.IntLit(1)), As: expr.ColumnID{Name: "d1"}},
+		},
+	}
+	out5, err := c.compile(projExpr)
+	must(t, err)
+	if len(out5.order) != 0 {
+		t.Errorf("expression projection kept order: %v", out5.order)
+	}
+}
+
+// TestGroupAutoExploitsSortedInput: with GroupAuto, grouping a stream
+// already sorted on the grouping column runs as a no-sort streaming pass,
+// and results still match hash grouping.
+func TestGroupAutoExploitsSortedInput(t *testing.T) {
+	s := fixture(t)
+	scanE := scanOf(t, s, "Employee", "E")
+	sorted := &algebra.Sort{
+		Input: scanE,
+		Keys:  []algebra.SortItem{{Col: expr.ColumnID{Table: "E", Name: "DeptID"}}},
+	}
+	group := &algebra.GroupBy{
+		Input:     sorted,
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "DeptID"}},
+		Aggs: []algebra.AggItem{
+			{E: &expr.Aggregate{Func: expr.AggSum, Arg: expr.Column("E", "Salary")}, As: expr.ColumnID{Name: "s"}},
+		},
+	}
+
+	c := &compiler{store: s, opts: &Options{Group: GroupAuto}}
+	out, err := c.compile(group)
+	must(t, err)
+	sg, ok := out.op.(*sortGroupOp)
+	if !ok {
+		t.Fatalf("GroupAuto over sorted input compiled to %T, want sortGroupOp", out.op)
+	}
+	if !sg.preSorted {
+		t.Error("preSorted not set on sorted input")
+	}
+	// Output order covers the grouping column (position 0).
+	if len(out.order) != 1 || out.order[0] != 0 {
+		t.Errorf("group output order = %v", out.order)
+	}
+
+	// Unsorted input under GroupAuto hashes.
+	group2 := &algebra.GroupBy{
+		Input:     scanE,
+		GroupCols: group.GroupCols,
+		Aggs:      group.Aggs,
+	}
+	out2, err := c.compile(group2)
+	must(t, err)
+	if _, ok := out2.op.(*hashGroupOp); !ok {
+		t.Fatalf("GroupAuto over unsorted input compiled to %T, want hashGroupOp", out2.op)
+	}
+
+	// And the results agree across all three strategies.
+	var results [][]value.Row
+	for _, strat := range []GroupStrategy{GroupHash, GroupSort, GroupAuto} {
+		res := run(t, group, s, &Options{Group: strat})
+		results = append(results, res.Rows)
+	}
+	if !sameMultiset(results[0], results[1]) || !sameMultiset(results[0], results[2]) {
+		t.Error("group strategies disagree on sorted input")
+	}
+}
+
+// TestMergeJoinExploitsSortedInputs: a merge join over inputs sorted on the
+// join keys skips its sorts (flags set) and still produces correct output.
+func TestMergeJoinExploitsSortedInputs(t *testing.T) {
+	s := fixture(t)
+	sortedE := &algebra.Sort{
+		Input: scanOf(t, s, "Employee", "E"),
+		Keys:  []algebra.SortItem{{Col: expr.ColumnID{Table: "E", Name: "DeptID"}}},
+	}
+	sortedD := &algebra.Sort{
+		Input: scanOf(t, s, "Department", "D"),
+		Keys:  []algebra.SortItem{{Col: expr.ColumnID{Table: "D", Name: "DeptID"}}},
+	}
+	join := &algebra.Join{
+		L:    sortedE,
+		R:    sortedD,
+		Cond: expr.Eq(expr.Column("E", "DeptID"), expr.Column("D", "DeptID")),
+	}
+	c := &compiler{store: s, opts: &Options{Join: JoinSortMerge}}
+	out, err := c.compile(join)
+	must(t, err)
+	mj, ok := out.op.(*mergeJoinOp)
+	if !ok {
+		t.Fatalf("compiled to %T, want mergeJoinOp", out.op)
+	}
+	if !mj.lSorted || !mj.rSorted {
+		t.Errorf("sorted inputs not exploited: lSorted=%v rSorted=%v", mj.lSorted, mj.rSorted)
+	}
+	// Execution matches a hash join of the same plan.
+	res := run(t, join, s, &Options{Join: JoinSortMerge})
+	ref := run(t, join, s, &Options{Join: JoinHash})
+	if !sameMultiset(res.Rows, ref.Rows) {
+		t.Error("exploited merge join disagrees with hash join")
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("join produced %d rows, want 5", len(res.Rows))
+	}
+}
+
+// TestEagerAggregationFeedsMergeJoin is the Section 7 end-to-end shape: the
+// eager aggregation's sorted output (GroupSort on GA1+) feeds a merge join
+// whose left sort is skipped.
+func TestEagerAggregationFeedsMergeJoin(t *testing.T) {
+	s := fixture(t)
+	eager := &algebra.GroupBy{
+		Input:     scanOf(t, s, "Employee", "E"),
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "DeptID"}},
+		Aggs: []algebra.AggItem{
+			{E: &expr.Aggregate{Func: expr.AggCount, Arg: expr.Column("E", "EmpID")}, As: expr.ColumnID{Name: "$agg0"}},
+		},
+	}
+	join := &algebra.Join{
+		L:    eager,
+		R:    scanOf(t, s, "Department", "D"),
+		Cond: expr.Eq(expr.Column("E", "DeptID"), expr.Column("D", "DeptID")),
+	}
+	c := &compiler{store: s, opts: &Options{Join: JoinSortMerge, Group: GroupSort}}
+	out, err := c.compile(join)
+	must(t, err)
+	mj, ok := out.op.(*mergeJoinOp)
+	if !ok {
+		t.Fatalf("compiled to %T, want mergeJoinOp", out.op)
+	}
+	if !mj.lSorted {
+		t.Error("eager aggregation's sorted output not exploited by the merge join")
+	}
+	res := run(t, join, s, &Options{Join: JoinSortMerge, Group: GroupSort})
+	ref := run(t, join, s, nil)
+	if !sameMultiset(res.Rows, ref.Rows) {
+		t.Error("exploited plan disagrees with default execution")
+	}
+}

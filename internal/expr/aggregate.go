@@ -1,0 +1,181 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Accumulator computes one aggregate function over the rows of a group.
+// The grouping operator feeds it the aggregate argument's value for each
+// row (value.Null for COUNT(*), whose accumulator ignores its input) and
+// asks for the result once the group is complete.
+//
+// SQL2 semantics implemented here: all aggregates except COUNT(*) skip NULL
+// inputs; COUNT of an empty/all-NULL group is 0 while SUM/AVG/MIN/MAX yield
+// NULL; DISTINCT deduplicates inputs under =ⁿ before aggregating.
+type Accumulator interface {
+	// Add folds one input value into the aggregate.
+	Add(v value.Value) error
+	// Result returns the aggregate value for the group.
+	Result() value.Value
+}
+
+// NewAccumulator builds an accumulator for the aggregate node.
+func NewAccumulator(a *Aggregate) (Accumulator, error) {
+	var inner Accumulator
+	switch a.Func {
+	case AggCountStar:
+		return &countStarAcc{}, nil // COUNT(*) admits no DISTINCT in our subset
+	case AggCount:
+		inner = &countAcc{}
+	case AggSum:
+		inner = &sumAcc{}
+	case AggAvg:
+		inner = &avgAcc{}
+	case AggMin:
+		inner = &minmaxAcc{min: true}
+	case AggMax:
+		inner = &minmaxAcc{min: false}
+	default:
+		return nil, fmt.Errorf("expr: unknown aggregate function %v", a.Func)
+	}
+	if a.Distinct {
+		return &distinctAcc{seen: make(map[string]bool), inner: inner}, nil
+	}
+	return inner, nil
+}
+
+type countStarAcc struct{ n int64 }
+
+func (c *countStarAcc) Add(value.Value) error { c.n++; return nil }
+func (c *countStarAcc) Result() value.Value   { return value.NewInt(c.n) }
+
+type countAcc struct{ n int64 }
+
+func (c *countAcc) Add(v value.Value) error {
+	if !v.IsNull() {
+		c.n++
+	}
+	return nil
+}
+func (c *countAcc) Result() value.Value { return value.NewInt(c.n) }
+
+// sumAcc keeps integer sums exact in int64 and promotes to float on the
+// first float input.
+type sumAcc struct {
+	seen    bool
+	isFloat bool
+	i       int64
+	f       float64
+}
+
+func (s *sumAcc) Add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !v.IsNumeric() {
+		return fmt.Errorf("expr: SUM over non-numeric value %s", v)
+	}
+	s.seen = true
+	if v.Kind() == value.KindFloat && !s.isFloat {
+		s.isFloat = true
+		s.f = float64(s.i)
+	}
+	if s.isFloat {
+		f, _ := v.AsFloat()
+		s.f += f
+	} else {
+		s.i += v.Int()
+	}
+	return nil
+}
+
+func (s *sumAcc) Result() value.Value {
+	if !s.seen {
+		return value.Null
+	}
+	if s.isFloat {
+		return value.NewFloat(s.f)
+	}
+	return value.NewInt(s.i)
+}
+
+type avgAcc struct {
+	n   int64
+	sum float64
+}
+
+func (a *avgAcc) Add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("expr: AVG over non-numeric value %s", v)
+	}
+	a.n++
+	a.sum += f
+	return nil
+}
+
+func (a *avgAcc) Result() value.Value {
+	if a.n == 0 {
+		return value.Null
+	}
+	return value.NewFloat(a.sum / float64(a.n))
+}
+
+type minmaxAcc struct {
+	min  bool
+	seen bool
+	best value.Value
+}
+
+func (m *minmaxAcc) Add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !m.seen {
+		m.seen = true
+		m.best = v
+		return nil
+	}
+	sign, ok := value.Compare(v, m.best)
+	if !ok {
+		return fmt.Errorf("expr: MIN/MAX over incomparable values %s and %s", v, m.best)
+	}
+	if (m.min && sign < 0) || (!m.min && sign > 0) {
+		m.best = v
+	}
+	return nil
+}
+
+func (m *minmaxAcc) Result() value.Value {
+	if !m.seen {
+		return value.Null
+	}
+	return m.best
+}
+
+// distinctAcc deduplicates inputs under =ⁿ before delegating. NULL inputs
+// are forwarded (the inner accumulator skips them), so dedup only needs to
+// track non-null keys.
+type distinctAcc struct {
+	seen  map[string]bool
+	inner Accumulator
+}
+
+func (d *distinctAcc) Add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	key := value.GroupKeyAll(value.Row{v})
+	if d.seen[key] {
+		return nil
+	}
+	d.seen[key] = true
+	return d.inner.Add(v)
+}
+
+func (d *distinctAcc) Result() value.Value { return d.inner.Result() }

@@ -1,0 +1,266 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// testResolver resolves columns against a fixed descriptor list.
+func testResolver(cols ...ColumnID) Resolver {
+	return ResolverFunc(func(id ColumnID) (int, error) {
+		for i, c := range cols {
+			if c.Name == id.Name && (id.Table == "" || id.Table == c.Table) {
+				return i, nil
+			}
+		}
+		return -1, errUnknown(id)
+	})
+}
+
+type errUnknown ColumnID
+
+func (e errUnknown) Error() string { return "unknown column " + ColumnID(e).String() }
+
+func mustBind(t *testing.T, e Expr, r Resolver) Expr {
+	t.Helper()
+	b, err := Bind(e, r)
+	if err != nil {
+		t.Fatalf("Bind(%s): %v", e, err)
+	}
+	return b
+}
+
+func evalT(t *testing.T, e Expr, row value.Row) value.Truth {
+	t.Helper()
+	tr, err := EvalTruth(e, row, nil)
+	if err != nil {
+		t.Fatalf("EvalTruth(%s): %v", e, err)
+	}
+	return tr
+}
+
+func TestEvalComparisons(t *testing.T) {
+	res := testResolver(ColumnID{"t", "a"}, ColumnID{"t", "b"})
+	row := value.Row{value.NewInt(3), value.NewInt(5)}
+	nullRow := value.Row{value.Null, value.NewInt(5)}
+	cases := []struct {
+		e    Expr
+		row  value.Row
+		want value.Truth
+	}{
+		{Eq(Column("t", "a"), Column("t", "b")), row, value.False},
+		{NewBinary(OpLt, Column("t", "a"), Column("t", "b")), row, value.True},
+		{NewBinary(OpLe, Column("t", "a"), IntLit(3)), row, value.True},
+		{NewBinary(OpGt, Column("t", "a"), IntLit(3)), row, value.False},
+		{NewBinary(OpGe, Column("t", "a"), IntLit(3)), row, value.True},
+		{NewBinary(OpNe, Column("t", "a"), IntLit(3)), row, value.False},
+		// NULL operand: every comparison is unknown.
+		{Eq(Column("t", "a"), Column("t", "b")), nullRow, value.Unknown},
+		{NewBinary(OpLt, Column("t", "a"), IntLit(100)), nullRow, value.Unknown},
+		{NewBinary(OpNe, Column("t", "a"), IntLit(100)), nullRow, value.Unknown},
+	}
+	for _, c := range cases {
+		b := mustBind(t, c.e, res)
+		if got := evalT(t, b, c.row); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.e, c.row, got, c.want)
+		}
+	}
+}
+
+func TestEvalConnectives3VL(t *testing.T) {
+	res := testResolver(ColumnID{"t", "a"})
+	nullRow := value.Row{value.Null}
+	// a = 1 is unknown on NULL; unknown AND false = false; unknown OR true = true.
+	unknown := Eq(Column("t", "a"), IntLit(1))
+	cases := []struct {
+		e    Expr
+		want value.Truth
+	}{
+		{And(unknown, Lit(value.NewBool(false))), value.False},
+		{And(unknown, Lit(value.NewBool(true))), value.Unknown},
+		{Or(unknown, Lit(value.NewBool(true))), value.True},
+		{Or(unknown, Lit(value.NewBool(false))), value.Unknown},
+		{Not(unknown), value.Unknown},
+		{Not(Lit(value.NewBool(true))), value.False},
+	}
+	for _, c := range cases {
+		b := mustBind(t, c.e, res)
+		if got := evalT(t, b, nullRow); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestEvalIsNull(t *testing.T) {
+	res := testResolver(ColumnID{"t", "a"})
+	e := mustBind(t, &IsNull{E: Column("t", "a")}, res)
+	ne := mustBind(t, &IsNull{E: Column("t", "a"), Negate: true}, res)
+	if evalT(t, e, value.Row{value.Null}) != value.True {
+		t.Error("NULL IS NULL must be true")
+	}
+	if evalT(t, e, value.Row{value.NewInt(1)}) != value.False {
+		t.Error("1 IS NULL must be false")
+	}
+	if evalT(t, ne, value.Row{value.Null}) != value.False {
+		t.Error("NULL IS NOT NULL must be false")
+	}
+	if evalT(t, ne, value.Row{value.NewInt(1)}) != value.True {
+		t.Error("1 IS NOT NULL must be true")
+	}
+}
+
+func TestEvalInList(t *testing.T) {
+	res := testResolver(ColumnID{"t", "a"})
+	in := mustBind(t, &InList{E: Column("t", "a"), List: []Expr{IntLit(1), IntLit(2)}}, res)
+	notIn := mustBind(t, &InList{E: Column("t", "a"), List: []Expr{IntLit(1), Lit(value.Null)}, Negate: true}, res)
+	cases := []struct {
+		e    Expr
+		row  value.Row
+		want value.Truth
+	}{
+		{in, value.Row{value.NewInt(2)}, value.True},
+		{in, value.Row{value.NewInt(3)}, value.False},
+		{in, value.Row{value.Null}, value.Unknown},
+		// 2 NOT IN (1, NULL): 2=1 false, 2=NULL unknown → IN unknown → NOT IN unknown.
+		{notIn, value.Row{value.NewInt(2)}, value.Unknown},
+		// 1 NOT IN (1, NULL): IN is true → NOT IN false.
+		{notIn, value.Row{value.NewInt(1)}, value.False},
+	}
+	for _, c := range cases {
+		if got := evalT(t, c.e, c.row); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.e, c.row, got, c.want)
+		}
+	}
+}
+
+func TestEvalBetween(t *testing.T) {
+	res := testResolver(ColumnID{"t", "a"})
+	e := mustBind(t, &Between{E: Column("t", "a"), Lo: IntLit(2), Hi: IntLit(5)}, res)
+	ne := mustBind(t, &Between{E: Column("t", "a"), Lo: IntLit(2), Hi: IntLit(5), Negate: true}, res)
+	cases := []struct {
+		row  value.Row
+		want value.Truth
+	}{
+		{value.Row{value.NewInt(2)}, value.True},
+		{value.Row{value.NewInt(5)}, value.True},
+		{value.Row{value.NewInt(1)}, value.False},
+		{value.Row{value.NewInt(6)}, value.False},
+		{value.Row{value.Null}, value.Unknown},
+	}
+	for _, c := range cases {
+		if got := evalT(t, e, c.row); got != c.want {
+			t.Errorf("BETWEEN on %v = %v, want %v", c.row, got, c.want)
+		}
+		if got := evalT(t, ne, c.row); got != value.Not(c.want) {
+			t.Errorf("NOT BETWEEN on %v = %v, want %v", c.row, got, value.Not(c.want))
+		}
+	}
+}
+
+func TestEvalLike(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"dragon", "dragon", true},
+		{"dragon", "dra%", true},
+		{"dragon", "%gon", true},
+		{"dragon", "%rag%", true},
+		{"dragon", "d_agon", true},
+		{"dragon", "d_gon", false},
+		{"dragon", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "a%b%c", true},
+		{"axbyc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+	}
+	for _, c := range cases {
+		e := &Like{E: StrLit(c.s), Pattern: StrLit(c.pat)}
+		got := evalT(t, e, nil)
+		if got != value.TruthOf(c.want) {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+	// NULL operand → unknown.
+	if evalT(t, &Like{E: Lit(value.Null), Pattern: StrLit("%")}, nil) != value.Unknown {
+		t.Error("NULL LIKE '%' must be unknown")
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want value.Value
+	}{
+		{NewBinary(OpAdd, IntLit(2), IntLit(3)), value.NewInt(5)},
+		{NewBinary(OpSub, IntLit(2), IntLit(3)), value.NewInt(-1)},
+		{NewBinary(OpMul, IntLit(4), IntLit(3)), value.NewInt(12)},
+		{NewBinary(OpAdd, IntLit(2), Lit(value.NewFloat(0.5))), value.NewFloat(2.5)},
+		{NewBinary(OpDiv, IntLit(7), IntLit(2)), value.NewFloat(3.5)},
+		{NewBinary(OpDiv, IntLit(7), IntLit(0)), value.Null},
+		{NewBinary(OpAdd, IntLit(2), Lit(value.Null)), value.Null},
+		{Neg(IntLit(3)), value.NewInt(-3)},
+		{Neg(Lit(value.NewFloat(1.5))), value.NewFloat(-1.5)},
+		{Neg(Lit(value.Null)), value.Null},
+	}
+	for _, c := range cases {
+		got, err := Eval(c.e, nil, nil)
+		if err != nil {
+			t.Fatalf("Eval(%s): %v", c.e, err)
+		}
+		if !value.NullEq(got, c.want) {
+			t.Errorf("%s = %s, want %s", c.e, got, c.want)
+		}
+	}
+}
+
+func TestEvalArithmeticTypeError(t *testing.T) {
+	if _, err := Eval(NewBinary(OpAdd, StrLit("a"), IntLit(1)), nil, nil); err == nil {
+		t.Error("string + int must error")
+	}
+}
+
+func TestEvalHostVar(t *testing.T) {
+	e := Eq(Param("machine"), StrLit("dragon"))
+	got, err := EvalTruth(e, nil, Params{"machine": value.NewString("dragon")})
+	if err != nil || got != value.True {
+		t.Errorf(":machine = 'dragon' with machine=dragon: (%v, %v)", got, err)
+	}
+	if _, err := EvalTruth(e, nil, nil); err == nil {
+		t.Error("missing host variable must error")
+	}
+}
+
+func TestEvalUnboundColumnErrors(t *testing.T) {
+	if _, err := Eval(Column("t", "a"), value.Row{value.NewInt(1)}, nil); err == nil {
+		t.Error("evaluating an unbound column must error")
+	}
+}
+
+func TestEvalAggregateOutsideGroupingErrors(t *testing.T) {
+	agg := &Aggregate{Func: AggSum, Arg: IntLit(1)}
+	if _, err := Eval(agg, nil, nil); err == nil {
+		t.Error("evaluating an aggregate outside grouping must error")
+	}
+}
+
+func TestEvalNilPredicateIsTrue(t *testing.T) {
+	if got := evalT(t, nil, nil); got != value.True {
+		t.Errorf("nil predicate = %v, want true", got)
+	}
+}
+
+func TestEvalNonBooleanPredicateErrors(t *testing.T) {
+	if _, err := EvalTruth(IntLit(5), nil, nil); err == nil {
+		t.Error("integer-valued predicate must error")
+	}
+}
+
+func TestBindReportsUnknownColumn(t *testing.T) {
+	res := testResolver(ColumnID{"t", "a"})
+	if _, err := Bind(Eq(Column("t", "zzz"), IntLit(1)), res); err == nil {
+		t.Error("binding an unknown column must error")
+	}
+}

@@ -1,0 +1,390 @@
+// Package expr implements the expression language of the engine: scalar and
+// boolean expressions under SQL2 three-valued logic, aggregate expressions,
+// and the predicate normalizations (CNF, DNF, conjunct classification,
+// equality-atom extraction) that the paper's Algorithm TestFD builds on.
+//
+// Expressions are immutable trees. Column references are created unbound
+// (identified by qualifier and name) and resolved to row positions by Bind
+// before evaluation; this keeps the package free of any dependency on the
+// catalog or plan layers.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// ColumnID identifies a column by table qualifier and column name. It is the
+// currency the planner, the FD machinery and TestFD use to talk about
+// columns.
+type ColumnID struct {
+	Table string // table name or alias; may be empty before resolution
+	Name  string
+}
+
+// String renders "table.name" (or just "name" when unqualified).
+func (c ColumnID) String() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Expr is a node in an expression tree.
+type Expr interface {
+	fmt.Stringer
+	// isExpr restricts implementations to this package.
+	isExpr()
+}
+
+// ColumnRef is a reference to a column of the input row. Index is the row
+// position after Bind; -1 while unbound.
+type ColumnRef struct {
+	ID    ColumnID
+	Index int
+}
+
+// Column returns an unbound reference to table.name.
+func Column(table, name string) *ColumnRef {
+	return &ColumnRef{ID: ColumnID{Table: table, Name: name}, Index: -1}
+}
+
+// BoundColumn returns a reference already resolved to a row position.
+func BoundColumn(table, name string, idx int) *ColumnRef {
+	return &ColumnRef{ID: ColumnID{Table: table, Name: name}, Index: idx}
+}
+
+func (c *ColumnRef) isExpr()        {}
+func (c *ColumnRef) String() string { return c.ID.String() }
+
+// Literal is a constant value.
+type Literal struct {
+	Val value.Value
+}
+
+// Lit wraps a value as a literal expression.
+func Lit(v value.Value) *Literal { return &Literal{Val: v} }
+
+// IntLit is shorthand for an integer literal.
+func IntLit(i int64) *Literal { return Lit(value.NewInt(i)) }
+
+// StrLit is shorthand for a string literal.
+func StrLit(s string) *Literal { return Lit(value.NewString(s)) }
+
+func (l *Literal) isExpr()        {}
+func (l *Literal) String() string { return l.Val.String() }
+
+// HostVar is a host-language variable (the set H in the paper's Theorem 3).
+// Its value is fixed for the duration of a query and supplied through
+// Params at evaluation time. TestFD treats host variables as constants.
+type HostVar struct {
+	Name string
+}
+
+// Param returns a reference to host variable :name.
+func Param(name string) *HostVar { return &HostVar{Name: name} }
+
+func (h *HostVar) isExpr()        {}
+func (h *HostVar) String() string { return ":" + h.Name }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators: comparisons, arithmetic and boolean connectives.
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpAnd
+	OpOr
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	default:
+		return fmt.Sprintf("BinOp(%d)", uint8(op))
+	}
+}
+
+// IsComparison reports whether the operator is =, <>, <, <=, > or >=.
+func (op BinOp) IsComparison() bool { return op <= OpGe }
+
+// IsConnective reports whether the operator is AND or OR.
+func (op BinOp) IsConnective() bool { return op == OpAnd || op == OpOr }
+
+// Binary applies a binary operator to two subexpressions.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NewBinary builds a binary expression.
+func NewBinary(op BinOp, l, r Expr) *Binary { return &Binary{Op: op, L: l, R: r} }
+
+// Eq builds l = r.
+func Eq(l, r Expr) *Binary { return NewBinary(OpEq, l, r) }
+
+// And builds the conjunction of the given predicates; nil for none.
+func And(preds ...Expr) Expr { return combine(OpAnd, preds) }
+
+// Or builds the disjunction of the given predicates; nil for none.
+func Or(preds ...Expr) Expr { return combine(OpOr, preds) }
+
+func combine(op BinOp, preds []Expr) Expr {
+	var out Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = NewBinary(op, out, p)
+		}
+	}
+	return out
+}
+
+func (b *Binary) isExpr() {}
+func (b *Binary) String() string {
+	l, r := b.L.String(), b.R.String()
+	if b.Op.IsConnective() {
+		if inner, ok := b.L.(*Binary); ok && inner.Op.IsConnective() && inner.Op != b.Op {
+			l = "(" + l + ")"
+		}
+		if inner, ok := b.R.(*Binary); ok && inner.Op.IsConnective() && inner.Op != b.Op {
+			r = "(" + r + ")"
+		}
+	}
+	return l + " " + b.Op.String() + " " + r
+}
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+// Unary operators.
+const (
+	OpNot UnOp = iota
+	OpNeg
+)
+
+// Unary applies NOT or numeric negation.
+type Unary struct {
+	Op UnOp
+	E  Expr
+}
+
+// Not builds NOT e.
+func Not(e Expr) *Unary { return &Unary{Op: OpNot, E: e} }
+
+// Neg builds -e.
+func Neg(e Expr) *Unary { return &Unary{Op: OpNeg, E: e} }
+
+func (u *Unary) isExpr() {}
+func (u *Unary) String() string {
+	if u.Op == OpNot {
+		return "NOT (" + u.E.String() + ")"
+	}
+	return "-(" + u.E.String() + ")"
+}
+
+// IsNull is the predicate "e IS [NOT] NULL". Unlike comparisons it is always
+// two-valued.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+func (i *IsNull) isExpr() {}
+func (i *IsNull) String() string {
+	if i.Negate {
+		return i.E.String() + " IS NOT NULL"
+	}
+	return i.E.String() + " IS NULL"
+}
+
+// InList is the predicate "e [NOT] IN (v1, v2, ...)".
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+func (n *InList) isExpr() {}
+func (n *InList) String() string {
+	items := make([]string, len(n.List))
+	for i, e := range n.List {
+		items[i] = e.String()
+	}
+	op := " IN ("
+	if n.Negate {
+		op = " NOT IN ("
+	}
+	return n.E.String() + op + strings.Join(items, ", ") + ")"
+}
+
+// Between is the predicate "e [NOT] BETWEEN lo AND hi".
+type Between struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+func (b *Between) isExpr() {}
+func (b *Between) String() string {
+	op := " BETWEEN "
+	if b.Negate {
+		op = " NOT BETWEEN "
+	}
+	return b.E.String() + op + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+// Like is the predicate "e [NOT] LIKE pattern" with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern Expr
+	Negate  bool
+}
+
+func (l *Like) isExpr() {}
+func (l *Like) String() string {
+	op := " LIKE "
+	if l.Negate {
+		op = " NOT LIKE "
+	}
+	return l.E.String() + op + l.Pattern.String()
+}
+
+// InSubquery is the predicate "e [NOT] IN (<query>)". Query is an opaque
+// handle (the SQL layer's parsed SELECT) — this package cannot depend on
+// the parser. The planner materializes uncorrelated subqueries at plan
+// time, replacing this node with an InList of the result values; reaching
+// evaluation unmaterialized is an error.
+type InSubquery struct {
+	E      Expr
+	Query  any
+	Negate bool
+}
+
+func (s *InSubquery) isExpr() {}
+func (s *InSubquery) String() string {
+	op := " IN ("
+	if s.Negate {
+		op = " NOT IN ("
+	}
+	return s.E.String() + op + "<subquery>)"
+}
+
+// ExistsSubquery is the predicate "[NOT] EXISTS (<query>)", materialized to
+// a boolean literal at plan time like InSubquery.
+type ExistsSubquery struct {
+	Query  any
+	Negate bool
+}
+
+func (s *ExistsSubquery) isExpr() {}
+func (s *ExistsSubquery) String() string {
+	if s.Negate {
+		return "NOT EXISTS (<subquery>)"
+	}
+	return "EXISTS (<subquery>)"
+}
+
+// ScalarSubquery is a parenthesized subquery used as a value, e.g.
+// "WHERE x > (SELECT MAX(v) FROM t)". Like InSubquery it holds an opaque
+// parsed SELECT and is materialized at plan time: zero rows become NULL,
+// more than one row is an error (SQL2 scalar-subquery semantics).
+type ScalarSubquery struct {
+	Query any
+}
+
+func (s *ScalarSubquery) isExpr()        {}
+func (s *ScalarSubquery) String() string { return "(<subquery>)" }
+
+// AggFunc enumerates the aggregate functions of the paper's class of
+// queries: COUNT, SUM, AVG, MIN, MAX (plus COUNT(*)).
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount, AggCountStar:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// Aggregate is an aggregate-function application f(arg). In the paper's
+// notation it is one element of F(AA); Arg is drawn from the aggregation
+// columns AA (it may be an arithmetic expression over them, e.g.
+// SUM(A2 + A3)). Aggregates only appear in SELECT lists, never inside
+// WHERE predicates of the considered query class.
+type Aggregate struct {
+	Func     AggFunc
+	Arg      Expr // nil for COUNT(*)
+	Distinct bool
+}
+
+func (a *Aggregate) isExpr() {}
+func (a *Aggregate) String() string {
+	if a.Func == AggCountStar {
+		return "COUNT(*)"
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return a.Func.String() + "(" + d + a.Arg.String() + ")"
+}

@@ -1,0 +1,30 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLikeMatch checks the LIKE matcher terminates on adversarial patterns
+// (the backtracking two-pointer algorithm must stay linear-ish) and agrees
+// with itself.
+func FuzzLikeMatch(f *testing.F) {
+	f.Add("dragon", "dra%")
+	f.Add("", "%")
+	f.Add("aaaaaaaaaaaaaaaaaaaab", "%a%a%a%a%a%a%a%a%a%a%")
+	f.Add("x", "_")
+	f.Fuzz(func(t *testing.T, s, pattern string) {
+		if len(s) > 1000 || len(pattern) > 1000 {
+			return
+		}
+		got := likeMatch(s, pattern)
+		// Basic invariants: "%" matches everything; the exact string
+		// matches itself when it contains no metacharacters.
+		if pattern == "%" && !got {
+			t.Fatalf("%%%% failed to match %q", s)
+		}
+		if s == pattern && !strings.ContainsAny(pattern, "%_") && !got {
+			t.Fatalf("literal pattern %q failed to self-match", pattern)
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func col(table, name string) expr.ColumnID { return expr.ColumnID{Table: table, Name: name} }
+
+func TestColSetBasics(t *testing.T) {
+	s := NewColSet(col("A", "x"), col("B", "y"))
+	if !s.Has(col("A", "x")) || s.Has(col("A", "z")) {
+		t.Error("membership wrong")
+	}
+	s.Add(col("A", "z"))
+	if !s.ContainsAll([]expr.ColumnID{col("A", "x"), col("A", "z")}) {
+		t.Error("ContainsAll wrong")
+	}
+	clone := s.Clone()
+	clone.Add(col("C", "w"))
+	if s.Has(col("C", "w")) {
+		t.Error("Clone aliases the original")
+	}
+	if !s.ContainsSet(NewColSet(col("A", "x"))) {
+		t.Error("ContainsSet wrong")
+	}
+	if s.ContainsSet(NewColSet(col("Z", "z"))) {
+		t.Error("ContainsSet accepted a non-subset")
+	}
+	if got := s.String(); got != "{A.x, A.z, B.y}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestFigure7Closure reproduces the paper's Figure 7: from conditions
+// a: A1 = 25, b: A1 → A3, c: A3 = A4, conclude A2 → A4.
+func TestFigure7Closure(t *testing.T) {
+	s := NewSet()
+	s.AddConstant(col("T", "A1"), "A1 = 25")
+	s.Add(FD{From: []expr.ColumnID{col("T", "A1")}, To: []expr.ColumnID{col("T", "A3")}, Reason: "A1 -> A3"})
+	s.AddEquality(col("T", "A3"), col("T", "A4"), "A3 = A4")
+	if !s.Implies([]expr.ColumnID{col("T", "A2")}, []expr.ColumnID{col("T", "A4")}) {
+		t.Error("Figure 7: A2 -> A4 must follow")
+	}
+	// And the closure trace shows the chain.
+	closure, steps := s.ClosureTrace(NewColSet(col("T", "A2")))
+	if !closure.Has(col("T", "A4")) {
+		t.Error("closure missing A4")
+	}
+	if len(steps) == 0 {
+		t.Error("trace empty")
+	}
+	joined := ""
+	for _, st := range steps {
+		joined += st.String() + "\n"
+	}
+	if !strings.Contains(joined, "A1 = 25") {
+		t.Errorf("trace does not mention the constant condition:\n%s", joined)
+	}
+}
+
+// TestExample2DerivedKeys reproduces the paper's Example 2 reasoning on
+// Part/Supplier: given the keys and the query's predicates, PartNo is a key
+// of the derived table, and Name remains functionally dependent on
+// SupplierNo.
+func TestExample2DerivedKeys(t *testing.T) {
+	partCols := []expr.ColumnID{
+		col("P", "ClassCode"), col("P", "PartNo"), col("P", "PartName"), col("P", "SupplierNo"),
+	}
+	suppCols := []expr.ColumnID{
+		col("S", "SupplierNo"), col("S", "Name"), col("S", "Address"),
+	}
+	s := NewSet()
+	// Key dependencies.
+	s.AddKey([]expr.ColumnID{col("P", "ClassCode"), col("P", "PartNo")}, partCols, "PRIMARY KEY Part")
+	s.AddKey([]expr.ColumnID{col("S", "SupplierNo")}, suppCols, "PRIMARY KEY Supplier")
+	// Query predicates: P.ClassCode = 25, P.SupplierNo = S.SupplierNo.
+	s.AddConstant(col("P", "ClassCode"), "P.ClassCode = 25")
+	s.AddEquality(col("P", "SupplierNo"), col("S", "SupplierNo"), "P.SupplierNo = S.SupplierNo")
+
+	all := append(append([]expr.ColumnID{}, partCols...), suppCols...)
+	// PartNo alone determines everything in the join result.
+	if !s.Implies([]expr.ColumnID{col("P", "PartNo")}, all) {
+		t.Error("Example 2: PartNo must be a key of the derived table")
+	}
+	// Name is functionally dependent on SupplierNo.
+	if !s.Implies([]expr.ColumnID{col("S", "SupplierNo")}, []expr.ColumnID{col("S", "Name")}) {
+		t.Error("Example 2: SupplierNo -> Name must hold")
+	}
+	// But PartName does not determine PartNo.
+	if s.Implies([]expr.ColumnID{col("P", "PartName")}, []expr.ColumnID{col("P", "PartNo")}) {
+		t.Error("Example 2: PartName -> PartNo must NOT follow")
+	}
+}
+
+func TestClosureOfEmptySet(t *testing.T) {
+	s := NewSet()
+	s.AddConstant(col("T", "c"), "c = 1")
+	closure := s.Closure(NewColSet())
+	// ∅ → c fires even from the empty seed.
+	if !closure.Has(col("T", "c")) {
+		t.Error("constant column must be in the closure of the empty set")
+	}
+}
+
+func TestClosureDoesNotMutateInput(t *testing.T) {
+	s := NewSet()
+	s.AddEquality(col("T", "a"), col("T", "b"), "a = b")
+	start := NewColSet(col("T", "a"))
+	_ = s.Closure(start)
+	if start.Has(col("T", "b")) {
+		t.Error("Closure mutated its input")
+	}
+}
+
+func TestImpliesReflexivity(t *testing.T) {
+	s := NewSet()
+	cols := []expr.ColumnID{col("T", "a"), col("T", "b")}
+	if !s.Implies(cols, cols) {
+		t.Error("X -> X must hold in the empty FD set")
+	}
+	if s.Implies(cols[:1], cols) {
+		t.Error("a -> {a,b} must not hold in the empty FD set")
+	}
+}
+
+func TestMultiStepTransitivity(t *testing.T) {
+	// Chain a -> b -> c -> d through single-column FDs.
+	s := NewSet()
+	names := []string{"a", "b", "c", "d"}
+	for i := 0; i+1 < len(names); i++ {
+		s.Add(FD{
+			From: []expr.ColumnID{col("T", names[i])},
+			To:   []expr.ColumnID{col("T", names[i+1])},
+		})
+	}
+	if !s.Implies([]expr.ColumnID{col("T", "a")}, []expr.ColumnID{col("T", "d")}) {
+		t.Error("transitive chain not followed")
+	}
+	if s.Implies([]expr.ColumnID{col("T", "d")}, []expr.ColumnID{col("T", "a")}) {
+		t.Error("closure ran the chain backwards")
+	}
+}
+
+func TestCompositeDeterminant(t *testing.T) {
+	// (a, b) -> c requires both a and b in the seed.
+	s := NewSet()
+	s.Add(FD{
+		From: []expr.ColumnID{col("T", "a"), col("T", "b")},
+		To:   []expr.ColumnID{col("T", "c")},
+	})
+	if s.Implies([]expr.ColumnID{col("T", "a")}, []expr.ColumnID{col("T", "c")}) {
+		t.Error("partial determinant fired")
+	}
+	if !s.Implies([]expr.ColumnID{col("T", "a"), col("T", "b")}, []expr.ColumnID{col("T", "c")}) {
+		t.Error("composite determinant failed")
+	}
+}
+
+// randomFDSet builds a random dependency set over a small column universe.
+func randomFDSet(r *rand.Rand) (*Set, []expr.ColumnID) {
+	universe := make([]expr.ColumnID, 6)
+	for i := range universe {
+		universe[i] = col("T", string(rune('a'+i)))
+	}
+	s := NewSet()
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		from := []expr.ColumnID{universe[r.Intn(len(universe))]}
+		if r.Intn(3) == 0 {
+			from = append(from, universe[r.Intn(len(universe))])
+		}
+		to := []expr.ColumnID{universe[r.Intn(len(universe))]}
+		s.Add(FD{From: from, To: to})
+	}
+	return s, universe
+}
+
+// TestPropClosureIsFixpoint: closing a closure adds nothing, the closure
+// contains its seed, and it is monotone in the seed.
+func TestPropClosureIsFixpoint(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			s, universe := randomFDSet(r)
+			seed := NewColSet()
+			for _, c := range universe {
+				if r.Intn(2) == 0 {
+					seed.Add(c)
+				}
+			}
+			args[0] = reflect.ValueOf(s)
+			args[1] = reflect.ValueOf(seed)
+		},
+	}
+	prop := func(s *Set, seed ColSet) bool {
+		closure := s.Closure(seed)
+		if !closure.ContainsSet(seed) {
+			return false
+		}
+		again := s.Closure(closure)
+		if len(again) != len(closure) || !again.ContainsSet(closure) {
+			return false
+		}
+		// Monotone: closure of a subset is a subset of the closure.
+		sub := NewColSet()
+		for c := range seed {
+			sub.Add(c)
+			break
+		}
+		return closure.ContainsSet(s.Closure(sub)) || len(seed) == 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropClosureTraceAgrees: ClosureTrace computes the same closure as
+// Closure, and its steps only add genuinely new columns.
+func TestPropClosureTraceAgrees(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			s, universe := randomFDSet(r)
+			seed := NewColSet(universe[r.Intn(len(universe))])
+			args[0] = reflect.ValueOf(s)
+			args[1] = reflect.ValueOf(seed)
+		},
+	}
+	prop := func(s *Set, seed ColSet) bool {
+		c1 := s.Closure(seed)
+		c2, steps := s.ClosureTrace(seed)
+		if len(c1) != len(c2) || !c1.ContainsSet(c2) {
+			return false
+		}
+		// Steps must account for exactly the added columns.
+		added := 0
+		for _, st := range steps {
+			added += len(st.Added)
+		}
+		return added == len(c1)-len(seed)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFDString(t *testing.T) {
+	f := FD{From: []expr.ColumnID{col("T", "a")}, To: []expr.ColumnID{col("T", "b")}}
+	if got := f.String(); got != "{T.a} -> {T.b}" {
+		t.Errorf("FD.String() = %q", got)
+	}
+}

@@ -1,0 +1,238 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// employeeTable builds the paper's Figure 5 Department table (named after
+// its CREATE statement, which despite the name defines employee rows).
+func figure5Table() *Table {
+	return &Table{
+		Name: "Department",
+		Columns: []Column{
+			{Name: "EmpID", Type: value.KindInt,
+				Check: expr.NewBinary(expr.OpGt, expr.Column("", "EmpID"), expr.IntLit(0))},
+			{Name: "EmpSID", Type: value.KindInt},
+			{Name: "LastName", Type: value.KindString, NotNull: true},
+			{Name: "FirstName", Type: value.KindString},
+			{Name: "DeptID", Type: value.KindInt, Domain: "DepIdType",
+				Check: expr.NewBinary(expr.OpGt, expr.Column("", "DeptID"), expr.IntLit(5))},
+		},
+		Keys: []Key{
+			{Columns: []string{"EmpID"}, Primary: true},
+			{Columns: []string{"EmpSID"}},
+		},
+	}
+}
+
+func depIdDomain() *Domain {
+	return &Domain{
+		Name: "DepIdType",
+		Type: value.KindInt,
+		Check: expr.And(
+			expr.NewBinary(expr.OpGt, expr.Column("", "VALUE"), expr.IntLit(0)),
+			expr.NewBinary(expr.OpLt, expr.Column("", "VALUE"), expr.IntLit(100)),
+		),
+	}
+}
+
+// TestFigure5Catalog registers the paper's Figure 5 DDL: domain with CHECK,
+// column CHECKs, NOT NULL, primary and candidate keys.
+func TestFigure5Catalog(t *testing.T) {
+	c := NewCatalog()
+	if err := c.AddDomain(depIdDomain()); err != nil {
+		t.Fatal(err)
+	}
+	tab := figure5Table()
+	if err := c.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Table("Department")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Domain resolution merged the domain CHECK into the column CHECK.
+	dept := got.Column("DeptID")
+	if dept == nil || dept.Check == nil {
+		t.Fatal("DeptID lost its check constraint")
+	}
+	if strings.Contains(dept.Check.String(), "VALUE") {
+		t.Errorf("domain VALUE pseudo-column not rewritten: %s", dept.Check)
+	}
+	// Primary key column became NOT NULL.
+	if !got.Column("EmpID").NotNull {
+		t.Error("primary key column EmpID must be NOT NULL")
+	}
+	// Candidate key column stays nullable.
+	if got.Column("EmpSID").NotNull {
+		t.Error("candidate key column EmpSID must stay nullable")
+	}
+	if pk := got.PrimaryKey(); pk == nil || pk.Columns[0] != "EmpID" {
+		t.Errorf("PrimaryKey() = %v", pk)
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  *Table
+	}{
+		{"empty name", &Table{Columns: []Column{{Name: "a", Type: value.KindInt}}}},
+		{"no columns", &Table{Name: "T"}},
+		{"duplicate column", &Table{Name: "T", Columns: []Column{
+			{Name: "a", Type: value.KindInt}, {Name: "a", Type: value.KindInt}}}},
+		{"key over missing column", &Table{Name: "T",
+			Columns: []Column{{Name: "a", Type: value.KindInt}},
+			Keys:    []Key{{Columns: []string{"zzz"}, Primary: true}}}},
+		{"key repeats column", &Table{Name: "T",
+			Columns: []Column{{Name: "a", Type: value.KindInt}},
+			Keys:    []Key{{Columns: []string{"a", "a"}}}}},
+		{"two primary keys", &Table{Name: "T",
+			Columns: []Column{{Name: "a", Type: value.KindInt}, {Name: "b", Type: value.KindInt}},
+			Keys: []Key{
+				{Columns: []string{"a"}, Primary: true},
+				{Columns: []string{"b"}, Primary: true}}}},
+		{"fk over missing column", &Table{Name: "T",
+			Columns:     []Column{{Name: "a", Type: value.KindInt}},
+			ForeignKeys: []ForeignKey{{Columns: []string{"zzz"}, RefTable: "U"}}}},
+	}
+	for _, c := range cases {
+		if err := c.tab.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted an invalid table", c.name)
+		}
+	}
+}
+
+func TestCatalogRejectsDuplicatesAndUnknownRefs(t *testing.T) {
+	c := NewCatalog()
+	base := &Table{Name: "T", Columns: []Column{{Name: "a", Type: value.KindInt}},
+		Keys: []Key{{Columns: []string{"a"}, Primary: true}}}
+	if err := c.AddTable(base); err != nil {
+		t.Fatal(err)
+	}
+	dup := &Table{Name: "T", Columns: []Column{{Name: "a", Type: value.KindInt}}}
+	if err := c.AddTable(dup); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	unknownDomain := &Table{Name: "U", Columns: []Column{{Name: "a", Domain: "NoSuch"}}}
+	if err := c.AddTable(unknownDomain); err == nil {
+		t.Error("unknown domain accepted")
+	}
+	unknownRef := &Table{Name: "V",
+		Columns:     []Column{{Name: "a", Type: value.KindInt}},
+		ForeignKeys: []ForeignKey{{Columns: []string{"a"}, RefTable: "NoSuch"}}}
+	if err := c.AddTable(unknownRef); err == nil {
+		t.Error("foreign key to unknown table accepted")
+	}
+	nonKeyRef := &Table{Name: "W",
+		Columns:     []Column{{Name: "a", Type: value.KindInt}},
+		ForeignKeys: []ForeignKey{{Columns: []string{"a"}, RefTable: "T", RefColumns: []string{"a"}}}}
+	if err := c.AddTable(nonKeyRef); err != nil {
+		t.Errorf("foreign key to T's primary key rejected: %v", err)
+	}
+}
+
+func TestForeignKeyMustTargetAKey(t *testing.T) {
+	c := NewCatalog()
+	ref := &Table{Name: "R", Columns: []Column{
+		{Name: "id", Type: value.KindInt},
+		{Name: "other", Type: value.KindInt},
+	}, Keys: []Key{{Columns: []string{"id"}, Primary: true}}}
+	if err := c.AddTable(ref); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Table{Name: "S",
+		Columns:     []Column{{Name: "r", Type: value.KindInt}},
+		ForeignKeys: []ForeignKey{{Columns: []string{"r"}, RefTable: "R", RefColumns: []string{"other"}}}}
+	if err := c.AddTable(bad); err == nil {
+		t.Error("foreign key to a non-key column accepted")
+	}
+}
+
+func TestSelfReferentialForeignKey(t *testing.T) {
+	c := NewCatalog()
+	tab := &Table{Name: "Emp",
+		Columns: []Column{
+			{Name: "id", Type: value.KindInt},
+			{Name: "manager", Type: value.KindInt},
+		},
+		Keys:        []Key{{Columns: []string{"id"}, Primary: true}},
+		ForeignKeys: []ForeignKey{{Columns: []string{"manager"}, RefTable: "Emp"}},
+	}
+	if err := c.AddTable(tab); err != nil {
+		t.Errorf("self-referential foreign key rejected: %v", err)
+	}
+}
+
+func TestViewsAndNameCollisions(t *testing.T) {
+	c := NewCatalog()
+	tab := &Table{Name: "T", Columns: []Column{{Name: "a", Type: value.KindInt}}}
+	if err := c.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddView(&View{Name: "T"}); err == nil {
+		t.Error("view colliding with a table accepted")
+	}
+	if err := c.AddView(&View{Name: "V", Text: "SELECT ..."}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddView(&View{Name: "V"}); err == nil {
+		t.Error("duplicate view accepted")
+	}
+	if err := c.AddTable(&Table{Name: "V", Columns: []Column{{Name: "a", Type: value.KindInt}}}); err == nil {
+		t.Error("table colliding with a view accepted")
+	}
+	if c.View("V") == nil || c.View("NoSuch") != nil {
+		t.Error("View lookup wrong")
+	}
+	names := c.ViewNames()
+	if len(names) != 1 || names[0] != "V" {
+		t.Errorf("ViewNames = %v", names)
+	}
+}
+
+func TestColumnHelpers(t *testing.T) {
+	tab := figure5Table()
+	if tab.ColumnIndex("DeptID") != 4 || tab.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if tab.Column("nope") != nil {
+		t.Error("Column must return nil for missing names")
+	}
+	names := tab.ColumnNames()
+	if len(names) != 5 || names[0] != "EmpID" || names[4] != "DeptID" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+	if tab.Width() != 5 {
+		t.Errorf("Width = %d", tab.Width())
+	}
+	if (Key{Columns: []string{"a", "b"}, Primary: true}).String() != "PRIMARY KEY (a, b)" {
+		t.Error("Key.String wrong for primary key")
+	}
+	if (Key{Columns: []string{"a"}}).String() != "UNIQUE (a)" {
+		t.Error("Key.String wrong for unique key")
+	}
+}
+
+func TestDomainLookup(t *testing.T) {
+	c := NewCatalog()
+	if err := c.AddDomain(depIdDomain()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDomain(depIdDomain()); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+	if _, err := c.Domain("DepIdType"); err != nil {
+		t.Error(err)
+	}
+	if _, err := c.Domain("NoSuch"); err == nil {
+		t.Error("unknown domain lookup must error")
+	}
+	if err := c.AddDomain(&Domain{}); err == nil {
+		t.Error("empty domain name accepted")
+	}
+}

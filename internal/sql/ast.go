@@ -1,0 +1,133 @@
+package sql
+
+import (
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Stmt is any parsed SQL statement.
+type Stmt interface{ isStmt() }
+
+// SelectStmt is a SELECT query of the engine's subset.
+type SelectStmt struct {
+	Distinct bool
+	// Items are the select-list entries; a nil E with Star set denotes
+	// "*" or "T.*".
+	Items   []SelectItem
+	From    []TableRef
+	Where   expr.Expr
+	GroupBy []expr.ColumnID
+	Having  expr.Expr
+	OrderBy []OrderItem
+}
+
+func (*SelectStmt) isStmt() {}
+
+// SelectItem is one select-list entry.
+type SelectItem struct {
+	E     expr.Expr
+	Alias string // AS name, or "" for a derived name
+	Star  bool   // "*" or "Table.*"
+	Table string // qualifier for "Table.*"
+}
+
+// TableRef is one FROM-list entry: a base table or view with an optional
+// correlation name, or a derived table ("FROM (SELECT ...) alias"), in
+// which case Subquery is set and Alias is mandatory.
+type TableRef struct {
+	Name     string
+	Alias    string
+	Subquery *SelectStmt
+}
+
+// EffectiveAlias returns the correlation name rows of this table are
+// qualified by: the alias when present, else the table name.
+func (t TableRef) EffectiveAlias() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  expr.ColumnID
+	Desc bool
+}
+
+// CreateTableStmt is a CREATE TABLE definition.
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+	// Keys, ForeignKeys and Checks are the table-level constraints.
+	Keys        []KeyDef
+	ForeignKeys []ForeignKeyDef
+	Checks      []expr.Expr
+}
+
+func (*CreateTableStmt) isStmt() {}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name    string
+	Type    value.Kind
+	Domain  string // set when the type position named a domain
+	NotNull bool
+	Check   expr.Expr
+	// PrimaryKey/Unique record inline "PRIMARY KEY"/"UNIQUE" column
+	// constraints.
+	PrimaryKey bool
+	Unique     bool
+	// References records an inline "REFERENCES table [(col)]" constraint.
+	References *ForeignKeyDef
+}
+
+// KeyDef is a PRIMARY KEY or UNIQUE table constraint.
+type KeyDef struct {
+	Columns []string
+	Primary bool
+}
+
+// ForeignKeyDef is a FOREIGN KEY table constraint.
+type ForeignKeyDef struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// CreateDomainStmt is a CREATE DOMAIN definition. Inside Check the value
+// under test is referenced by the VALUE pseudo-column.
+type CreateDomainStmt struct {
+	Name  string
+	Type  value.Kind
+	Check expr.Expr
+}
+
+func (*CreateDomainStmt) isStmt() {}
+
+// CreateViewStmt is a CREATE VIEW definition.
+type CreateViewStmt struct {
+	Name    string
+	Columns []string // optional output column names
+	Query   *SelectStmt
+	// Text is the original definition text, preserved for the catalog.
+	Text string
+}
+
+func (*CreateViewStmt) isStmt() {}
+
+// InsertStmt is an INSERT ... VALUES statement.
+type InsertStmt struct {
+	Table   string
+	Columns []string // optional; empty means declaration order
+	Rows    [][]expr.Expr
+}
+
+func (*InsertStmt) isStmt() {}
+
+// ExplainStmt wraps a query for plan display.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
+func (*ExplainStmt) isStmt() {}

@@ -1,0 +1,50 @@
+package sql
+
+import "testing"
+
+// FuzzParse checks the lexer and parser never panic and that accepted
+// SELECT statements round-trip through a second parse of the raw input
+// deterministically.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM T",
+		"SELECT D.DeptID, COUNT(E.EmpID) FROM Employee E, Department D WHERE E.DeptID = D.DeptID GROUP BY D.DeptID",
+		"CREATE TABLE T (a INTEGER PRIMARY KEY, b CHARACTER(30) NOT NULL)",
+		"CREATE DOMAIN D SMALLINT CHECK VALUE > 0 AND VALUE < 100",
+		"INSERT INTO T VALUES (1, 'x'), (2, NULL)",
+		"SELECT * FROM T WHERE a IN (SELECT b FROM U) AND EXISTS (SELECT c FROM V)",
+		"SELECT a FROM T WHERE x BETWEEN 1 AND 2 OR NOT y LIKE 'z%'",
+		"SELECT -1e9, 'it''s', :param FROM \"T\"",
+		"EXPLAIN SELECT a FROM T ORDER BY a DESC",
+		"SELECT a FROM T HAVING COUNT(*) > (SELECT MAX(v) FROM U)",
+		"SELECT a FROM T; SELECT b FROM U;",
+		"-- comment\nSELECT a FROM T",
+		"SELECT a FROM T WHERE a = 0x12", // not hex: lexes as 0 then ident
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts1, err1 := Parse(input)
+		stmts2, err2 := Parse(input)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic parse of %q: %v vs %v", input, err1, err2)
+		}
+		if err1 == nil && len(stmts1) != len(stmts2) {
+			t.Fatalf("non-deterministic statement count for %q", input)
+		}
+	})
+}
+
+// FuzzLex checks the lexer terminates and never panics.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{"SELECT 'a''b' <> <= >= != :v \"q\"\"q\"", "--", "'", "\"", ":"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := Lex(input)
+		if err == nil && (len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF) {
+			t.Fatalf("lexing %q did not end with EOF", input)
+		}
+	})
+}

@@ -1,0 +1,986 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Parse parses a sequence of semicolon-separated statements.
+func Parse(input string) ([]Stmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, toks: toks}
+	var stmts []Stmt
+	for !p.atEOF() {
+		if p.acceptOp(";") {
+			continue
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptOp(";") && !p.atEOF() {
+			return nil, p.errorf("expected ';' or end of input")
+		}
+	}
+	return stmts, nil
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(input string) (Stmt, error) {
+	stmts, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseQuery parses a single SELECT statement.
+func ParseQuery(input string) (*SelectStmt, error) {
+	s, err := ParseOne(input)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := s.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement, got %T", s)
+	}
+	return q, nil
+}
+
+type parser struct {
+	input string
+	toks  []Token
+	pos   int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().Kind == TokEOF }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	where := "end of input"
+	if t.Kind != TokEOF {
+		where = fmt.Sprintf("%q at offset %d", t.Text, t.Pos)
+	}
+	return fmt.Errorf("sql: %s (near %s)", fmt.Sprintf(format, args...), where)
+}
+
+// acceptKeyword consumes the keyword if it is next.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
+}
+
+// acceptOp consumes the operator token if it is next.
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.Kind == TokOp && t.Text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q", op)
+	}
+	return nil
+}
+
+// expectIdent consumes and returns an identifier. Non-reserved use of
+// keywords as identifiers is not supported; quote them instead.
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errorf("expected identifier")
+}
+
+func (p *parser) parseStatement() (Stmt, error) {
+	switch {
+	case p.acceptKeyword("SELECT"):
+		p.backupKeyword("SELECT")
+		return p.parseSelect()
+	case p.acceptKeyword("CREATE"):
+		return p.parseCreate()
+	case p.acceptKeyword("INSERT"):
+		return p.parseInsert()
+	case p.acceptKeyword("EXPLAIN"):
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: q}, nil
+	default:
+		return nil, p.errorf("expected SELECT, CREATE, INSERT or EXPLAIN")
+	}
+}
+
+// backupKeyword rewinds a just-consumed keyword (used where lookahead
+// decided the statement type).
+func (p *parser) backupKeyword(string) { p.pos-- }
+
+// ---------------------------------------------------------------- SELECT
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		q.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		var ref TableRef
+		if p.acceptOp("(") {
+			// Derived table: (SELECT ...) alias.
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			ref.Subquery = sub
+		} else {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Name = name
+		}
+		if p.acceptKeyword("AS") {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = alias
+		} else if t := p.peek(); t.Kind == TokIdent {
+			ref.Alias = t.Text
+			p.pos++
+		}
+		if ref.Subquery != nil && ref.Alias == "" {
+			return nil, p.errorf("derived table requires an alias")
+		}
+		q.From = append(q.From, ref)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnName()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnName()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// "Table.*"
+	if t := p.peek(); t.Kind == TokIdent {
+		if p.pos+2 < len(p.toks) &&
+			p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "." &&
+			p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+			p.pos += 3
+			return SelectItem{Star: true, Table: t.Text}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.acceptKeyword("AS") {
+		if item.Alias, err = p.expectIdent(); err != nil {
+			return SelectItem{}, err
+		}
+	} else if t := p.peek(); t.Kind == TokIdent {
+		item.Alias = t.Text
+		p.pos++
+	}
+	return item, nil
+}
+
+// parseColumnName parses "name" or "qualifier.name".
+func (p *parser) parseColumnName() (expr.ColumnID, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return expr.ColumnID{}, err
+	}
+	if p.acceptOp(".") {
+		second, err := p.expectIdent()
+		if err != nil {
+			return expr.ColumnID{}, err
+		}
+		return expr.ColumnID{Table: first, Name: second}, nil
+	}
+	return expr.ColumnID{Name: first}, nil
+}
+
+// ------------------------------------------------------------ expressions
+
+// parseExpr parses with precedence OR < AND < NOT < predicate < additive <
+// multiplicative < unary/primary.
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewBinary(expr.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewBinary(expr.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(e), nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate parses an additive expression optionally followed by a
+// comparison, IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN or [NOT] LIKE.
+func (p *parser) parsePredicate() (expr.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison operators.
+	for _, op := range []struct {
+		text string
+		op   expr.BinOp
+	}{
+		{"<=", expr.OpLe}, {">=", expr.OpGe}, {"<>", expr.OpNe},
+		{"=", expr.OpEq}, {"<", expr.OpLt}, {">", expr.OpGt},
+	} {
+		if p.acceptOp(op.text) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewBinary(op.op, l, r), nil
+		}
+	}
+	if p.acceptKeyword("IS") {
+		negate := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: l, Negate: negate}, nil
+	}
+	negate := p.acceptKeyword("NOT")
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		// "IN (SELECT ..." is a subquery; anything else is a value list.
+		if t := p.peek(); t.Kind == TokKeyword && t.Text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &expr.InSubquery{E: l, Query: sub, Negate: negate}, nil
+		}
+		var list []expr.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &expr.InList{E: l, List: list, Negate: negate}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Between{E: l, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Like{E: l, Pattern: pat, Negate: negate}, nil
+	}
+	if negate {
+		return nil, p.errorf("expected IN, BETWEEN or LIKE after NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (expr.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpAdd, l, r)
+		case p.acceptOp("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpSub, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpMul, l, r)
+		case p.acceptOp("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpDiv, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately so "-5" is a literal.
+		if lit, ok := e.(*expr.Literal); ok {
+			switch lit.Val.Kind() {
+			case value.KindInt:
+				return expr.Lit(value.NewInt(-lit.Val.Int())), nil
+			case value.KindFloat:
+				return expr.Lit(value.NewFloat(-lit.Val.Float())), nil
+			}
+		}
+		return expr.Neg(e), nil
+	}
+	p.acceptOp("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad numeric literal %q", t.Text)
+			}
+			return expr.Lit(value.NewFloat(f)), nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", t.Text)
+		}
+		return expr.IntLit(i), nil
+	case TokString:
+		p.pos++
+		return expr.StrLit(t.Text), nil
+	case TokParam:
+		p.pos++
+		return expr.Param(t.Text), nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return expr.Lit(value.Null), nil
+		case "TRUE":
+			p.pos++
+			return expr.Lit(value.NewBool(true)), nil
+		case "FALSE":
+			p.pos++
+			return expr.Lit(value.NewBool(false)), nil
+		case "VALUE":
+			// The domain-constraint pseudo-column.
+			p.pos++
+			return expr.Column("", "VALUE"), nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			return p.parseAggregate()
+		case "EXISTS":
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &expr.ExistsSubquery{Query: sub}, nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.Text)
+	case TokIdent:
+		col, err := p.parseColumnName()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Column(col.Table, col.Name), nil
+	case TokOp:
+		if t.Text == "(" {
+			p.pos++
+			// "(SELECT ..." is a scalar subquery.
+			if t2 := p.peek(); t2.Kind == TokKeyword && t2.Text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &expr.ScalarSubquery{Query: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("expected expression")
+}
+
+func (p *parser) parseAggregate() (expr.Expr, error) {
+	t := p.next() // the aggregate keyword
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if t.Text == "COUNT" && p.acceptOp("*") {
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &expr.Aggregate{Func: expr.AggCountStar}, nil
+	}
+	distinct := p.acceptKeyword("DISTINCT")
+	if !distinct {
+		p.acceptKeyword("ALL")
+	}
+	arg, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	var fn expr.AggFunc
+	switch t.Text {
+	case "COUNT":
+		fn = expr.AggCount
+	case "SUM":
+		fn = expr.AggSum
+	case "AVG":
+		fn = expr.AggAvg
+	case "MIN":
+		fn = expr.AggMin
+	case "MAX":
+		fn = expr.AggMax
+	}
+	return &expr.Aggregate{Func: fn, Arg: arg, Distinct: distinct}, nil
+}
+
+// ------------------------------------------------------------------- DDL
+
+func (p *parser) parseCreate() (Stmt, error) {
+	switch {
+	case p.acceptKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKeyword("DOMAIN"):
+		return p.parseCreateDomain()
+	case p.acceptKeyword("VIEW"):
+		return p.parseCreateView()
+	default:
+		return nil, p.errorf("expected TABLE, DOMAIN or VIEW after CREATE")
+	}
+}
+
+func (p *parser) parseCreateTable() (Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name}
+	for {
+		if t := p.peek(); t.Kind == TokKeyword &&
+			(t.Text == "PRIMARY" || t.Text == "UNIQUE" || t.Text == "FOREIGN" || t.Text == "CHECK" || t.Text == "CONSTRAINT") {
+			if err := p.parseTableConstraint(stmt); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseColumnDef() (ColumnDef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	col := ColumnDef{Name: name}
+	if err := p.parseType(&col); err != nil {
+		return ColumnDef{}, err
+	}
+	// Column constraints, in any order.
+	for {
+		switch {
+		case p.acceptKeyword("NOT"):
+			if err := p.expectKeyword("NULL"); err != nil {
+				return ColumnDef{}, err
+			}
+			col.NotNull = true
+		case p.acceptKeyword("PRIMARY"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return ColumnDef{}, err
+			}
+			col.PrimaryKey = true
+		case p.acceptKeyword("UNIQUE"):
+			col.Unique = true
+		case p.acceptKeyword("CHECK"):
+			chk, err := p.parseCheckBody()
+			if err != nil {
+				return ColumnDef{}, err
+			}
+			col.Check = expr.And(col.Check, chk)
+		case p.acceptKeyword("REFERENCES"):
+			fk, err := p.parseReferencesClause([]string{name})
+			if err != nil {
+				return ColumnDef{}, err
+			}
+			col.References = &fk
+		default:
+			return col, nil
+		}
+	}
+}
+
+// parseType fills the column's type or domain.
+func (p *parser) parseType(col *ColumnDef) error {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		// A domain name.
+		p.pos++
+		col.Domain = t.Text
+		return nil
+	}
+	kind, err := p.parseTypeName()
+	if err != nil {
+		return err
+	}
+	col.Type = kind
+	return nil
+}
+
+// parseTypeName parses a built-in SQL type name, consuming any length
+// parameter.
+func (p *parser) parseTypeName() (value.Kind, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return value.KindNull, p.errorf("expected a type name")
+	}
+	p.pos++
+	var kind value.Kind
+	switch t.Text {
+	case "INTEGER", "INT", "SMALLINT", "BIGINT":
+		kind = value.KindInt
+	case "DOUBLE":
+		p.acceptKeyword("PRECISION")
+		kind = value.KindFloat
+	case "FLOAT", "REAL":
+		kind = value.KindFloat
+	case "CHARACTER", "CHAR", "VARCHAR":
+		kind = value.KindString
+	case "BOOLEAN":
+		kind = value.KindBool
+	default:
+		return value.KindNull, p.errorf("unknown type %s", t.Text)
+	}
+	// Optional length, e.g. CHARACTER(30).
+	if p.acceptOp("(") {
+		if tok := p.peek(); tok.Kind != TokNumber {
+			return value.KindNull, p.errorf("expected length")
+		}
+		p.pos++
+		if err := p.expectOp(")"); err != nil {
+			return value.KindNull, err
+		}
+	}
+	return kind, nil
+}
+
+// parseCheckBody parses a CHECK constraint body: with or without
+// parentheses (the paper's Figure 5 writes "CHECK VALUE > 0 AND VALUE <
+// 100" without them).
+func (p *parser) parseCheckBody() (expr.Expr, error) {
+	if p.acceptOp("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseExpr()
+}
+
+func (p *parser) parseReferencesClause(cols []string) (ForeignKeyDef, error) {
+	ref, err := p.expectIdent()
+	if err != nil {
+		return ForeignKeyDef{}, err
+	}
+	fk := ForeignKeyDef{Columns: cols, RefTable: ref}
+	if p.acceptOp("(") {
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return ForeignKeyDef{}, err
+			}
+			fk.RefColumns = append(fk.RefColumns, c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return ForeignKeyDef{}, err
+		}
+	}
+	return fk, nil
+}
+
+func (p *parser) parseTableConstraint(stmt *CreateTableStmt) error {
+	if p.acceptKeyword("CONSTRAINT") {
+		// Named constraint: consume and ignore the name.
+		if _, err := p.expectIdent(); err != nil {
+			return err
+		}
+	}
+	switch {
+	case p.acceptKeyword("PRIMARY"):
+		if err := p.expectKeyword("KEY"); err != nil {
+			return err
+		}
+		cols, err := p.parseParenIdentList()
+		if err != nil {
+			return err
+		}
+		stmt.Keys = append(stmt.Keys, KeyDef{Columns: cols, Primary: true})
+	case p.acceptKeyword("UNIQUE"):
+		cols, err := p.parseParenIdentList()
+		if err != nil {
+			return err
+		}
+		stmt.Keys = append(stmt.Keys, KeyDef{Columns: cols})
+	case p.acceptKeyword("FOREIGN"):
+		if err := p.expectKeyword("KEY"); err != nil {
+			return err
+		}
+		cols, err := p.parseParenIdentList()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("REFERENCES"); err != nil {
+			return err
+		}
+		fk, err := p.parseReferencesClause(cols)
+		if err != nil {
+			return err
+		}
+		stmt.ForeignKeys = append(stmt.ForeignKeys, fk)
+	case p.acceptKeyword("CHECK"):
+		chk, err := p.parseCheckBody()
+		if err != nil {
+			return err
+		}
+		stmt.Checks = append(stmt.Checks, chk)
+	default:
+		return p.errorf("expected a table constraint")
+	}
+	return nil
+}
+
+func (p *parser) parseParenIdentList() ([]string, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, name)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseCreateDomain() (Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateDomainStmt{Name: name, Type: kind}
+	if p.acceptKeyword("CHECK") {
+		chk, err := p.parseCheckBody()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Check = chk
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCreateView() (Stmt, error) {
+	start := p.toks[p.pos].Pos
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateViewStmt{Name: name}
+	if p.peek().Kind == TokOp && p.peek().Text == "(" {
+		cols, err := p.parseParenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = cols
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Query = q
+	end := p.toks[p.pos].Pos
+	stmt.Text = strings.TrimSpace("CREATE VIEW " + p.input[start:min(end, len(p.input))])
+	return stmt, nil
+}
+
+// ------------------------------------------------------------------ INSERT
+
+func (p *parser) parseInsert() (Stmt, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name}
+	if p.peek().Kind == TokOp && p.peek().Text == "(" {
+		cols, err := p.parseParenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = cols
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []expr.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return stmt, nil
+}

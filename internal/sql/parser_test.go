@@ -1,0 +1,473 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+func parseQuery(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := ParseQuery(q)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", q, err)
+	}
+	return stmt
+}
+
+// TestParseExample1 parses the paper's Example 1 query.
+func TestParseExample1(t *testing.T) {
+	q := parseQuery(t, `
+		SELECT D.DeptID, D.Name, COUNT(E.EmpID)
+		FROM Employee E, Department D
+		WHERE E.DeptID = D.DeptID
+		GROUP BY D.DeptID, D.Name`)
+	if len(q.Items) != 3 {
+		t.Fatalf("select list has %d items, want 3", len(q.Items))
+	}
+	agg, ok := q.Items[2].E.(*expr.Aggregate)
+	if !ok || agg.Func != expr.AggCount {
+		t.Errorf("third item is %s, want COUNT", q.Items[2].E)
+	}
+	if len(q.From) != 2 || q.From[0].Name != "Employee" || q.From[0].Alias != "E" {
+		t.Errorf("FROM list wrong: %+v", q.From)
+	}
+	if q.Where == nil || q.Where.String() != "E.DeptID = D.DeptID" {
+		t.Errorf("WHERE = %v", q.Where)
+	}
+	if len(q.GroupBy) != 2 || q.GroupBy[0] != (expr.ColumnID{Table: "D", Name: "DeptID"}) {
+		t.Errorf("GROUP BY = %v", q.GroupBy)
+	}
+}
+
+// TestParseExample3 parses the paper's Example 3 query (Section 6.3).
+func TestParseExample3(t *testing.T) {
+	q := parseQuery(t, `
+		SELECT U.UserId, U.UserName, SUM(A.Usage), MAX(P.Speed), MIN(P.Speed)
+		FROM UserAccount U, PrinterAuth A, Printer P
+		WHERE U.UserId = A.UserId and U.Machine = A.Machine
+		      and A.PNo = P.PNo and U.Machine = 'dragon'
+		GROUP BY U.UserId, U.UserName`)
+	if len(q.Items) != 5 || len(q.From) != 3 {
+		t.Fatalf("shape wrong: %d items, %d tables", len(q.Items), len(q.From))
+	}
+	conjuncts := expr.Conjuncts(q.Where)
+	if len(conjuncts) != 4 {
+		t.Fatalf("WHERE has %d conjuncts, want 4", len(conjuncts))
+	}
+	atom := expr.ClassifyAtom(conjuncts[3])
+	if atom.Class != expr.AtomColConst {
+		t.Errorf("U.Machine = 'dragon' classified as %v", atom.Class)
+	}
+}
+
+func TestParseDistinctAndAliases(t *testing.T) {
+	q := parseQuery(t, `SELECT DISTINCT a AS x, b y, COUNT(*) AS n FROM T GROUP BY a, b`)
+	if !q.Distinct {
+		t.Error("DISTINCT not set")
+	}
+	if q.Items[0].Alias != "x" || q.Items[1].Alias != "y" || q.Items[2].Alias != "n" {
+		t.Errorf("aliases: %q %q %q", q.Items[0].Alias, q.Items[1].Alias, q.Items[2].Alias)
+	}
+	if _, ok := q.Items[2].E.(*expr.Aggregate); !ok {
+		t.Error("COUNT(*) not parsed as aggregate")
+	}
+}
+
+func TestParseStarItems(t *testing.T) {
+	q := parseQuery(t, `SELECT *, T.* FROM T`)
+	if !q.Items[0].Star || q.Items[0].Table != "" {
+		t.Errorf("bare star wrong: %+v", q.Items[0])
+	}
+	if !q.Items[1].Star || q.Items[1].Table != "T" {
+		t.Errorf("qualified star wrong: %+v", q.Items[1])
+	}
+}
+
+func TestParseHavingAndOrderBy(t *testing.T) {
+	q := parseQuery(t, `
+		SELECT a, COUNT(*) FROM T GROUP BY a
+		HAVING COUNT(*) > 2 ORDER BY a DESC, b`)
+	if q.Having == nil {
+		t.Fatal("HAVING missing")
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("ORDER BY = %+v", q.OrderBy)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"a + b * c", "t.a + t.b * t.c"},
+		{"(a + b) * c", "(t.a + t.b) * t.c"}, // rendered without parens; check structurally below
+		{"a = 1 AND b = 2 OR c = 3", ""},
+		{"NOT a = 1 AND b = 2", ""},
+	}
+	_ = cases
+	// a + b * c parses as a + (b * c).
+	q := parseQuery(t, "SELECT a + b * c FROM T")
+	bin := q.Items[0].E.(*expr.Binary)
+	if bin.Op != expr.OpAdd {
+		t.Errorf("top op = %v, want +", bin.Op)
+	}
+	if inner, ok := bin.R.(*expr.Binary); !ok || inner.Op != expr.OpMul {
+		t.Errorf("right side = %s, want b * c", bin.R)
+	}
+	// AND binds tighter than OR.
+	q = parseQuery(t, "SELECT a FROM T WHERE a = 1 AND b = 2 OR c = 3")
+	or := q.Where.(*expr.Binary)
+	if or.Op != expr.OpOr {
+		t.Fatalf("top op = %v, want OR", or.Op)
+	}
+	if l, ok := or.L.(*expr.Binary); !ok || l.Op != expr.OpAnd {
+		t.Errorf("left of OR = %s, want an AND", or.L)
+	}
+	// NOT binds tighter than AND.
+	q = parseQuery(t, "SELECT a FROM T WHERE NOT a = 1 AND b = 2")
+	and := q.Where.(*expr.Binary)
+	if and.Op != expr.OpAnd {
+		t.Fatalf("top op = %v, want AND", and.Op)
+	}
+	if _, ok := and.L.(*expr.Unary); !ok {
+		t.Errorf("left of AND = %s, want NOT(...)", and.L)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := parseQuery(t, `SELECT 42, -7, 2.5, 1e3, 'it''s', NULL, TRUE, FALSE, :host FROM T`)
+	wants := []value.Value{
+		value.NewInt(42), value.NewInt(-7), value.NewFloat(2.5), value.NewFloat(1000),
+		value.NewString("it's"), value.Null, value.NewBool(true), value.NewBool(false),
+	}
+	for i, w := range wants {
+		lit, ok := q.Items[i].E.(*expr.Literal)
+		if !ok {
+			t.Errorf("item %d is %T, want literal", i, q.Items[i].E)
+			continue
+		}
+		if !value.NullEq(lit.Val, w) && !(lit.Val.IsNull() && w.IsNull()) {
+			t.Errorf("item %d = %s, want %s", i, lit.Val, w)
+		}
+	}
+	if hv, ok := q.Items[8].E.(*expr.HostVar); !ok || hv.Name != "host" {
+		t.Errorf("item 8 = %v, want :host", q.Items[8].E)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	q := parseQuery(t, `SELECT a FROM T WHERE
+		a IS NULL AND b IS NOT NULL AND c IN (1, 2) AND d NOT IN (3)
+		AND e BETWEEN 1 AND 5 AND f NOT BETWEEN 2 AND 3
+		AND g LIKE 'x%' AND h NOT LIKE '_y'`)
+	conj := expr.Conjuncts(q.Where)
+	if len(conj) != 8 {
+		t.Fatalf("got %d conjuncts, want 8", len(conj))
+	}
+	if n, ok := conj[0].(*expr.IsNull); !ok || n.Negate {
+		t.Errorf("conj 0 = %s", conj[0])
+	}
+	if n, ok := conj[1].(*expr.IsNull); !ok || !n.Negate {
+		t.Errorf("conj 1 = %s", conj[1])
+	}
+	if n, ok := conj[2].(*expr.InList); !ok || n.Negate || len(n.List) != 2 {
+		t.Errorf("conj 2 = %s", conj[2])
+	}
+	if n, ok := conj[3].(*expr.InList); !ok || !n.Negate {
+		t.Errorf("conj 3 = %s", conj[3])
+	}
+	if n, ok := conj[4].(*expr.Between); !ok || n.Negate {
+		t.Errorf("conj 4 = %s", conj[4])
+	}
+	if n, ok := conj[5].(*expr.Between); !ok || !n.Negate {
+		t.Errorf("conj 5 = %s", conj[5])
+	}
+	if n, ok := conj[6].(*expr.Like); !ok || n.Negate {
+		t.Errorf("conj 6 = %s", conj[6])
+	}
+	if n, ok := conj[7].(*expr.Like); !ok || !n.Negate {
+		t.Errorf("conj 7 = %s", conj[7])
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	q := parseQuery(t, `
+		SELECT E.EmpID FROM Employee E
+		WHERE E.DeptID IN (SELECT D.DeptID FROM Department D WHERE D.Name = 'Eng')
+		  AND NOT EXISTS (SELECT P.PNo FROM Printer P)
+		  AND E.EmpID NOT IN (SELECT B.x FROM Blocked B)`)
+	conj := expr.Conjuncts(q.Where)
+	if len(conj) != 3 {
+		t.Fatalf("got %d conjuncts, want 3", len(conj))
+	}
+	in, ok := conj[0].(*expr.InSubquery)
+	if !ok || in.Negate {
+		t.Fatalf("conj 0 = %T (%s)", conj[0], conj[0])
+	}
+	sub, ok := in.Query.(*SelectStmt)
+	if !ok || sub.From[0].Name != "Department" {
+		t.Errorf("IN subquery AST wrong: %+v", in.Query)
+	}
+	notWrapped, ok := conj[1].(*expr.Unary)
+	if !ok {
+		t.Fatalf("conj 1 = %T", conj[1])
+	}
+	if _, ok := notWrapped.E.(*expr.ExistsSubquery); !ok {
+		t.Errorf("NOT EXISTS not parsed: %s", conj[1])
+	}
+	notIn, ok := conj[2].(*expr.InSubquery)
+	if !ok || !notIn.Negate {
+		t.Fatalf("conj 2 = %T (%s)", conj[2], conj[2])
+	}
+	// Plain IN lists still parse.
+	q2 := parseQuery(t, `SELECT a FROM T WHERE a IN (1, 2)`)
+	if _, ok := q2.Where.(*expr.InList); !ok {
+		t.Errorf("IN value list parsed as %T", q2.Where)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	q := parseQuery(t, `
+		SELECT X.a FROM (SELECT T.a FROM T WHERE T.b > 0) X, U
+		WHERE X.a = U.a`)
+	if len(q.From) != 2 {
+		t.Fatalf("FROM has %d entries", len(q.From))
+	}
+	d := q.From[0]
+	if d.Subquery == nil || d.Alias != "X" || d.EffectiveAlias() != "X" {
+		t.Fatalf("derived table parsed as %+v", d)
+	}
+	if d.Subquery.From[0].Name != "T" {
+		t.Errorf("inner FROM = %+v", d.Subquery.From)
+	}
+	// AS form.
+	q2 := parseQuery(t, `SELECT Y.a FROM (SELECT T.a FROM T) AS Y`)
+	if q2.From[0].Alias != "Y" {
+		t.Errorf("AS alias lost: %+v", q2.From[0])
+	}
+	// Missing alias is an error.
+	if _, err := ParseQuery(`SELECT a FROM (SELECT T.a FROM T)`); err == nil {
+		t.Error("derived table without alias accepted")
+	}
+}
+
+func TestParseDistinctAggregate(t *testing.T) {
+	q := parseQuery(t, `SELECT COUNT(DISTINCT a), SUM(ALL b) FROM T`)
+	a0 := q.Items[0].E.(*expr.Aggregate)
+	if !a0.Distinct {
+		t.Error("COUNT(DISTINCT a) lost DISTINCT")
+	}
+	a1 := q.Items[1].E.(*expr.Aggregate)
+	if a1.Distinct {
+		t.Error("SUM(ALL b) must not be DISTINCT")
+	}
+}
+
+// TestParseFigure5DDL parses the paper's Figure 5 CREATE DOMAIN and CREATE
+// TABLE statements verbatim (modulo the paper's "REFERENCES Dept" typo,
+// kept as-is — resolution happens at bind time, not parse time).
+func TestParseFigure5DDL(t *testing.T) {
+	stmts, err := Parse(`
+		CREATE DOMAIN DepIdType SMALLINT CHECK VALUE > 0 AND VALUE < 100;
+		CREATE TABLE Department (
+			EmpID INTEGER CHECK (EmpID > 0),
+			EmpSID INTEGER UNIQUE,
+			LastName CHARACTER(30) NOT NULL,
+			FirstName CHARACTER(30),
+			DeptID DepIdType CHECK (DeptID>5),
+			PRIMARY KEY (EmpID),
+			FOREIGN KEY (DeptID) REFERENCES Dept)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("parsed %d statements, want 2", len(stmts))
+	}
+	dom := stmts[0].(*CreateDomainStmt)
+	if dom.Name != "DepIdType" || dom.Type != value.KindInt || dom.Check == nil {
+		t.Errorf("domain parsed as %+v", dom)
+	}
+	if !strings.Contains(dom.Check.String(), "VALUE") {
+		t.Errorf("domain check lost VALUE pseudo-column: %s", dom.Check)
+	}
+	tab := stmts[1].(*CreateTableStmt)
+	if tab.Name != "Department" || len(tab.Columns) != 5 {
+		t.Fatalf("table parsed as %+v", tab)
+	}
+	if tab.Columns[0].Check == nil {
+		t.Error("EmpID lost its CHECK")
+	}
+	if !tab.Columns[1].Unique {
+		t.Error("EmpSID lost UNIQUE")
+	}
+	if !tab.Columns[2].NotNull {
+		t.Error("LastName lost NOT NULL")
+	}
+	if tab.Columns[4].Domain != "DepIdType" {
+		t.Errorf("DeptID domain = %q", tab.Columns[4].Domain)
+	}
+	if len(tab.Keys) != 1 || !tab.Keys[0].Primary {
+		t.Errorf("keys = %+v", tab.Keys)
+	}
+	if len(tab.ForeignKeys) != 1 || tab.ForeignKeys[0].RefTable != "Dept" {
+		t.Errorf("foreign keys = %+v", tab.ForeignKeys)
+	}
+}
+
+func TestParseInlineConstraints(t *testing.T) {
+	stmt, err := ParseOne(`CREATE TABLE T (
+		id INTEGER PRIMARY KEY,
+		ref INTEGER REFERENCES U(uid),
+		CONSTRAINT positive CHECK (id > 0))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := stmt.(*CreateTableStmt)
+	if !tab.Columns[0].PrimaryKey {
+		t.Error("inline PRIMARY KEY lost")
+	}
+	fk := tab.Columns[1].References
+	if fk == nil || fk.RefTable != "U" || len(fk.RefColumns) != 1 || fk.RefColumns[0] != "uid" {
+		t.Errorf("inline REFERENCES = %+v", fk)
+	}
+	if len(tab.Checks) != 1 {
+		t.Errorf("named table check lost: %+v", tab.Checks)
+	}
+}
+
+func TestParseCreateView(t *testing.T) {
+	stmt, err := ParseOne(`
+		CREATE VIEW UserInfo (UserId, Machine, TotUsage) AS
+		SELECT A.UserId, A.Machine, SUM(A.Usage)
+		FROM PrinterAuth A GROUP BY A.UserId, A.Machine`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stmt.(*CreateViewStmt)
+	if v.Name != "UserInfo" || len(v.Columns) != 3 || v.Query == nil {
+		t.Fatalf("view parsed as %+v", v)
+	}
+	if !strings.Contains(v.Text, "CREATE VIEW") {
+		t.Errorf("view text not preserved: %q", v.Text)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := ParseOne(`INSERT INTO T (a, b) VALUES (1, 'x'), (2, NULL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "T" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert parsed as %+v", ins)
+	}
+	if len(ins.Rows[0]) != 2 {
+		t.Errorf("row width %d", len(ins.Rows[0]))
+	}
+	// Without a column list.
+	stmt, err = ParseOne(`INSERT INTO T VALUES (1, 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.(*InsertStmt).Columns) != 0 {
+		t.Error("column list must be empty")
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := ParseOne(`EXPLAIN SELECT a FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*ExplainStmt); !ok {
+		t.Fatalf("parsed as %T", stmt)
+	}
+}
+
+func TestParseMultipleStatements(t *testing.T) {
+	stmts, err := Parse(`SELECT a FROM T; INSERT INTO T VALUES (1);; SELECT b FROM U;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements, want 3", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",                           // missing select list
+		"SELECT a",                         // missing FROM
+		"SELECT a FROM",                    // missing table
+		"SELECT a FROM T WHERE",            // missing predicate
+		"SELECT a FROM T GROUP a",          // missing BY
+		"SELECT a FROM T ORDER a",          // missing BY
+		"SELECT a FROM T WHERE a NOT 5",    // NOT without IN/BETWEEN/LIKE
+		"SELECT a FROM T extra keyword ON", // trailing garbage
+		"CREATE TABLE (a INTEGER)",         // missing table name
+		"CREATE TABLE T (a BOGUS)",         // BOGUS is an ident → domain; fine. Use keyword misuse instead:
+		"CREATE TABLE T (a SELECT)",        // keyword as type
+		"INSERT T VALUES (1)",              // missing INTO
+		"INSERT INTO T VALUES 1",           // missing parens
+		"SELECT 'unterminated FROM T",      // bad string
+		"SELECT a! FROM T",                 // stray !
+		"DROP TABLE T",                     // unsupported statement
+	}
+	for _, q := range bad {
+		if q == "CREATE TABLE T (a BOGUS)" {
+			continue // legal: BOGUS parses as a domain name
+		}
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestParseDelimitedIdentifiers(t *testing.T) {
+	q := parseQuery(t, `SELECT "Group"."order" FROM "Group"`)
+	col, ok := q.Items[0].E.(*expr.ColumnRef)
+	if !ok || col.ID.Table != "Group" || col.ID.Name != "order" {
+		t.Errorf("delimited identifier parsed as %v", q.Items[0].E)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := parseQuery(t, `
+		-- leading comment
+		SELECT a -- trailing comment
+		FROM T -- another
+	`)
+	if len(q.Items) != 1 {
+		t.Error("comments broke parsing")
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`SELECT a <= 5 != 3 <> 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == TokOp {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<=", "<>", "<>"}
+	if len(ops) != 3 || ops[0] != want[0] || ops[1] != want[1] || ops[2] != want[2] {
+		t.Errorf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestTableRefEffectiveAlias(t *testing.T) {
+	if (TableRef{Name: "T"}).EffectiveAlias() != "T" {
+		t.Error("bare table alias wrong")
+	}
+	if (TableRef{Name: "T", Alias: "X"}).EffectiveAlias() != "X" {
+		t.Error("aliased table alias wrong")
+	}
+}

@@ -1,0 +1,203 @@
+// Package sql implements the SQL front end: a lexer, an AST, and a
+// recursive-descent parser for the SQL2 subset the engine supports —
+// CREATE TABLE / DOMAIN / VIEW with the constraint classes of the paper's
+// Section 6.1, INSERT, and SELECT queries of the paper's Section 3 class
+// (joins in the FROM list, conjunctive WHERE, GROUP BY, aggregates,
+// DISTINCT), plus HAVING and ORDER BY for completeness.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies a lexical token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp    // operators and punctuation: = <> < <= > >= + - * / ( ) , . ;
+	TokParam // :name host variable
+)
+
+// Token is one lexical token. Text preserves the original spelling except
+// for keywords, which are upper-cased.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+// keywords recognized by the lexer; all other identifiers are TokIdent.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true,
+	"ALL": true, "DISTINCT": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "IS": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "EXISTS": true,
+	"TRUE": true, "FALSE": true, "UNKNOWN": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"CREATE": true, "TABLE": true, "VIEW": true, "DOMAIN": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"PRIMARY": true, "KEY": true, "UNIQUE": true, "FOREIGN": true,
+	"REFERENCES": true, "CHECK": true, "CONSTRAINT": true,
+	"INTEGER": true, "INT": true, "SMALLINT": true, "BIGINT": true,
+	"DOUBLE": true, "PRECISION": true, "FLOAT": true, "REAL": true,
+	"CHARACTER": true, "CHAR": true, "VARCHAR": true, "BOOLEAN": true,
+	"VALUE": true, "EXPLAIN": true,
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings or
+// unexpected characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			for i < n && (isDigit(input[i]) || input[i] == '.') {
+				i++
+			}
+			// Exponent part.
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && isDigit(input[j]) {
+					i = j
+					for i < n && isDigit(input[i]) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '"':
+			// Delimited identifier: case preserved, "" escapes a quote.
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '"' {
+					if i+1 < n && input[i+1] == '"' {
+						sb.WriteByte('"')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated delimited identifier at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: sb.String(), Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c == ':':
+			start := i
+			i++
+			if i >= n || !isIdentStart(input[i]) {
+				return nil, fmt.Errorf("sql: expected host variable name after ':' at offset %d", start)
+			}
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokParam, Text: input[start+1 : i], Pos: start})
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokOp, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				// Accept != as a synonym for <>.
+				toks = append(toks, Token{Kind: TokOp, Text: "<>", Pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		case strings.IndexByte("=+-*/(),.;", c) >= 0:
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

@@ -1,0 +1,294 @@
+// Package storage implements the in-memory table store. Tables are
+// multisets of rows (SQL2 tables, not relations — duplicates are
+// meaningful), each row carrying an implicit RowID per the paper's
+// Section 4.3, and every insert enforces the catalog's semantic integrity
+// constraints. That enforcement is what licenses the optimizer's use of
+// those constraints in Theorem 3 / TestFD: any instance reachable through
+// this package is a valid instance.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Table holds the rows of one base table along with the uniqueness indexes
+// that enforce its key constraints.
+type Table struct {
+	Def  *schema.Table
+	rows []value.Row
+	// keyIndex[i] maps the GroupKey of key i's columns to the count of
+	// rows holding that key value (always 0 or 1 once enforced).
+	keyIndex []map[string]int
+	// keyCols[i] are the column positions of key i.
+	keyCols [][]int
+	// boundChecks are the table's CHECK constraints (column-level and
+	// table-level), bound to row positions at table-creation time.
+	boundChecks []expr.Expr
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the table's rows. The slice and the rows are shared with the
+// table: callers must treat them as read-only.
+func (t *Table) Rows() []value.Row { return t.rows }
+
+// Row returns the row with the given RowID (its insertion ordinal).
+func (t *Table) Row(id int) value.Row { return t.rows[id] }
+
+// Store is the collection of all table instances, backed by a catalog.
+type Store struct {
+	catalog *schema.Catalog
+	tables  map[string]*Table
+}
+
+// NewStore returns an empty store over the given catalog. Tables already
+// present in the catalog are materialized empty.
+func NewStore(catalog *schema.Catalog) *Store {
+	s := &Store{catalog: catalog, tables: make(map[string]*Table)}
+	for _, name := range catalog.TableNames() {
+		def, _ := catalog.Table(name)
+		t, err := newTable(def)
+		if err == nil {
+			s.tables[name] = t
+		}
+	}
+	return s
+}
+
+// Catalog returns the store's catalog.
+func (s *Store) Catalog() *schema.Catalog { return s.catalog }
+
+// CreateTable registers the definition in the catalog and materializes an
+// empty table.
+func (s *Store) CreateTable(def *schema.Table) error {
+	if err := s.catalog.AddTable(def); err != nil {
+		return err
+	}
+	t, err := newTable(def)
+	if err != nil {
+		return err
+	}
+	s.tables[def.Name] = t
+	return nil
+}
+
+func newTable(def *schema.Table) (*Table, error) {
+	t := &Table{Def: def}
+	for _, k := range def.Keys {
+		cols := make([]int, len(k.Columns))
+		for i, name := range k.Columns {
+			cols[i] = def.ColumnIndex(name)
+		}
+		t.keyCols = append(t.keyCols, cols)
+		t.keyIndex = append(t.keyIndex, make(map[string]int))
+	}
+	resolver := expr.ResolverFunc(func(id expr.ColumnID) (int, error) {
+		if id.Table != "" && id.Table != def.Name {
+			return -1, fmt.Errorf("storage: check constraint on %s references table %s", def.Name, id.Table)
+		}
+		if i := def.ColumnIndex(id.Name); i >= 0 {
+			return i, nil
+		}
+		return -1, fmt.Errorf("storage: check constraint on %s references unknown column %s", def.Name, id.Name)
+	})
+	for i := range def.Columns {
+		if def.Columns[i].Check == nil {
+			continue
+		}
+		bound, err := expr.Bind(def.Columns[i].Check, resolver)
+		if err != nil {
+			return nil, err
+		}
+		t.boundChecks = append(t.boundChecks, bound)
+	}
+	for _, chk := range def.Checks {
+		bound, err := expr.Bind(chk, resolver)
+		if err != nil {
+			return nil, err
+		}
+		t.boundChecks = append(t.boundChecks, bound)
+	}
+	return t, nil
+}
+
+// Table returns the named table instance.
+func (s *Store) Table(name string) (*Table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %s", name)
+	}
+	return t, nil
+}
+
+// Insert appends a row to the named table after enforcing every constraint:
+// arity and type conformance, NOT NULL, CHECK (a row is rejected only when
+// a check evaluates to false — unknown passes, per SQL2), PRIMARY KEY and
+// UNIQUE, and FOREIGN KEY (all-NULL-or-match).
+func (s *Store) Insert(table string, row value.Row) error {
+	t, err := s.Table(table)
+	if err != nil {
+		return err
+	}
+	def := t.Def
+	if len(row) != len(def.Columns) {
+		return fmt.Errorf("storage: %s expects %d columns, got %d", table, len(def.Columns), len(row))
+	}
+	row = row.Clone()
+	for i, col := range def.Columns {
+		v := row[i]
+		if v.IsNull() {
+			if col.NotNull {
+				return fmt.Errorf("storage: %s.%s is NOT NULL", table, col.Name)
+			}
+			continue
+		}
+		coerced, err := coerce(v, col.Type)
+		if err != nil {
+			return fmt.Errorf("storage: %s.%s: %v", table, col.Name, err)
+		}
+		row[i] = coerced
+	}
+	for _, chk := range t.boundChecks {
+		truth, err := expr.EvalTruth(chk, row, nil)
+		if err != nil {
+			return fmt.Errorf("storage: %s: evaluating check: %v", table, err)
+		}
+		if truth == value.False {
+			return fmt.Errorf("storage: %s: check constraint (%s) violated by %s", table, chk, row)
+		}
+	}
+	keyStrings := make([]string, len(def.Keys))
+	for ki, k := range def.Keys {
+		cols := t.keyCols[ki]
+		if !k.Primary && anyNull(row, cols) {
+			// Candidate keys use UNIQUE-predicate semantics: a NULL
+			// in the key exempts the row from the uniqueness check.
+			keyStrings[ki] = ""
+			continue
+		}
+		key := value.GroupKey(row, cols)
+		if t.keyIndex[ki][key] > 0 {
+			return fmt.Errorf("storage: %s: duplicate value for %s", table, k)
+		}
+		keyStrings[ki] = key
+	}
+	for _, fk := range def.ForeignKeys {
+		if err := s.checkForeignKey(def, fk, row); err != nil {
+			return err
+		}
+	}
+	for ki, key := range keyStrings {
+		if key != "" {
+			t.keyIndex[ki][key]++
+		}
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustInsert inserts and panics on error; a convenience for workload
+// generators whose data is correct by construction.
+func (s *Store) MustInsert(table string, row value.Row) {
+	if err := s.Insert(table, row); err != nil {
+		panic(err)
+	}
+}
+
+func anyNull(row value.Row, cols []int) bool {
+	for _, c := range cols {
+		if row[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkForeignKey enforces MATCH SIMPLE semantics: if any referencing
+// column is NULL the constraint is satisfied; otherwise the value list must
+// equal the referenced key of some row in the referenced table.
+func (s *Store) checkForeignKey(def *schema.Table, fk schema.ForeignKey, row value.Row) error {
+	cols := make([]int, len(fk.Columns))
+	for i, name := range fk.Columns {
+		cols[i] = def.ColumnIndex(name)
+	}
+	if anyNull(row, cols) {
+		return nil
+	}
+	ref, err := s.Table(fk.RefTable)
+	if err != nil {
+		return err
+	}
+	target := fk.RefColumns
+	if len(target) == 0 {
+		pk := ref.Def.PrimaryKey()
+		if pk == nil {
+			return fmt.Errorf("storage: foreign key target %s has no primary key", fk.RefTable)
+		}
+		target = pk.Columns
+	}
+	// Use the referenced table's key index when the target is one of its
+	// keys (the catalog guarantees it is).
+	for ki, k := range ref.Def.Keys {
+		if !sameColumns(k.Columns, target) {
+			continue
+		}
+		// Reorder our values into the key's column order.
+		ordered := make(value.Row, len(target))
+		for i, keyCol := range k.Columns {
+			for j, refCol := range target {
+				if refCol == keyCol {
+					ordered[i] = row[cols[j]]
+				}
+			}
+		}
+		probe := value.GroupKeyAll(ordered)
+		if ref.keyIndex[ki][probe] == 0 {
+			return fmt.Errorf("storage: %s: foreign key (%v) has no match in %s", def.Name, ordered, fk.RefTable)
+		}
+		return nil
+	}
+	return fmt.Errorf("storage: foreign key target (%v) is not a key of %s", target, fk.RefTable)
+}
+
+func sameColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// coerce adapts a value to a column type: ints widen to DOUBLE columns and
+// integral floats narrow to INTEGER columns; any other mismatch is an
+// error.
+func coerce(v value.Value, want value.Kind) (value.Value, error) {
+	if v.Kind() == want {
+		return v, nil
+	}
+	switch {
+	case want == value.KindFloat && v.Kind() == value.KindInt:
+		return value.NewFloat(float64(v.Int())), nil
+	case want == value.KindInt && v.Kind() == value.KindFloat:
+		f := v.Float()
+		i := int64(f)
+		if float64(i) == f {
+			return value.NewInt(i), nil
+		}
+		return value.Null, fmt.Errorf("cannot store non-integral %s in INTEGER column", v)
+	default:
+		return value.Null, fmt.Errorf("cannot store %s value in %s column", v.Kind(), want)
+	}
+}

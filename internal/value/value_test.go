@@ -1,0 +1,476 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestTruthTableAND reproduces Figure 2's AND truth table exhaustively.
+func TestTruthTableAND(t *testing.T) {
+	want := map[[2]Truth]Truth{
+		{True, True}: True, {True, Unknown}: Unknown, {True, False}: False,
+		{Unknown, True}: Unknown, {Unknown, Unknown}: Unknown, {Unknown, False}: False,
+		{False, True}: False, {False, Unknown}: False, {False, False}: False,
+	}
+	for in, out := range want {
+		if got := And(in[0], in[1]); got != out {
+			t.Errorf("And(%v, %v) = %v, want %v", in[0], in[1], got, out)
+		}
+	}
+}
+
+// TestTruthTableOR reproduces Figure 2's OR truth table exhaustively.
+func TestTruthTableOR(t *testing.T) {
+	want := map[[2]Truth]Truth{
+		{True, True}: True, {True, Unknown}: True, {True, False}: True,
+		{Unknown, True}: True, {Unknown, Unknown}: Unknown, {Unknown, False}: Unknown,
+		{False, True}: True, {False, Unknown}: Unknown, {False, False}: False,
+	}
+	for in, out := range want {
+		if got := Or(in[0], in[1]); got != out {
+			t.Errorf("Or(%v, %v) = %v, want %v", in[0], in[1], got, out)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	if Not(True) != False || Not(False) != True || Not(Unknown) != Unknown {
+		t.Errorf("Not truth table wrong: Not(T)=%v Not(F)=%v Not(U)=%v",
+			Not(True), Not(False), Not(Unknown))
+	}
+}
+
+// TestInterpretationOperators reproduces Figure 3's ⌊P⌋ and ⌈P⌉ tables.
+func TestInterpretationOperators(t *testing.T) {
+	cases := []struct {
+		in          Truth
+		floor, ceil bool
+	}{
+		{True, true, true},
+		{Unknown, false, true},
+		{False, false, false},
+	}
+	for _, c := range cases {
+		if Floor(c.in) != c.floor {
+			t.Errorf("Floor(%v) = %v, want %v", c.in, Floor(c.in), c.floor)
+		}
+		if Ceil(c.in) != c.ceil {
+			t.Errorf("Ceil(%v) = %v, want %v", c.in, Ceil(c.in), c.ceil)
+		}
+	}
+}
+
+// TestNullEquality reproduces Figure 3's =ⁿ definition: NULL =ⁿ NULL is true,
+// NULL =ⁿ x is false, otherwise ⌊x = y⌋.
+func TestNullEquality(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Null, Null, true},
+		{Null, NewInt(1), false},
+		{NewInt(1), Null, false},
+		{NewInt(1), NewInt(1), true},
+		{NewInt(1), NewInt(2), false},
+		{NewInt(1), NewFloat(1.0), true},
+		{NewString("a"), NewString("a"), true},
+		{NewString("a"), NewString("b"), false},
+		{NewString("1"), NewInt(1), false},
+		{NewBool(true), NewBool(true), true},
+		{NewBool(true), NewBool(false), false},
+	}
+	for _, c := range cases {
+		if got := NullEq(c.a, c.b); got != c.want {
+			t.Errorf("NullEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestComparisonWithNullIsUnknown checks the three-valued WHERE semantics:
+// any comparison involving NULL is unknown, and floor-interpreting it
+// disqualifies the row.
+func TestComparisonWithNullIsUnknown(t *testing.T) {
+	vals := []Value{NewInt(5), NewFloat(2.5), NewString("x"), NewBool(true)}
+	for _, v := range vals {
+		if Equal(v, Null) != Unknown || Equal(Null, v) != Unknown {
+			t.Errorf("Equal(%v, NULL) must be unknown", v)
+		}
+		if Less(v, Null) != Unknown || Less(Null, v) != Unknown {
+			t.Errorf("Less(%v, NULL) must be unknown", v)
+		}
+	}
+	if Equal(Null, Null) != Unknown {
+		t.Error("NULL = NULL must be unknown under comparison semantics")
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		sign int
+	}{
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(1.5), NewInt(1), 1},
+		{NewInt(3), NewFloat(3.0), 0},
+		{NewFloat(2.0), NewFloat(2.0), 0},
+	}
+	for _, c := range cases {
+		sign, ok := Compare(c.a, c.b)
+		if !ok || sign != c.sign {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, true)", c.a, c.b, sign, ok, c.sign)
+		}
+	}
+}
+
+func TestCompareIncomparableKinds(t *testing.T) {
+	if _, ok := Compare(NewString("1"), NewInt(1)); ok {
+		t.Error("string vs int must be incomparable")
+	}
+	if _, ok := Compare(NewBool(true), NewInt(1)); ok {
+		t.Error("bool vs int must be incomparable")
+	}
+	if Equal(NewString("1"), NewInt(1)) != Unknown {
+		t.Error("incomparable equality must be unknown")
+	}
+}
+
+func TestLargeInt64ComparePrecision(t *testing.T) {
+	// Two large int64s that collapse to the same float64 must still
+	// compare correctly via the int64 fast path.
+	a := NewInt(math.MaxInt64)
+	b := NewInt(math.MaxInt64 - 1)
+	sign, ok := Compare(a, b)
+	if !ok || sign != 1 {
+		t.Errorf("Compare(MaxInt64, MaxInt64-1) = (%d,%v), want (1,true)", sign, ok)
+	}
+}
+
+func TestIntFloatCompareExact(t *testing.T) {
+	cases := []struct {
+		i    int64
+		f    float64
+		sign int
+	}{
+		{math.MaxInt64, 0x1p63, -1}, // 2^63 exceeds MaxInt64
+		{math.MinInt64, -0x1p63, 0}, // -2^63 == MinInt64 exactly
+		{math.MaxInt64, 9.2e18, 1},  // below MaxInt64
+		{0, math.Inf(1), -1},        // +Inf above everything
+		{0, math.Inf(-1), 1},        // -Inf below everything
+		{5, 5.5, -1},                // fractional part
+		{-5, -5.5, 1},               // fractional part, negative
+		{1 << 53, 0x1p53, 0},        // boundary of exactness
+		{(1 << 53) + 1, 0x1p53, 1},  // 2^53+1 > 2^53
+	}
+	for _, c := range cases {
+		sign, ok := Compare(NewInt(c.i), NewFloat(c.f))
+		if !ok || sign != c.sign {
+			t.Errorf("Compare(%d, %g) = (%d,%v), want (%d,true)", c.i, c.f, sign, ok, c.sign)
+		}
+		// Symmetric direction.
+		rsign, rok := Compare(NewFloat(c.f), NewInt(c.i))
+		if !rok || rsign != -c.sign {
+			t.Errorf("Compare(%g, %d) = (%d,%v), want (%d,true)", c.f, c.i, rsign, rok, -c.sign)
+		}
+	}
+	if _, ok := Compare(NewInt(1), NewFloat(math.NaN())); ok {
+		t.Error("int vs NaN must be incomparable")
+	}
+}
+
+func TestGroupKeyLargeIntsDistinct(t *testing.T) {
+	// These two ints collapse to the same float64 but must not collide.
+	a := Row{NewInt(math.MaxInt64)}
+	b := Row{NewInt(math.MaxInt64 - 1)}
+	if GroupKeyAll(a) == GroupKeyAll(b) {
+		t.Error("distinct large int64s must not share a group key")
+	}
+	// And a float exactly equal to an int must collide with that int.
+	if GroupKeyAll(Row{NewInt(1 << 40)}) != GroupKeyAll(Row{NewFloat(0x1p40)}) {
+		t.Error("2^40 and 2.0^40 must share a group key")
+	}
+}
+
+func TestValueAccessorsPanicOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Int() on a string value must panic")
+		}
+	}()
+	_ = NewString("x").Int()
+}
+
+func TestAccessorsAndKinds(t *testing.T) {
+	if !Null.IsNull() || NewInt(1).IsNull() {
+		t.Error("IsNull wrong")
+	}
+	if NewInt(1).Kind() != KindInt || NewFloat(1).Kind() != KindFloat ||
+		NewString("").Kind() != KindString || NewBool(true).Kind() != KindBool ||
+		Null.Kind() != KindNull {
+		t.Error("Kind wrong")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float wrong")
+	}
+	if NewString("s").Str() != "s" {
+		t.Error("Str wrong")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool wrong")
+	}
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Error("AsFloat(int) wrong")
+	}
+	if f, ok := NewFloat(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Error("AsFloat(float) wrong")
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Error("AsFloat(string) must fail")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("AsFloat(NULL) must fail")
+	}
+	// Kind names (used by error messages and the shell).
+	names := map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "DOUBLE",
+		KindString: "CHARACTER", KindBool: "BOOLEAN",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown Kind must still render")
+	}
+	// Truth names (Figure 2's labels).
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Error("Truth names wrong")
+	}
+	if Truth(99).String() == "" {
+		t.Error("unknown Truth must still render")
+	}
+	// Row rendering.
+	if got := (Row{NewInt(1), Null, NewString("x")}).String(); got != "(1, NULL, 'x')" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}
+
+func TestLessAndOrderKeyEdges(t *testing.T) {
+	if Less(NewInt(1), NewInt(2)) != True || Less(NewInt(2), NewInt(1)) != False {
+		t.Error("Less wrong")
+	}
+	if Less(NewString("a"), NewInt(1)) != Unknown {
+		t.Error("incomparable Less must be unknown")
+	}
+	// OrderKey cross-rank ordering: NULL < bool < numeric < string.
+	ordered := []Value{Null, NewBool(false), NewInt(0), NewString("")}
+	for i := 0; i+1 < len(ordered); i++ {
+		if OrderKey(ordered[i], ordered[i+1]) >= 0 {
+			t.Errorf("OrderKey(%s, %s) >= 0", ordered[i], ordered[i+1])
+		}
+		if OrderKey(ordered[i+1], ordered[i]) <= 0 {
+			t.Errorf("OrderKey(%s, %s) <= 0", ordered[i+1], ordered[i])
+		}
+	}
+	if OrderKey(Null, Null) != 0 {
+		t.Error("OrderKey(NULL, NULL) must be 0")
+	}
+	// NaN fallback path: deterministic, antisymmetric.
+	nan := NewFloat(math.NaN())
+	if OrderKey(nan, nan) != 0 {
+		t.Error("OrderKey(NaN, NaN) must be 0")
+	}
+	if OrderKey(nan, NewFloat(1)) == 0 {
+		t.Error("OrderKey(NaN, 1) must not be 0")
+	}
+	if OrderKey(nan, NewFloat(1)) != -OrderKey(NewFloat(1), nan) {
+		t.Error("NaN OrderKey not antisymmetric")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(42), "42"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("dragon"), "'dragon'"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// randomValue produces an arbitrary Value including NULLs and cross-kind
+// numeric duplicates, for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(int64(r.Intn(5)))
+	case 2:
+		return NewFloat(float64(r.Intn(5)))
+	case 3:
+		return NewString(string(rune('a' + r.Intn(3))))
+	case 4:
+		return NewBool(r.Intn(2) == 0)
+	default:
+		return NewInt(int64(r.Intn(1000)))
+	}
+}
+
+func randomRow(r *rand.Rand, width int) Row {
+	row := make(Row, width)
+	for i := range row {
+		row[i] = randomValue(r)
+	}
+	return row
+}
+
+// TestPropGroupKeyMatchesNullEq: GroupKey agrees with =ⁿ row equivalence —
+// two rows hash to the same key exactly when NullEqRows holds. This is the
+// invariant that makes hash grouping implement SQL2 duplicate semantics.
+func TestPropGroupKeyMatchesNullEq(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			w := 1 + r.Intn(4)
+			args[0] = reflect.ValueOf(randomRow(r, w))
+			args[1] = reflect.ValueOf(randomRow(r, w))
+		},
+	}
+	prop := func(a, b Row) bool {
+		return (GroupKeyAll(a) == GroupKeyAll(b)) == NullEqRows(a, b)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropNullEqReflexiveSymmetric: =ⁿ is reflexive and symmetric for all
+// values (unlike three-valued "=", which is not reflexive on NULL).
+func TestPropNullEqReflexiveSymmetric(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomValue(r))
+			args[1] = reflect.ValueOf(randomValue(r))
+		},
+	}
+	prop := func(a, b Value) bool {
+		return NullEq(a, a) && NullEq(b, b) && NullEq(a, b) == NullEq(b, a)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropOrderKeyTotalOrder: OrderKey is antisymmetric and consistent with
+// =ⁿ (OrderKey == 0 iff NullEq), so sort-based grouping forms the same
+// groups as hash-based grouping.
+func TestPropOrderKeyTotalOrder(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomValue(r))
+			args[1] = reflect.ValueOf(randomValue(r))
+			args[2] = reflect.ValueOf(randomValue(r))
+		},
+	}
+	prop := func(a, b, c Value) bool {
+		ab, ba := OrderKey(a, b), OrderKey(b, a)
+		if sign(ab) != -sign(ba) {
+			return false
+		}
+		if (ab == 0) != NullEq(a, b) {
+			return false
+		}
+		// transitivity of ≤
+		if OrderKey(a, b) <= 0 && OrderKey(b, c) <= 0 && OrderKey(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestPropAndOrDuality checks De Morgan's laws, which hold in SQL2 3VL.
+func TestPropAndOrDuality(t *testing.T) {
+	truths := []Truth{True, Unknown, False}
+	for _, a := range truths {
+		for _, b := range truths {
+			if Not(And(a, b)) != Or(Not(a), Not(b)) {
+				t.Errorf("De Morgan AND failed for %v,%v", a, b)
+			}
+			if Not(Or(a, b)) != And(Not(a), Not(b)) {
+				t.Errorf("De Morgan OR failed for %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestRowConcatProjectClone(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	s := Row{Null}
+	cat := r.Concat(s)
+	if len(cat) != 3 || !NullEq(cat[2], Null) {
+		t.Errorf("Concat produced %v", cat)
+	}
+	p := cat.Project([]int{2, 0})
+	if !NullEqRows(p, Row{Null, NewInt(1)}) {
+		t.Errorf("Project produced %v", p)
+	}
+	c := r.Clone()
+	c[0] = NewInt(99)
+	if r[0].Int() != 1 {
+		t.Error("Clone must not alias the original row")
+	}
+}
+
+func TestGroupKeySelfDelimiting(t *testing.T) {
+	// Strings that concatenate identically must not collide.
+	a := Row{NewString("ab"), NewString("c")}
+	b := Row{NewString("a"), NewString("bc")}
+	if GroupKeyAll(a) == GroupKeyAll(b) {
+		t.Error("GroupKey must be self-delimiting across string boundaries")
+	}
+	// NULL must not collide with empty string or zero.
+	if GroupKeyAll(Row{Null}) == GroupKeyAll(Row{NewString("")}) {
+		t.Error("NULL collided with empty string")
+	}
+	if GroupKeyAll(Row{Null}) == GroupKeyAll(Row{NewInt(0)}) {
+		t.Error("NULL collided with 0")
+	}
+}
+
+func TestGroupKeyNumericCoalescing(t *testing.T) {
+	if GroupKeyAll(Row{NewInt(1)}) != GroupKeyAll(Row{NewFloat(1.0)}) {
+		t.Error("1 and 1.0 must group together (they compare equal)")
+	}
+	if GroupKeyAll(Row{NewFloat(0.0)}) != GroupKeyAll(Row{NewFloat(math.Copysign(0, -1))}) {
+		t.Error("0.0 and -0.0 must group together")
+	}
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func tableLen(t *testing.T, s *storage.Store, name string) int {
+	t.Helper()
+	tab, err := s.Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.Len()
+}
+
+func TestEmployeeDepartmentShape(t *testing.T) {
+	s, err := EmployeeDepartment(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tableLen(t, s, "Employee"); n != 1000 {
+		t.Errorf("Employee rows = %d", n)
+	}
+	if n := tableLen(t, s, "Department"); n != 10 {
+		t.Errorf("Department rows = %d", n)
+	}
+	// Round-robin fan-out: every department gets exactly 100 employees.
+	counts := make(map[int64]int)
+	emp, _ := s.Table("Employee")
+	for _, row := range emp.Rows() {
+		counts[row[3].Int()]++
+	}
+	for d, c := range counts {
+		if c != 100 {
+			t.Errorf("department %d has %d employees, want 100", d, c)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	s, err := Figure8(Figure8Defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tableLen(t, s, "A"); n != 10000 {
+		t.Errorf("A rows = %d", n)
+	}
+	if n := tableLen(t, s, "B"); n != 100 {
+		t.Errorf("B rows = %d", n)
+	}
+	// Exactly JoinOut rows of A have join keys present in B, and the
+	// eager grouping key count is AGroups.
+	a, _ := s.Table("A")
+	joinKeys := make(map[int64]int)
+	joining := 0
+	for _, row := range a.Rows() {
+		k := row[1].Int()
+		joinKeys[k]++
+		if k < int64(Figure8Defaults.BRows) {
+			joining++
+		}
+	}
+	if joining != Figure8Defaults.JoinOut {
+		t.Errorf("joining rows = %d, want %d", joining, Figure8Defaults.JoinOut)
+	}
+	if len(joinKeys) != Figure8Defaults.AGroups {
+		t.Errorf("distinct join keys = %d, want %d", len(joinKeys), Figure8Defaults.AGroups)
+	}
+}
+
+func TestPrintersShape(t *testing.T) {
+	p := PrinterParams{Users: 100, Machines: 4, Printers: 10, AuthsPerUser: 3, Seed: 9}
+	s, err := Printers(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tableLen(t, s, "UserAccount"); n != 100 {
+		t.Errorf("UserAccount rows = %d", n)
+	}
+	if n := tableLen(t, s, "PrinterAuth"); n != 300 {
+		t.Errorf("PrinterAuth rows = %d", n)
+	}
+	if n := tableLen(t, s, "Printer"); n != 10 {
+		t.Errorf("Printer rows = %d", n)
+	}
+	// Machine 0 is "dragon" and holds a quarter of the users.
+	ua, _ := s.Table("UserAccount")
+	dragons := 0
+	for _, row := range ua.Rows() {
+		if row[1].Str() == "dragon" {
+			dragons++
+		}
+	}
+	if dragons != 25 {
+		t.Errorf("dragon users = %d, want 25", dragons)
+	}
+}
+
+func TestPrintersDeterminism(t *testing.T) {
+	p := PrinterParams{Users: 50, Machines: 2, Printers: 5, AuthsPerUser: 2, Seed: 123}
+	s1, err := Printers(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Printers(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := s1.Table("PrinterAuth")
+	a2, _ := s2.Table("PrinterAuth")
+	if a1.Len() != a2.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a1.Rows() {
+		if !value.NullEqRows(a1.Row(i), a2.Row(i)) {
+			t.Fatalf("row %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	s, err := Sweep(SweepParams{FactRows: 1000, DimRows: 20, Groups: 5, MatchFraction: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tableLen(t, s, "Fact"); n != 1000 {
+		t.Errorf("Fact rows = %d", n)
+	}
+	fact, _ := s.Table("Fact")
+	matched := 0
+	groups := make(map[int64]bool)
+	for _, row := range fact.Rows() {
+		if row[1].Int() < 20 {
+			matched++
+		}
+		groups[row[2].Int()] = true
+	}
+	// Matching fraction is within a loose tolerance of the parameter.
+	if matched < 400 || matched > 600 {
+		t.Errorf("matched rows = %d, want ~500", matched)
+	}
+	if len(groups) != 5 {
+		t.Errorf("distinct groups = %d, want 5", len(groups))
+	}
+}
+
+func TestPartSupplierShape(t *testing.T) {
+	s, err := PartSupplier(200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tableLen(t, s, "Part"); n != 200 {
+		t.Errorf("Part rows = %d", n)
+	}
+	if n := tableLen(t, s, "Supplier"); n != 10 {
+		t.Errorf("Supplier rows = %d", n)
+	}
+}
+
+func TestRegisterUserInfoView(t *testing.T) {
+	s, err := Printers(PrinterParams{Users: 10, Machines: 2, Printers: 3, AuthsPerUser: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterUserInfoView(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Catalog().View("UserInfo") == nil {
+		t.Error("view not registered")
+	}
+	// Double registration fails cleanly.
+	if err := RegisterUserInfoView(s); err == nil {
+		t.Error("duplicate view registration accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package gbj
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sql"
+)
+
+// RunScript parses and executes a sequence of statements, writing SELECT
+// results and EXPLAIN output to w. DDL and INSERT statements run silently;
+// the first error stops execution.
+func (e *Engine) RunScript(text string, w io.Writer) error {
+	stmts, err := sql.Parse(text)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *sql.SelectStmt:
+			e.mu.RLock()
+			plan, err := e.choosePlan(s)
+			e.mu.RUnlock()
+			if err != nil {
+				return err
+			}
+			res, err := e.runPlan(plan)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, res.String())
+			fmt.Fprintf(w, "(%d rows)\n", len(res.Rows))
+		case *sql.ExplainStmt:
+			e.mu.RLock()
+			text, err := e.explainQuery(s.Query)
+			e.mu.RUnlock()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, text)
+		default:
+			e.mu.Lock()
+			err := e.execStmt(stmt)
+			e.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ListObjects returns one display line per table and view in the catalog.
+func (e *Engine) ListObjects() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []string
+	cat := e.store.Catalog()
+	for _, name := range cat.TableNames() {
+		def, err := cat.Table(name)
+		if err != nil {
+			continue
+		}
+		tab, err := e.store.Table(name)
+		rows := 0
+		if err == nil {
+			rows = tab.Len()
+		}
+		out = append(out, fmt.Sprintf("table %-20s %3d columns  %8d rows", name, len(def.Columns), rows))
+	}
+	for _, name := range cat.ViewNames() {
+		out = append(out, fmt.Sprintf("view  %s", name))
+	}
+	if len(out) == 0 {
+		out = append(out, "(no tables)")
+	}
+	return out
+}
