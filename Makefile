@@ -1,0 +1,33 @@
+# Development entry points. `make check` is the full gate: vet, build,
+# race-enabled tests (which include the serial-vs-parallel oracle and the
+# concurrent-execution smoke tests), and a short run of every fuzz target.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz bench
+
+check: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target needs its own invocation (go test allows one -fuzz
+# pattern per package run). -run=^$ skips the regular tests.
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzTestFD -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzLex -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/expr -run '^$$' -fuzz FuzzLikeMatch -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -39,11 +39,16 @@ func plansFor(b *testing.B, store *storage.Store, query string) (standard, trans
 
 // benchPlan times repeated executions of one plan.
 func benchPlan(b *testing.B, store *storage.Store, plan algebra.Node, outRows int64) {
+	benchPlanParallel(b, store, plan, outRows, 0)
+}
+
+// benchPlanParallel is benchPlan with an executor worker count.
+func benchPlanParallel(b *testing.B, store *storage.Store, plan algebra.Node, outRows int64, parallelism int) {
 	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exec.Run(plan, store, nil)
+		res, err := exec.Run(plan, store, &exec.Options{Parallelism: parallelism})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,6 +77,34 @@ func BenchmarkFigure1(b *testing.B) {
 	b.Run("Plan2_GroupBeforeJoin", func(b *testing.B) { benchPlan(b, store, transformed, 100) })
 }
 
+// BenchmarkFigure1Parallel runs both Figure 1 plans serially and with four
+// workers (a fixed count so the parallel operators engage even on machines
+// where NumCPU is 1). Parallel execution is deterministic (identical rows
+// in identical order), so the comparison is purely about wall time; on a
+// single-CPU machine the parallel runs measure scheduling overhead.
+func BenchmarkFigure1Parallel(b *testing.B) {
+	store, err := workload.EmployeeDepartment(10000, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	standard, transformed := plansFor(b, store, workload.Example1Query)
+	if transformed == nil {
+		b.Fatal("transformation not available")
+	}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"Serial", 0}, {"Parallel4", 4}} {
+		par := bc.par
+		b.Run("Plan1_GroupAfterJoin/"+bc.name, func(b *testing.B) {
+			benchPlanParallel(b, store, standard, 100, par)
+		})
+		b.Run("Plan2_GroupBeforeJoin/"+bc.name, func(b *testing.B) {
+			benchPlanParallel(b, store, transformed, 100, par)
+		})
+	}
+}
+
 // --------------------------------------------------------------- Figure 8
 
 // BenchmarkFigure8 regenerates the paper's Figure 8 / Example 4: a join
@@ -90,6 +123,32 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 	b.Run("Plan1_GroupAfterJoin", func(b *testing.B) { benchPlan(b, store, standard, 10) })
 	b.Run("Plan2_GroupBeforeJoin", func(b *testing.B) { benchPlan(b, store, transformed, 10) })
+}
+
+// BenchmarkFigure8Parallel is the Figure 8 instance serial vs parallel: the
+// eager plan's huge partial-aggregate table makes its parallel merge term
+// the dominant cost, so parallelism widens Plan 1's win.
+func BenchmarkFigure8Parallel(b *testing.B) {
+	store, err := workload.Figure8(workload.Figure8Defaults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	standard, transformed := plansFor(b, store, workload.Figure8Query)
+	if transformed == nil {
+		b.Fatal("transformation not available")
+	}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"Serial", 0}, {"Parallel4", 4}} {
+		par := bc.par
+		b.Run("Plan1_GroupAfterJoin/"+bc.name, func(b *testing.B) {
+			benchPlanParallel(b, store, standard, 10, par)
+		})
+		b.Run("Plan2_GroupBeforeJoin/"+bc.name, func(b *testing.B) {
+			benchPlanParallel(b, store, transformed, 10, par)
+		})
+	}
 }
 
 // -------------------------------------------------------------- Example 3

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	gbj-bench               # run every experiment
-//	gbj-bench -exp E1,E5    # run a subset
-//	gbj-bench -reps 5       # repetitions per measurement (fastest wins)
+//	gbj-bench                  # run every experiment
+//	gbj-bench -exp E1,E5       # run a subset
+//	gbj-bench -reps 5          # repetitions per measurement (fastest wins)
+//	gbj-bench -parallelism -1  # parallel execution, one worker per CPU
 package main
 
 import (
@@ -23,9 +24,14 @@ import (
 	"repro/internal/workload"
 )
 
+// parallelism is the executor worker count for every experiment: 0 or 1
+// serial, n > 1 that many workers, negative one per CPU.
+var parallelism int
+
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
+	flag.IntVar(&parallelism, "parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -76,7 +82,7 @@ func runE1(reps int) error {
 	if err != nil {
 		return err
 	}
-	c, err := bench.CompareForward(store, workload.Example1Query, reps)
+	c, err := bench.CompareForwardParallel(store, workload.Example1Query, reps, parallelism)
 	if err != nil {
 		return err
 	}
@@ -93,7 +99,7 @@ func runE2(reps int) error {
 	if err != nil {
 		return err
 	}
-	c, err := bench.CompareForward(store, workload.Figure8Query, reps)
+	c, err := bench.CompareForwardParallel(store, workload.Figure8Query, reps, parallelism)
 	if err != nil {
 		return err
 	}
@@ -124,7 +130,7 @@ func runE3(reps int) error {
 	fmt.Println()
 	fmt.Println(r.Decision.TraceString())
 	fmt.Printf("\nTestFD answer: %v (paper: YES)\n\n", r.Decision.OK)
-	c, err := bench.CompareForward(store, workload.Example3Query, reps)
+	c, err := bench.CompareForwardParallel(store, workload.Example3Query, reps, parallelism)
 	if err != nil {
 		return err
 	}
@@ -140,7 +146,7 @@ func runE4(reps int) error {
 	if err := workload.RegisterUserInfoView(store); err != nil {
 		return err
 	}
-	c, err := bench.CompareReverse(store, workload.Example5Query, reps)
+	c, err := bench.CompareReverseParallel(store, workload.Example5Query, reps, parallelism)
 	if err != nil {
 		return err
 	}
@@ -161,7 +167,7 @@ func runE5(reps int) error {
 		if err != nil {
 			return err
 		}
-		c, err := bench.CompareForward(store, workload.SweepQueryGroupByDim, reps)
+		c, err := bench.CompareForwardParallel(store, workload.SweepQueryGroupByDim, reps, parallelism)
 		if err != nil {
 			return err
 		}
@@ -185,7 +191,7 @@ func runE6(reps int) error {
 		if err != nil {
 			return err
 		}
-		c, err := bench.CompareForward(store, workload.SweepQueryGroupByDim, reps)
+		c, err := bench.CompareForwardParallel(store, workload.SweepQueryGroupByDim, reps, parallelism)
 		if err != nil {
 			return err
 		}
@@ -248,7 +254,7 @@ func runE8(reps int) error {
 			if err != nil {
 				return err
 			}
-			c, err := bench.CompareForward(store, workload.SweepQueryGroupByDim, reps)
+			c, err := bench.CompareForwardParallel(store, workload.SweepQueryGroupByDim, reps, parallelism)
 			if err != nil {
 				return err
 			}

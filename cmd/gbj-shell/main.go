@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	gbj-shell [-f script.sql]
+//	gbj-shell [-f script.sql] [-parallelism n]
 //
 // Statements end with ';'. SELECTs print result tables; EXPLAIN SELECT
 // prints the optimizer's full decision (normalization, TestFD trace, both
@@ -27,9 +27,11 @@ import (
 
 func main() {
 	file := flag.String("f", "", "run statements from a file, then exit")
+	parallelism := flag.Int("parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
 	flag.Parse()
 
 	engine := gbj.New()
+	engine.SetParallelism(*parallelism)
 	if *file != "" {
 		data, err := os.ReadFile(*file)
 		if err != nil {

@@ -53,9 +53,10 @@ const (
 // Engine is an embedded SQL engine instance. It is safe for concurrent
 // use: DDL/DML statements take a write lock, queries a read lock.
 type Engine struct {
-	mu    sync.RWMutex
-	store *storage.Store
-	opt   *core.Optimizer
+	mu          sync.RWMutex
+	store       *storage.Store
+	opt         *core.Optimizer
+	parallelism int
 }
 
 // New returns an empty engine.
@@ -76,6 +77,24 @@ func (e *Engine) Mode() Mode {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.opt.Mode
+}
+
+// SetParallelism selects the executor worker count: 0 or 1 run queries
+// serially (the default), n > 1 runs n workers, and a negative value uses
+// one worker per CPU. Parallel execution is deterministic — it returns
+// exactly the rows, in exactly the order, of a serial run.
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.parallelism = n
+	e.opt.Parallelism = n
+}
+
+// Parallelism returns the configured executor worker count.
+func (e *Engine) Parallelism() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.parallelism
 }
 
 // Result is a materialized query result with Go-native values: int64,
@@ -299,8 +318,9 @@ func (e *Engine) QueryParams(text string, params map[string]any) (*Result, error
 		return nil, err
 	}
 	res, err := exec.Run(plan, e.store, &exec.Options{
-		Params: p,
-		Group:  groupStrategyFor(plan),
+		Params:      p,
+		Group:       groupStrategyFor(plan),
+		Parallelism: e.parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -338,7 +358,7 @@ func groupStrategyFor(plan algebra.Node) exec.GroupStrategy {
 
 // runPlan executes a chosen plan with no host variables.
 func (e *Engine) runPlan(plan algebra.Node) (*Result, error) {
-	res, err := exec.Run(plan, e.store, nil)
+	res, err := exec.Run(plan, e.store, &exec.Options{Parallelism: e.parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -422,8 +442,9 @@ func (e *Engine) ExplainAnalyze(text string) (string, error) {
 	}
 	stats := make(algebra.Annotations)
 	res, err := exec.Run(plan, e.store, &exec.Options{
-		Stats: stats,
-		Group: groupStrategyFor(plan),
+		Stats:       stats,
+		Group:       groupStrategyFor(plan),
+		Parallelism: e.parallelism,
 	})
 	if err != nil {
 		return "", err

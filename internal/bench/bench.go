@@ -57,6 +57,12 @@ func (r *PlanRun) Tree() string { return algebra.Format(r.Plan, r.Ann) }
 // RunPlan executes the plan reps times (at least once), recording operator
 // cardinalities and the fastest wall time.
 func RunPlan(label string, plan algebra.Node, store *storage.Store, reps int) (*PlanRun, error) {
+	return RunPlanParallel(label, plan, store, reps, 0)
+}
+
+// RunPlanParallel is RunPlan with an executor worker count (0 or 1 serial,
+// negative one worker per CPU).
+func RunPlanParallel(label string, plan algebra.Node, store *storage.Store, reps, parallelism int) (*PlanRun, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -65,7 +71,7 @@ func RunPlan(label string, plan algebra.Node, store *storage.Store, reps int) (*
 	for i := 0; i < reps; i++ {
 		ann := make(algebra.Annotations)
 		start := time.Now()
-		res, err := exec.Run(plan, store, &exec.Options{Stats: ann})
+		res, err := exec.Run(plan, store, &exec.Options{Stats: ann, Parallelism: parallelism})
 		elapsed := time.Since(start)
 		if err != nil {
 			return nil, err
@@ -148,23 +154,30 @@ func (c *Comparison) Speedup() float64 {
 // CompareForward runs the full pipeline on a query: optimize, execute both
 // plans (when the transformation is valid), and verify equivalence.
 func CompareForward(store *storage.Store, query string, reps int) (*Comparison, error) {
+	return CompareForwardParallel(store, query, reps, 0)
+}
+
+// CompareForwardParallel is CompareForward with an executor worker count,
+// also passed to the optimizer's cost model.
+func CompareForwardParallel(store *storage.Store, query string, reps, parallelism int) (*Comparison, error) {
 	q, err := sql.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
 	opt := core.NewOptimizer(store)
+	opt.Parallelism = parallelism
 	report, err := opt.Optimize(q)
 	if err != nil {
 		return nil, err
 	}
 	c := &Comparison{Query: query, Report: report}
-	if c.Standard, err = RunPlan("standard (group after join)", report.Standard, store, reps); err != nil {
+	if c.Standard, err = RunPlanParallel("standard (group after join)", report.Standard, store, reps, parallelism); err != nil {
 		return nil, err
 	}
 	if report.Alternative == nil {
 		return c, nil
 	}
-	if c.Transformed, err = RunPlan("transformed (group before join)", report.Alternative, store, reps); err != nil {
+	if c.Transformed, err = RunPlanParallel("transformed (group before join)", report.Alternative, store, reps, parallelism); err != nil {
 		return nil, err
 	}
 	if !sameChecksum(c.Standard.checksum, c.Transformed.checksum) {
@@ -176,23 +189,29 @@ func CompareForward(store *storage.Store, query string, reps int) (*Comparison, 
 // CompareReverse runs the Section 8 experiment: nested (materialize the
 // view) vs flat (join first), verifying equivalence.
 func CompareReverse(store *storage.Store, query string, reps int) (*Comparison, error) {
+	return CompareReverseParallel(store, query, reps, 0)
+}
+
+// CompareReverseParallel is CompareReverse with an executor worker count.
+func CompareReverseParallel(store *storage.Store, query string, reps, parallelism int) (*Comparison, error) {
 	q, err := sql.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
 	opt := core.NewOptimizer(store)
+	opt.Parallelism = parallelism
 	rr, err := opt.TryReverse(q)
 	if err != nil {
 		return nil, err
 	}
 	c := &Comparison{Query: query}
-	if c.Standard, err = RunPlan("nested (materialize view, then join)", rr.Nested, store, reps); err != nil {
+	if c.Standard, err = RunPlanParallel("nested (materialize view, then join)", rr.Nested, store, reps, parallelism); err != nil {
 		return nil, err
 	}
 	if !rr.Applicable || !rr.Decision.OK {
 		return c, nil
 	}
-	if c.Transformed, err = RunPlan("flat (join before group-by)", rr.FlatPlan, store, reps); err != nil {
+	if c.Transformed, err = RunPlanParallel("flat (join before group-by)", rr.FlatPlan, store, reps, parallelism); err != nil {
 		return nil, err
 	}
 	if !sameChecksum(c.Standard.checksum, c.Transformed.checksum) {

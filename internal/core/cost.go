@@ -75,6 +75,16 @@ func (s *StoreStats) DistinctValues(table, column string) int64 {
 // trades against each other.
 type CostModel struct {
 	Stats Stats
+	// Parallelism is the worker count the executor will run plans with;
+	// 0 and 1 cost plans serially (the historical behavior). With more
+	// workers, the perfectly partitionable per-row work of each operator
+	// is divided across them, each parallel fan-out pays a fixed
+	// scheduling overhead, and grouping additionally pays a per-group
+	// merge term for combining thread-local partial aggregates — which
+	// penalizes eager aggregation exactly when it explodes the group
+	// count (the Figure 8 pathology grows worse, not better, with
+	// parallelism).
+	Parallelism int
 	// aliasTable maps a query alias to its base-table name.
 	aliasTable map[string]string
 }
@@ -133,7 +143,44 @@ const (
 	costGroupRow  = 2.0 // per input row of a grouping operator
 	costProjRow   = 0.5
 	costSortRow   = 3.0 // n log n folded into a coefficient
+
+	// costParallelStartup is the fixed cost of one parallel fan-out:
+	// worker scheduling, morsel bookkeeping, partition scatter.
+	costParallelStartup = 32.0
+	// costMergePartial is the per-group, per-extra-worker cost of
+	// merging thread-local partial aggregates after parallel grouping.
+	costMergePartial = 1.0
 )
+
+// workers resolves the model's parallelism to an effective worker count.
+func (m *CostModel) workers() float64 {
+	if m.Parallelism > 1 {
+		return float64(m.Parallelism)
+	}
+	return 1
+}
+
+// parallelWork is the effective cost of perfectly partitionable per-row
+// work w: divided across the workers, plus the fan-out overhead. Serial
+// models (workers == 1) return w unchanged.
+func (m *CostModel) parallelWork(w float64) float64 {
+	p := m.workers()
+	if p <= 1 {
+		return w
+	}
+	return w/p + costParallelStartup
+}
+
+// groupMergeCost is the extra cost of merging per-worker partial-aggregate
+// tables: each of the (workers-1) non-first partials touches up to one
+// entry per group.
+func (m *CostModel) groupMergeCost(groups float64) float64 {
+	p := m.workers()
+	if p <= 1 {
+		return 0
+	}
+	return (p - 1) * groups * costMergePartial
+}
 
 func (m *CostModel) estimate(n algebra.Node, ann algebra.Annotations) (cost, rows float64) {
 	switch node := n.(type) {
@@ -146,7 +193,7 @@ func (m *CostModel) estimate(n algebra.Node, ann algebra.Annotations) (cost, row
 	case *algebra.Select:
 		inCost, inRows := m.estimate(node.Input, ann)
 		rows = inRows * m.selectivity(node.Cond, inRows)
-		cost = inCost + inRows*costFilterRow
+		cost = inCost + m.parallelWork(inRows*costFilterRow)
 	case *algebra.Project:
 		inCost, inRows := m.estimate(node.Input, ann)
 		rows = inRows
@@ -156,25 +203,25 @@ func (m *CostModel) estimate(n algebra.Node, ann algebra.Annotations) (cost, row
 				rows = 1
 			}
 		}
-		cost = inCost + inRows*costProjRow
+		cost = inCost + m.parallelWork(inRows*costProjRow)
 	case *algebra.Product:
 		lCost, lRows := m.estimate(node.L, ann)
 		rCost, rRows := m.estimate(node.R, ann)
 		rows = lRows * rRows
-		cost = lCost + rCost + (lRows+rRows)*costJoinProbe + rows*costJoinOut
+		cost = lCost + rCost + m.parallelWork((lRows+rRows)*costJoinProbe+rows*costJoinOut)
 	case *algebra.Join:
 		lCost, lRows := m.estimate(node.L, ann)
 		rCost, rRows := m.estimate(node.R, ann)
 		rows = lRows * rRows * m.joinSelectivity(node)
-		cost = lCost + rCost + (lRows+rRows)*costJoinProbe + rows*costJoinOut
+		cost = lCost + rCost + m.parallelWork((lRows+rRows)*costJoinProbe+rows*costJoinOut)
 	case *algebra.GroupBy:
 		inCost, inRows := m.estimate(node.Input, ann)
 		rows = m.groupCount(node, inRows)
-		cost = inCost + inRows*costGroupRow
+		cost = inCost + m.parallelWork(inRows*costGroupRow) + m.groupMergeCost(rows)
 	case *algebra.Sort:
 		inCost, inRows := m.estimate(node.Input, ann)
 		rows = inRows
-		cost = inCost + inRows*costSortRow
+		cost = inCost + m.parallelWork(inRows*costSortRow)
 	default:
 		rows = 1
 		cost = 1

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sql"
+)
+
+// FuzzTestFD drives the decision procedure with randomized schemas,
+// instances and queries derived from the fuzz seed. Requirements:
+//
+//   - parse → bind → Normalize → TestFD never panics, whatever the seed;
+//   - whenever TestFD answers YES, both functional dependencies actually
+//     hold in the brute-force materialized join of the instance
+//     (checkInstanceFDs), and the standard and transformed plans return
+//     the same multiset — a counterexample here is a soundness bug, the
+//     one kind of bug the paper's algorithm must never have.
+//
+// The two-table and three-table generators from the oracle suite provide
+// the raw material; the seed selects the generator and drives every random
+// choice inside it, so the corpus explores schema shapes (keys present or
+// absent), NULL placement, predicate forms and grouping columns.
+func FuzzTestFD(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 42, 1994, 0xdeadbeef, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		r := rand.New(rand.NewSource(int64(seed)))
+		var inst *oracleInstance
+		var err error
+		if seed%3 == 0 {
+			inst, err = buildThreeTableInstance(r)
+		} else {
+			inst, err = buildOracleInstance(r)
+		}
+		if err != nil {
+			t.Skip() // rare generator dead ends (duplicate key rows)
+		}
+		q, err := sql.ParseQuery(inst.query)
+		if err != nil {
+			t.Fatalf("generator emitted unparsable query %q: %v", inst.query, err)
+		}
+		o := NewOptimizer(inst.store)
+		b, err := o.Planner().Bind(q)
+		if err != nil {
+			t.Fatalf("generator emitted unbindable query %q: %v", inst.query, err)
+		}
+		shape, err := Normalize(b, nil)
+		if err != nil {
+			if _, ok := err.(*ErrNotApplicable); ok {
+				return // outside the transformable class: nothing to decide
+			}
+			t.Fatalf("Normalize(%q): %v", inst.query, err)
+		}
+		dec := TestFD(shape)
+		if !dec.OK {
+			return // NO answers are always safe
+		}
+		if fd1, fd2 := checkInstanceFDs(t, o, shape); !fd1 || !fd2 {
+			t.Fatalf("TestFD said YES but the instance violates FD1=%v FD2=%v\nquery: %s\ntrace:\n%s",
+				fd1, fd2, inst.query, dec.TraceString())
+		}
+		standard, err := o.Planner().PlanStandard(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transformed, err := o.Planner().PlanTransformed(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMultiset(runPlan(t, standard, inst.store), runPlan(t, transformed, inst.store)) {
+			t.Fatalf("MAIN THEOREM VIOLATION under fuzzing\nquery: %s\ntrace:\n%s",
+				inst.query, dec.TraceString())
+		}
+	})
+}

@@ -45,6 +45,10 @@ type Optimizer struct {
 	planner *Planner
 	stats   Stats
 	Mode    Mode
+	// Parallelism is the executor worker count plans will run with; the
+	// cost model uses it to divide partitionable work and charge
+	// partial-aggregate merge costs. 0 or 1 costs plans serially.
+	Parallelism int
 	// DisablePredicateExpansion turns off the Section 6.3 predicate
 	// expansion (deriving constant predicates for R1's join columns from
 	// equality chains); on by default, off only for ablation studies.
@@ -125,6 +129,7 @@ func (o *Optimizer) OptimizeBound(b *BoundQuery) (*Report, error) {
 	}
 	r := &Report{Standard: standard}
 	model := NewCostModel(o.stats, b)
+	model.Parallelism = o.Parallelism
 	r.StandardCost = model.Estimate(standard)
 
 	if o.Mode == ModeNever {

@@ -65,6 +65,7 @@ func (o *Optimizer) TryReverse(q *sql.SelectStmt) (*ReverseReport, error) {
 	}
 	r := &ReverseReport{Nested: nested}
 	model := NewCostModel(o.stats, b)
+	model.Parallelism = o.Parallelism
 	r.NestedCost = model.Estimate(nested)
 
 	merged, why, err := o.mergeAggregatedView(b)

@@ -13,6 +13,8 @@ package exec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
@@ -81,8 +83,17 @@ type Options struct {
 	Join   JoinStrategy
 	Group  GroupStrategy
 	Params expr.Params
+	// Parallelism is the worker count for morsel-style intra-operator
+	// parallelism: 0 (and 1) preserve serial execution — the exact
+	// pre-parallelism operators and row-count accounting — while N > 1
+	// runs scans/filters/projections over parallel morsels, hash joins
+	// as partitioned build/probe, and hash aggregation with thread-local
+	// partials merged through the accumulators' combine step. Negative
+	// means one worker per CPU. Results are row-identical to serial
+	// execution for any setting (see parallel.go).
+	Parallelism int
 	// Stats, when non-nil, receives the actual output cardinality of
-	// every plan node.
+	// every plan node. Recording is safe under parallel execution.
 	Stats algebra.Annotations
 }
 
@@ -97,7 +108,7 @@ func Run(root algebra.Node, store *storage.Store, opts *Options) (*Result, error
 	if opts == nil {
 		opts = &Options{}
 	}
-	c := &compiler{store: store, opts: opts}
+	c := &compiler{store: store, opts: opts, par: opts.effectiveParallelism()}
 	out, err := c.compile(root)
 	if err != nil {
 		return nil, err
@@ -178,6 +189,12 @@ func drain(op Operator) ([]value.Row, error) {
 type compiler struct {
 	store *storage.Store
 	opts  *Options
+	// par is the resolved worker count; 1 selects the serial operators.
+	par int
+	// statsMu serializes stats-sink writes: under parallel execution the
+	// two inputs of a join are drained concurrently, so their statsOp
+	// Closes race on the shared Annotations map without it.
+	statsMu sync.Mutex
 }
 
 func (c *compiler) compile(n algebra.Node) (compiled, error) {
@@ -186,7 +203,7 @@ func (c *compiler) compile(n algebra.Node) (compiled, error) {
 		return compiled{}, err
 	}
 	if c.opts.Stats != nil {
-		out.op = &statsOp{inner: out.op, node: n, sink: c.opts.Stats}
+		out.op = &statsOp{inner: out.op, node: n, sink: c.opts.Stats, mu: &c.statsMu}
 	}
 	return out, nil
 }
@@ -210,7 +227,14 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		if err != nil {
 			return compiled{}, err
 		}
-		// Filtering preserves order.
+		// Filtering preserves order (the parallel filter concatenates
+		// morsels in input order, so it preserves it too).
+		if c.par > 1 {
+			return compiled{
+				op:    &parallelFilterOp{input: in.op, cond: cond, params: c.opts.Params, par: c.par},
+				order: in.order,
+			}, nil
+		}
 		return compiled{
 			op:    &filterOp{input: in.op, cond: cond, params: c.opts.Params},
 			order: in.order,
@@ -244,6 +268,12 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 				break
 			}
 			order = append(order, mapped)
+		}
+		if c.par > 1 {
+			return compiled{
+				op:    &parallelProjectOp{input: in.op, items: items, distinct: node.Distinct, params: c.opts.Params, par: c.par},
+				order: order,
+			}, nil
 		}
 		return compiled{
 			op:    &projectOp{input: in.op, items: items, distinct: node.Distinct, params: c.opts.Params},
@@ -284,7 +314,7 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		if !allAsc {
 			outOrder = nil // mixed directions: no OrderKey-ascending guarantee
 		}
-		return compiled{op: &sortOp{input: in.op, keys: keys}, order: outOrder}, nil
+		return compiled{op: &sortOp{input: in.op, keys: keys, par: c.par}, order: outOrder}, nil
 	default:
 		return compiled{}, fmt.Errorf("exec: no physical implementation for %T", n)
 	}
@@ -304,28 +334,34 @@ func hasSequencePrefix(order, want []int) bool {
 	return true
 }
 
-// statsOp counts rows flowing out of a node.
+// statsOp counts rows flowing out of a node. The counter is atomic and the
+// sink write is serialized through a shared mutex: with parallel execution
+// the two sides of a join are drained by concurrent goroutines, so sibling
+// statsOps open, count and close concurrently against the same sink map.
 type statsOp struct {
 	inner Operator
 	node  algebra.Node
 	sink  algebra.Annotations
-	count int64
+	mu    *sync.Mutex
+	count atomic.Int64
 }
 
-func (s *statsOp) Open() error { s.count = 0; return s.inner.Open() }
+func (s *statsOp) Open() error { s.count.Store(0); return s.inner.Open() }
 
 func (s *statsOp) Next() (value.Row, bool, error) {
 	row, ok, err := s.inner.Next()
 	if ok && err == nil {
-		s.count++
+		s.count.Add(1)
 	}
 	return row, ok, err
 }
 
 func (s *statsOp) Close() error {
+	s.mu.Lock()
 	a := s.sink[s.node]
-	a.Rows = s.count
+	a.Rows = s.count.Load()
 	s.sink[s.node] = a
+	s.mu.Unlock()
 	return s.inner.Close()
 }
 

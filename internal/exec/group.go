@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
@@ -88,9 +87,12 @@ func (c *compiler) compileGroupBy(node *algebra.GroupBy) (compiled, error) {
 	}
 	if strategy == GroupSort {
 		return compiled{
-			op:    &sortGroupOp{groupCore: base, preSorted: preSorted},
+			op:    &sortGroupOp{groupCore: base, preSorted: preSorted, par: c.par},
 			order: outOrder,
 		}, nil
+	}
+	if c.par > 1 {
+		return compiled{op: &parallelHashGroupOp{groupCore: base, par: c.par}}, nil
 	}
 	return compiled{op: &hashGroupOp{groupCore: base}}, nil
 }
@@ -259,6 +261,7 @@ func (g *hashGroupOp) Close() error                   { return nil }
 type sortGroupOp struct {
 	groupCore
 	preSorted bool
+	par       int
 }
 
 func (g *sortGroupOp) Open() error {
@@ -279,9 +282,7 @@ func (g *sortGroupOp) Open() error {
 		return g.emit([]*groupState{st})
 	}
 	if !g.preSorted {
-		sort.SliceStable(rows, func(i, j int) bool {
-			return compareAt(rows[i], g.groupCols, rows[j], g.groupCols) < 0
-		})
+		rows = sortByCols(rows, g.groupCols, g.par)
 	}
 	var states []*groupState
 	var cur *groupState
@@ -309,10 +310,12 @@ type sortKey struct {
 	desc bool
 }
 
-// sortOp materializes and sorts its input under value.OrderKey.
+// sortOp materializes and sorts its input under value.OrderKey, using the
+// parallel stable sort when par > 1.
 type sortOp struct {
 	input Operator
 	keys  []sortKey
+	par   int
 
 	out []value.Row
 	pos int
@@ -323,9 +326,9 @@ func (s *sortOp) Open() error {
 	if err != nil {
 		return err
 	}
-	sort.SliceStable(rows, func(i, j int) bool {
+	s.out = sortRowsStable(rows, s.par, func(a, b value.Row) bool {
 		for _, k := range s.keys {
-			c := value.OrderKey(rows[i][k.col], rows[j][k.col])
+			c := value.OrderKey(a[k.col], b[k.col])
 			if c == 0 {
 				continue
 			}
@@ -336,7 +339,6 @@ func (s *sortOp) Open() error {
 		}
 		return false
 	})
-	s.out = rows
 	s.pos = 0
 	return nil
 }

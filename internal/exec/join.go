@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"sort"
-
 	"repro/internal/algebra"
 	"repro/internal/expr"
 	"repro/internal/value"
@@ -72,7 +70,17 @@ func (c *compiler) compileJoin(node *algebra.Join) (compiled, error) {
 	switch strategy {
 	case JoinHash:
 		// Probe order follows the left input; left columns keep their
-		// positions in the concatenated schema.
+		// positions in the concatenated schema. The partitioned parallel
+		// hash join reproduces the same output order.
+		if c.par > 1 {
+			return compiled{
+				op: &parallelHashJoinOp{
+					left: left.op, right: right.op, keys: keys,
+					residual: boundResidual, params: c.opts.Params, par: c.par,
+				},
+				order: left.order,
+			}, nil
+		}
 		return compiled{
 			op: &hashJoinOp{
 				left: left.op, right: right.op, keys: keys,
@@ -119,7 +127,7 @@ func (c *compiler) compileJoin(node *algebra.Join) (compiled, error) {
 			op: &mergeJoinOp{
 				left: left.op, right: right.op, keys: keys,
 				lSorted: lSorted, rSorted: rSorted,
-				residual: boundResidual, params: c.opts.Params,
+				residual: boundResidual, params: c.opts.Params, par: c.par,
 			},
 			order: outOrder,
 		}, nil
@@ -128,6 +136,15 @@ func (c *compiler) compileJoin(node *algebra.Join) (compiled, error) {
 		full, err := expr.Bind(node.Cond, node.Schema())
 		if err != nil {
 			return compiled{}, err
+		}
+		if c.par > 1 {
+			return compiled{
+				op: &parallelNestedLoopJoinOp{
+					left: left.op, right: right.op,
+					cond: full, params: c.opts.Params, par: c.par,
+				},
+				order: left.order,
+			}, nil
 		}
 		return compiled{
 			op: &nestedLoopJoinOp{
@@ -286,26 +303,37 @@ func (j *hashJoinOp) Close() error { return j.left.Close() }
 // mergeJoinOp sorts both inputs on the join keys and merges them, emitting
 // the cross product of each matching key group. NULL keys are dropped for
 // the same reason as in the hash join. lSorted/rSorted mark inputs already
-// ordered on the keys, whose sort is skipped.
+// ordered on the keys, whose sort is skipped. With par > 1 the two inputs
+// are drained concurrently and the key sorts run as parallel stable sorts.
 type mergeJoinOp struct {
 	left, right      Operator
 	keys             []equiKey
 	lSorted, rSorted bool
 	residual         expr.Expr
 	params           expr.Params
+	par              int
 
 	out []value.Row
 	pos int
 }
 
 func (j *mergeJoinOp) Open() error {
-	lrows, err := drain(j.left)
-	if err != nil {
-		return err
-	}
-	rrows, err := drain(j.right)
-	if err != nil {
-		return err
+	var lrows, rrows []value.Row
+	var err error
+	if j.par > 1 {
+		lrows, rrows, err = drainBoth(j.left, j.right)
+		if err != nil {
+			return err
+		}
+	} else {
+		lrows, err = drain(j.left)
+		if err != nil {
+			return err
+		}
+		rrows, err = drain(j.right)
+		if err != nil {
+			return err
+		}
 	}
 	lCols := make([]int, len(j.keys))
 	rCols := make([]int, len(j.keys))
@@ -316,10 +344,10 @@ func (j *mergeJoinOp) Open() error {
 	lrows = dropNullKeys(lrows, lCols)
 	rrows = dropNullKeys(rrows, rCols)
 	if !j.lSorted {
-		sortByCols(lrows, lCols)
+		lrows = sortByCols(lrows, lCols, j.par)
 	}
 	if !j.rSorted {
-		sortByCols(rrows, rCols)
+		rrows = sortByCols(rrows, rCols, j.par)
 	}
 
 	j.out = j.out[:0]
@@ -390,9 +418,9 @@ func dropNullKeys(rows []value.Row, cols []int) []value.Row {
 	return out
 }
 
-func sortByCols(rows []value.Row, cols []int) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		return compareAt(rows[i], cols, rows[j], cols) < 0
+func sortByCols(rows []value.Row, cols []int, par int) []value.Row {
+	return sortRowsStable(rows, par, func(a, b value.Row) bool {
+		return compareAt(a, cols, b, cols) < 0
 	})
 }
 

@@ -1,0 +1,259 @@
+package exec_test
+
+// The serial-vs-parallel oracle: over hundreds of randomized stores and
+// queries, for both the standard and the transformed plan and for EVERY
+// physical strategy combination (JoinStrategy × GroupStrategy), parallel
+// execution must return exactly the rows of serial execution — same
+// values, same order — and must record exactly the same per-operator
+// output cardinality at every plan node. The parallel operators are
+// designed to be row-identical to their serial counterparts (parallel.go
+// documents the discipline); this suite is what holds them to it.
+//
+// This file lives in the external test package because it drives plans
+// through the optimizer: core imports exec, so an internal test importing
+// core would be an import cycle.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// oracleParallelism is the worker count the parallel runs use. Any value
+// above 1 must give identical results; 4 exercises multi-chunk scheduling
+// even on a single-CPU machine.
+const oracleParallelism = 4
+
+var joinStrategies = []exec.JoinStrategy{
+	exec.JoinAuto, exec.JoinHash, exec.JoinSortMerge, exec.JoinNestedLoop,
+}
+
+var groupStrategies = []exec.GroupStrategy{
+	exec.GroupAuto, exec.GroupHash, exec.GroupSort,
+}
+
+// rowStrings renders rows in order; comparing the slices compares both
+// content and order.
+func rowStrings(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = value.GroupKeyAll(r)
+	}
+	return out
+}
+
+func sameRowOrder(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runWithStats executes a plan and returns its rows plus per-node counts.
+func runWithStats(t *testing.T, plan algebra.Node, store *storage.Store, opts exec.Options) ([]value.Row, algebra.Annotations) {
+	t.Helper()
+	ann := make(algebra.Annotations)
+	opts.Stats = ann
+	res, err := exec.Run(plan, store, &opts)
+	if err != nil {
+		t.Fatalf("exec.Run (parallelism=%d join=%v group=%v): %v",
+			opts.Parallelism, opts.Join, opts.Group, err)
+	}
+	return res.Rows, ann
+}
+
+// checkSerialVsParallel runs one plan under one strategy combination both
+// serially and in parallel and asserts identical output and identical
+// per-operator cardinalities.
+func checkSerialVsParallel(t *testing.T, label, query string, plan algebra.Node, store *storage.Store, js exec.JoinStrategy, gs exec.GroupStrategy) []string {
+	t.Helper()
+	serialRows, serialAnn := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs})
+	parRows, parAnn := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs, Parallelism: oracleParallelism})
+	s, p := rowStrings(serialRows), rowStrings(parRows)
+	if !sameRowOrder(s, p) {
+		t.Fatalf("%s plan, join=%v group=%v: parallel output differs from serial\nquery: %s\nserial   (%d rows): %v\nparallel (%d rows): %v",
+			label, js, gs, query, len(s), s, len(p), p)
+	}
+	algebra.Walk(plan, func(n algebra.Node) {
+		if serialAnn[n].Rows != parAnn[n].Rows {
+			t.Fatalf("%s plan, join=%v group=%v: node %T output cardinality %d serial vs %d parallel\nquery: %s",
+				label, js, gs, n, serialAnn[n].Rows, parAnn[n].Rows, query)
+		}
+	})
+	return s
+}
+
+// oracleQuery checks one query on one store across every plan and strategy
+// combination, returning how many (plan, strategy) serial-vs-parallel
+// comparisons ran.
+func oracleQuery(t *testing.T, store *storage.Store, query string) int {
+	t.Helper()
+	q, err := sql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", query, err)
+	}
+	report, err := core.NewOptimizer(store).Optimize(q)
+	if err != nil {
+		t.Fatalf("optimizing %q: %v", query, err)
+	}
+	plans := []struct {
+		label string
+		plan  algebra.Node
+	}{{"standard", report.Standard}}
+	if report.Alternative != nil {
+		plans = append(plans, struct {
+			label string
+			plan  algebra.Node
+		}{"transformed", report.Alternative})
+	}
+	checks := 0
+	// Every strategy combination must agree with serial execution; every
+	// plan and combination must also agree with each other as multisets
+	// (a cross-check that strategy/plan choice never changes results).
+	var reference []string
+	for _, pl := range plans {
+		for _, js := range joinStrategies {
+			for _, gs := range groupStrategies {
+				rows := checkSerialVsParallel(t, pl.label, query, pl.plan, store, js, gs)
+				sorted := append([]string(nil), rows...)
+				sortStrings(sorted)
+				if reference == nil {
+					reference = sorted
+				} else if !sameRowOrder(reference, sorted) {
+					t.Fatalf("%s plan, join=%v group=%v: result multiset differs from the first combination\nquery: %s\nfirst: %v\n this: %v",
+						pl.label, js, gs, query, reference, sorted)
+				}
+				checks++
+			}
+		}
+	}
+	return checks
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// randomSweepStore builds a small random fact/dimension instance and
+// injects rows with NULL join keys and NULL aggregation inputs (dropped by
+// joins, skipped by aggregates — both paths must behave identically in
+// parallel).
+func randomSweepStore(t *testing.T, r *rand.Rand) *storage.Store {
+	t.Helper()
+	store, err := workload.Sweep(workload.SweepParams{
+		FactRows:      40 + r.Intn(160),
+		DimRows:       3 + r.Intn(15),
+		Groups:        2 + r.Intn(10),
+		MatchFraction: 0.2 + 0.8*r.Float64(),
+		Seed:          r.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.Intn(6); i++ {
+		if err := store.Insert("Fact", value.Row{
+			value.NewInt(int64(100000 + i)), value.Null,
+			value.NewInt(int64(r.Intn(5))), value.Null,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+// sweepQueries are the query templates over the Sweep schema; cut is a
+// random literal for the filter variants.
+func sweepQueries(r *rand.Rand) []string {
+	cut := r.Intn(100)
+	return []string{
+		`SELECT D.DimID, D.Label, COUNT(F.FID), SUM(F.V)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID
+		 GROUP BY D.DimID, D.Label`,
+		fmt.Sprintf(`SELECT D.DimID, D.Label, SUM(F.V)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID AND F.V < %d
+		 GROUP BY D.DimID, D.Label`, cut),
+		`SELECT D.DimID, MIN(F.V), MAX(F.V), AVG(F.V)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID
+		 GROUP BY D.DimID`,
+		`SELECT F.GroupID, SUM(F.V), COUNT(*)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID
+		 GROUP BY F.GroupID`,
+		`SELECT D.DimID, D.Label, COUNT(DISTINCT F.GroupID)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID
+		 GROUP BY D.DimID, D.Label`,
+		`SELECT COUNT(F.FID), SUM(F.V), MIN(F.V)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID`,
+		`SELECT D.DimID, D.Label, SUM(F.V)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID
+		 GROUP BY D.DimID, D.Label ORDER BY DimID DESC`,
+		`SELECT DISTINCT F.GroupID
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID`,
+	}
+}
+
+// TestSerialVsParallelOracle is the randomized serial ≡ parallel suite: at
+// least 200 queries (40 under -short) over random workload tables, each
+// checked across every JoinStrategy × GroupStrategy on both plans.
+func TestSerialVsParallelOracle(t *testing.T) {
+	targetQueries := 200
+	if testing.Short() {
+		targetQueries = 40
+	}
+	r := rand.New(rand.NewSource(19940301))
+	queries, checks := 0, 0
+	for queries < targetQueries {
+		switch r.Intn(5) {
+		case 0: // Example 1 schema at random sizes.
+			store, err := workload.EmployeeDepartment(30+r.Intn(150), 2+r.Intn(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []string{
+				workload.Example1Query,
+				`SELECT D.Name, AVG(E.EmpID), COUNT(*)
+				 FROM Employee E, Department D WHERE E.DeptID = D.DeptID
+				 GROUP BY D.Name`,
+			} {
+				checks += oracleQuery(t, store, q)
+				queries++
+			}
+		case 1: // Example 2 schema.
+			store, err := workload.PartSupplier(30+r.Intn(120), 2+r.Intn(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checks += oracleQuery(t, store,
+				`SELECT S.SupplierNo, S.Name, COUNT(P.PartNo)
+				 FROM Part P, Supplier S WHERE P.SupplierNo = S.SupplierNo
+				 GROUP BY S.SupplierNo, S.Name`)
+			queries++
+		default: // Random fact/dimension instance with NULL-key rows.
+			store := randomSweepStore(t, r)
+			qs := sweepQueries(r)
+			// Three random templates per instance keeps instance variety
+			// and query variety balanced.
+			for i := 0; i < 3; i++ {
+				checks += oracleQuery(t, store, qs[r.Intn(len(qs))])
+				queries++
+			}
+		}
+	}
+	t.Logf("serial-vs-parallel oracle: %d queries, %d plan/strategy comparisons", queries, checks)
+}

@@ -17,6 +17,15 @@ import (
 type Accumulator interface {
 	// Add folds one input value into the aggregate.
 	Add(v value.Value) error
+	// Merge folds another accumulator of the same aggregate — a partial
+	// aggregate over a disjoint subset of the group's rows — into this
+	// one. This is the eager/partial aggregation algebra of the paper
+	// reused as a combine rule: COUNT partials add, SUM partials add,
+	// MIN/MAX partials compare, AVG partials combine their (n, sum)
+	// pairs, and DISTINCT partials union their value sets. The parallel
+	// executor merges thread-local partials with it; merging in a fixed
+	// partition order keeps results deterministic.
+	Merge(other Accumulator) error
 	// Result returns the aggregate value for the group.
 	Result() value.Value
 }
@@ -46,10 +55,24 @@ func NewAccumulator(a *Aggregate) (Accumulator, error) {
 	return inner, nil
 }
 
+// mergeMismatch is the error for merging accumulators of different kinds.
+func mergeMismatch(dst, src Accumulator) error {
+	return fmt.Errorf("expr: cannot merge %T into %T", src, dst)
+}
+
 type countStarAcc struct{ n int64 }
 
 func (c *countStarAcc) Add(value.Value) error { c.n++; return nil }
 func (c *countStarAcc) Result() value.Value   { return value.NewInt(c.n) }
+
+func (c *countStarAcc) Merge(other Accumulator) error {
+	o, ok := other.(*countStarAcc)
+	if !ok {
+		return mergeMismatch(c, other)
+	}
+	c.n += o.n
+	return nil
+}
 
 type countAcc struct{ n int64 }
 
@@ -60,6 +83,15 @@ func (c *countAcc) Add(v value.Value) error {
 	return nil
 }
 func (c *countAcc) Result() value.Value { return value.NewInt(c.n) }
+
+func (c *countAcc) Merge(other Accumulator) error {
+	o, ok := other.(*countAcc)
+	if !ok {
+		return mergeMismatch(c, other)
+	}
+	c.n += o.n
+	return nil
+}
 
 // sumAcc keeps integer sums exact in int64 and promotes to float on the
 // first float input.
@@ -91,6 +123,22 @@ func (s *sumAcc) Add(v value.Value) error {
 	return nil
 }
 
+// Merge adds the other partial's sum. Integer partials merge exactly; a
+// float partial promotes the receiver, the same rule Add applies per value.
+func (s *sumAcc) Merge(other Accumulator) error {
+	o, ok := other.(*sumAcc)
+	if !ok {
+		return mergeMismatch(s, other)
+	}
+	if !o.seen {
+		return nil
+	}
+	if o.isFloat {
+		return s.Add(value.NewFloat(o.f))
+	}
+	return s.Add(value.NewInt(o.i))
+}
+
 func (s *sumAcc) Result() value.Value {
 	if !s.seen {
 		return value.Null
@@ -116,6 +164,16 @@ func (a *avgAcc) Add(v value.Value) error {
 	}
 	a.n++
 	a.sum += f
+	return nil
+}
+
+func (a *avgAcc) Merge(other Accumulator) error {
+	o, ok := other.(*avgAcc)
+	if !ok {
+		return mergeMismatch(a, other)
+	}
+	a.n += o.n
+	a.sum += o.sum
 	return nil
 }
 
@@ -151,6 +209,17 @@ func (m *minmaxAcc) Add(v value.Value) error {
 	return nil
 }
 
+func (m *minmaxAcc) Merge(other Accumulator) error {
+	o, ok := other.(*minmaxAcc)
+	if !ok || o.min != m.min {
+		return mergeMismatch(m, other)
+	}
+	if !o.seen {
+		return nil
+	}
+	return m.Add(o.best)
+}
+
 func (m *minmaxAcc) Result() value.Value {
 	if !m.seen {
 		return value.Null
@@ -160,9 +229,11 @@ func (m *minmaxAcc) Result() value.Value {
 
 // distinctAcc deduplicates inputs under =ⁿ before delegating. NULL inputs
 // are forwarded (the inner accumulator skips them), so dedup only needs to
-// track non-null keys.
+// track non-null keys. vals keeps the distinct values in first-appearance
+// order so that Merge replays the other partial's values deterministically.
 type distinctAcc struct {
 	seen  map[string]bool
+	vals  []value.Value
 	inner Accumulator
 }
 
@@ -175,7 +246,24 @@ func (d *distinctAcc) Add(v value.Value) error {
 		return nil
 	}
 	d.seen[key] = true
+	d.vals = append(d.vals, v)
 	return d.inner.Add(v)
+}
+
+// Merge unions the other partial's distinct values: each value unseen here
+// flows through Add, continuing the inner accumulator's left-to-right fold
+// exactly as serial execution would.
+func (d *distinctAcc) Merge(other Accumulator) error {
+	o, ok := other.(*distinctAcc)
+	if !ok {
+		return mergeMismatch(d, other)
+	}
+	for _, v := range o.vals {
+		if err := d.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (d *distinctAcc) Result() value.Value { return d.inner.Result() }

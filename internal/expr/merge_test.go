@@ -1,0 +1,156 @@
+package expr
+
+// Accumulator.Merge is the paper's eager/partial aggregation algebra: a
+// partial aggregate over a disjoint subset of a group's rows folds into
+// another partial to give exactly the aggregate over the union. These
+// tests check that chunked accumulation + Merge reproduces the serial
+// left-to-right fold for every aggregate kind — the property the parallel
+// hash aggregation in internal/exec rests on.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// serialResult folds all values into one accumulator.
+func serialResult(t *testing.T, agg *Aggregate, vals []value.Value) value.Value {
+	t.Helper()
+	acc, err := NewAccumulator(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if err := acc.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return acc.Result()
+}
+
+// mergedResult splits the values into chunks, accumulates each separately,
+// and merges the partials left to right.
+func mergedResult(t *testing.T, agg *Aggregate, vals []value.Value, chunks int) value.Value {
+	t.Helper()
+	partials := make([]Accumulator, chunks)
+	for i := range partials {
+		acc, err := NewAccumulator(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials[i] = acc
+	}
+	for i, v := range vals {
+		// Contiguous chunks, like the executor's per-worker ranges.
+		c := i * chunks / len(vals)
+		if err := partials[c].Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range partials[1:] {
+		if err := partials[0].Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return partials[0].Result()
+}
+
+func sameValue(a, b value.Value) bool {
+	return value.GroupKeyAll(value.Row{a}) == value.GroupKeyAll(value.Row{b})
+}
+
+func TestMergeMatchesSerialFold(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	aggs := []*Aggregate{
+		{Func: AggCountStar},
+		{Func: AggCount, Arg: Column("T", "v")},
+		{Func: AggSum, Arg: Column("T", "v")},
+		{Func: AggAvg, Arg: Column("T", "v")},
+		{Func: AggMin, Arg: Column("T", "v")},
+		{Func: AggMax, Arg: Column("T", "v")},
+		{Func: AggCount, Arg: Column("T", "v"), Distinct: true},
+		{Func: AggSum, Arg: Column("T", "v"), Distinct: true},
+	}
+	datasets := [][]value.Value{
+		nil,               // empty: merge of fresh accumulators
+		{value.Null},      // all-NULL input
+		{value.NewInt(7)}, // singleton
+	}
+	// Random integer datasets with NULLs and heavy duplication (DISTINCT
+	// must dedup across chunk boundaries).
+	for i := 0; i < 6; i++ {
+		n := 1 + r.Intn(40)
+		vals := make([]value.Value, n)
+		for j := range vals {
+			if r.Intn(6) == 0 {
+				vals[j] = value.Null
+			} else {
+				vals[j] = value.NewInt(int64(r.Intn(5)))
+			}
+		}
+		datasets = append(datasets, vals)
+	}
+	// A float dataset with exactly representable values: SUM/AVG partials
+	// must combine without drift.
+	datasets = append(datasets, []value.Value{
+		value.NewFloat(0.5), value.NewFloat(1.25), value.NewFloat(-2),
+	})
+
+	for ai, agg := range aggs {
+		for di, vals := range datasets {
+			want := serialResult(t, agg, vals)
+			for _, chunks := range []int{1, 2, 3, 4} {
+				if len(vals) == 0 && chunks > 1 {
+					continue
+				}
+				if len(vals) > 0 && chunks > len(vals) {
+					continue
+				}
+				got := mergedResult(t, agg, vals, chunks)
+				if !sameValue(got, want) {
+					t.Errorf("agg %d dataset %d chunks %d: merged %v, serial %v",
+						ai, di, chunks, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeKindMismatch: merging accumulators of different kinds is a
+// programming error and must be reported, not silently miscomputed.
+func TestMergeKindMismatch(t *testing.T) {
+	kinds := []*Aggregate{
+		{Func: AggCountStar},
+		{Func: AggCount, Arg: Column("T", "v")},
+		{Func: AggSum, Arg: Column("T", "v")},
+		{Func: AggAvg, Arg: Column("T", "v")},
+		{Func: AggMin, Arg: Column("T", "v")},
+		{Func: AggCount, Arg: Column("T", "v"), Distinct: true},
+	}
+	for i, a := range kinds {
+		for j, b := range kinds {
+			if i == j {
+				continue
+			}
+			dst, err := NewAccumulator(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := NewAccumulator(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Merge(src); err == nil {
+				t.Errorf("merging %T into %T did not error", src, dst)
+			}
+		}
+	}
+	// MIN and MAX share a type but differ in direction; merging them
+	// must also fail.
+	mn, _ := NewAccumulator(&Aggregate{Func: AggMin, Arg: Column("T", "v")})
+	mx, _ := NewAccumulator(&Aggregate{Func: AggMax, Arg: Column("T", "v")})
+	if err := mn.Merge(mx); err == nil {
+		t.Error("merging a MAX partial into a MIN accumulator did not error")
+	}
+}
