@@ -1,16 +1,31 @@
-# Development entry points. `make check` is the full gate: vet, build,
-# race-enabled tests (which include the serial-vs-parallel oracle and the
-# concurrent-execution smoke tests), and a short run of every fuzz target.
+# Development entry points. `make check` is the full gate: vet, the custom
+# static analyzers (gbj-lint), build, race-enabled tests (which include the
+# serial-vs-parallel oracle, the concurrent-execution smoke tests and the
+# plan-verifier suite), and a short run of every fuzz target.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet lint plancheck build test race fuzz bench
 
-check: vet build race fuzz
+check: vet lint build race plancheck fuzz
 
 vet:
 	$(GO) vet ./...
+
+# The repository's own multichecker (internal/lint): map-iteration
+# determinism in row paths, cost-model purity, atomic shared counters,
+# the accumulator Merge contract, exec.Options immutability.
+lint:
+	$(GO) run ./cmd/gbj-lint ./...
+
+# Static plan verification (internal/plancheck): the verifier's unit suite
+# plus the oracle runs that audit every optimizer-emitted plan — including
+# the TestFD certificate on transformed plans — via the CheckPlans gate.
+plancheck:
+	$(GO) test ./internal/plancheck
+	$(GO) test ./internal/exec -run TestSerialVsParallelOracle
+	$(GO) test . -run TestEngineModeOracle
 
 build:
 	$(GO) build ./...

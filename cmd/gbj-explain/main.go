@@ -46,9 +46,11 @@ const demoQuery = `
 func main() {
 	schemaFile := flag.String("schema", "", "SQL script defining tables, views and data")
 	demo := flag.Bool("demo", false, "explain the paper's Example 1 on a built-in schema")
+	check := flag.Bool("check", false, "statically verify both plans (plancheck): schema resolution, join key types, aggregate placement, and the TestFD certificate of an eager aggregation")
 	flag.Parse()
 
 	engine := gbj.New()
+	engine.SetPlanCheck(*check)
 	var query string
 	switch {
 	case *demo:
@@ -86,4 +88,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(text)
+	if *check {
+		fmt.Println("plancheck: all produced plans verified, 0 violations")
+	}
 }

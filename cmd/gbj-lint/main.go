@@ -1,0 +1,122 @@
+// Command gbj-lint runs the repository's custom static analyzers (package
+// internal/lint) over the module: map-iteration determinism in row paths,
+// cost-model purity, atomic counters in parallel code, the accumulator
+// Merge contract, and exec.Options immutability.
+//
+// Usage:
+//
+//	gbj-lint            # analyze the whole module (equivalent to ./...)
+//	gbj-lint ./...      # same
+//	gbj-lint ./internal/exec ./internal/core
+//	gbj-lint -list      # print the analyzer catalog
+//
+// Findings print as "file:line:col: message (analyzer)" and make the
+// command exit 1; a clean tree exits 0. Suppress an individual finding with
+// a "//lint:ignore <analyzer> <reason>" comment on or above its line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if len(a.Dirs) > 0 {
+				scope = strings.Join(a.Dirs, ", ")
+			}
+			fmt.Printf("%-14s %s [%s]\n", a.Name, a.Doc, scope)
+		}
+		return
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gbj-lint:", err)
+		os.Exit(2)
+	}
+	dirs, err := targetDirs(loader.ModuleRoot, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gbj-lint:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gbj-lint:", err)
+			os.Exit(2)
+		}
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gbj-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(rel(loader.ModuleRoot, d))
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "gbj-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// targetDirs expands the command-line patterns into package directories.
+// "./..." (or no arguments) means the whole module; a plain directory means
+// that one package.
+func targetDirs(moduleRoot string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return lint.ModuleDirs(moduleRoot)
+	}
+	var dirs []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			all, err := lint.ModuleDirs(moduleRoot)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, all...)
+			continue
+		}
+		if base, ok := strings.CutSuffix(arg, "/..."); ok {
+			sub, err := lint.ModuleDirs(filepath.Clean(base))
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, sub...)
+			continue
+		}
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", arg)
+		}
+		dirs = append(dirs, filepath.Clean(arg))
+	}
+	return dirs, nil
+}
+
+// rel shortens a diagnostic's file path to be module-relative.
+func rel(moduleRoot string, d lint.Diagnostic) string {
+	s := d.String()
+	if r, err := filepath.Rel(moduleRoot, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		s = fmt.Sprintf("%s:%d:%d: %s (%s)", r, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	return s
+}

@@ -45,6 +45,9 @@ func TestEngineModeOracle(t *testing.T) {
 func buildEngineInstance(t *testing.T, r *rand.Rand) (*Engine, string) {
 	t.Helper()
 	e := New()
+	// Static plan audit: every plan produced during the oracle run must
+	// pass plancheck (the -check debug gate), in every mode.
+	e.SetPlanCheck(true)
 	e.MustExec(`
 		CREATE TABLE Dim (id INTEGER PRIMARY KEY, label CHARACTER(10), grp INTEGER);
 		CREATE TABLE Fact (fid INTEGER PRIMARY KEY, did INTEGER, v INTEGER)`)

@@ -97,6 +97,24 @@ func (e *Engine) Parallelism() int {
 	return e.parallelism
 }
 
+// SetPlanCheck toggles static plan verification (package plancheck): when
+// on, every plan the optimizer produces — standard, transformed, nested and
+// flat — is checked for well-formedness, and a transformed plan must carry
+// a TestFD certificate for its eager aggregation. A violation surfaces as a
+// query error. This is a debug/audit gate, off by default.
+func (e *Engine) SetPlanCheck(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opt.CheckPlans = on
+}
+
+// PlanCheck reports whether static plan verification is enabled.
+func (e *Engine) PlanCheck() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opt.CheckPlans
+}
+
 // Result is a materialized query result with Go-native values: int64,
 // float64, string, bool, or nil for SQL NULL.
 type Result struct {

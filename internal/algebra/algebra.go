@@ -374,6 +374,10 @@ func aggType(e expr.Expr, in Schema) value.Kind {
 			return value.KindFloat
 		case expr.AggSum, expr.AggMin, expr.AggMax:
 			return inferType(n.Arg, in)
+		default:
+			// Unknown aggregate function: undeterminable. (Falling
+			// through to inferType would recurse forever.)
+			return value.KindNull
 		}
 	}
 	return inferType(e, in)

@@ -69,6 +69,8 @@ func FuzzTestFD(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		auditPlans(t, standard, transformed, shape, dec)
+		auditCertificateRoundTrip(t, transformed, shape, dec)
 		if !sameMultiset(runPlan(t, standard, inst.store), runPlan(t, transformed, inst.store)) {
 			t.Fatalf("MAIN THEOREM VIOLATION under fuzzing\nquery: %s\ntrace:\n%s",
 				inst.query, dec.TraceString())

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/plancheck"
 	"repro/internal/sql"
 	"repro/internal/storage"
 )
@@ -53,6 +54,13 @@ type Optimizer struct {
 	// expansion (deriving constant predicates for R1's join columns from
 	// equality chains); on by default, off only for ablation studies.
 	DisablePredicateExpansion bool
+	// CheckPlans statically verifies every plan the optimizer emits with
+	// package plancheck before returning it: well-formedness for all
+	// plans, plus a TestFD certificate covering the eager aggregation of
+	// a transformed plan. A violation turns into an optimizer error —
+	// this is a debug gate (gbj-explain -check, the oracle suites), off
+	// by default in production paths.
+	CheckPlans bool
 }
 
 // NewOptimizer builds an optimizer over the store with live statistics.
@@ -109,6 +117,51 @@ func (r *Report) Chosen() algebra.Node {
 	return r.Standard
 }
 
+// Certificates builds the plancheck certificates witnessing the Main
+// Theorem conditions for the transformed plan's eager aggregations. The
+// TestFD decision proves FD1 and FD2 together, so both flags carry
+// Decision.OK; the certified grouping columns are the shape's GA1+.
+func (r *Report) Certificates() []*plancheck.Certificate {
+	if r.Alternative == nil || r.Shape == nil {
+		return nil
+	}
+	var certs []*plancheck.Certificate
+	for _, g := range plancheck.EagerGroups(r.Alternative) {
+		certs = append(certs, &plancheck.Certificate{
+			Group:     g,
+			FD1:       r.Decision.OK,
+			FD2:       r.Decision.OK,
+			GroupCols: r.Shape.GA1Plus,
+			R2Tables:  r.Shape.R2,
+			Origin:    "TestFD",
+		})
+	}
+	return certs
+}
+
+// verifyReport runs the static plan verifier over the report's plans when
+// CheckPlans is set: the standard plan must be well-formed, and the
+// transformed plan must additionally carry a valid eager-aggregation
+// certificate.
+func (o *Optimizer) verifyReport(r *Report) error {
+	if !o.CheckPlans {
+		return nil
+	}
+	if err := plancheck.Verify(r.Standard, nil); err != nil {
+		return fmt.Errorf("core: standard plan failed verification: %w", err)
+	}
+	if r.Alternative != nil {
+		opts := &plancheck.Options{
+			Certificates:     r.Certificates(),
+			RequireEagerCert: true,
+		}
+		if err := plancheck.Verify(r.Alternative, opts); err != nil {
+			return fmt.Errorf("core: transformed plan failed verification: %w", err)
+		}
+	}
+	return nil
+}
+
 // Optimize plans a query, deciding whether to perform the group-by before
 // the join.
 func (o *Optimizer) Optimize(q *sql.SelectStmt) (*Report, error) {
@@ -121,8 +174,20 @@ func (o *Optimizer) Optimize(q *sql.SelectStmt) (*Report, error) {
 
 // OptimizeBound runs the decision pipeline on a bound query: normalize
 // (Section 3), TestFD (Section 6.3), transform (Main Theorem / Theorem 2),
-// choose by cost (Section 7).
+// choose by cost (Section 7). With CheckPlans set, both emitted plans are
+// statically verified before the report is returned.
 func (o *Optimizer) OptimizeBound(b *BoundQuery) (*Report, error) {
+	r, err := o.optimizeBound(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.verifyReport(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (o *Optimizer) optimizeBound(b *BoundQuery) (*Report, error) {
 	standard, err := o.planner.PlanStandard(b)
 	if err != nil {
 		return nil, err

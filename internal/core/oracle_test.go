@@ -338,6 +338,7 @@ func TestMainTheoremOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("iteration %d: transformed plan: %v", i, err)
 		}
+		auditPlans(t, standard, transformed, shape, dec)
 		rows1 := runPlan(t, standard, inst.store)
 		rows2 := runPlan(t, transformed, inst.store)
 		if !sameMultiset(rows1, rows2) {
@@ -504,6 +505,7 @@ func TestThreeTableOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("iteration %d: %v", i, err)
 		}
+		auditPlans(t, standard, transformed, shape, dec)
 		rows1 := runPlan(t, standard, inst.store)
 		rows2 := runPlan(t, transformed, inst.store)
 		if !sameMultiset(rows1, rows2) {

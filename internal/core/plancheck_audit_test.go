@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/plancheck"
+)
+
+// certify builds the plancheck certificates for a transformed plan the same
+// way Report.Certificates does: one per eager GroupBy, carrying the TestFD
+// verdict and the shape's GA1+.
+func certify(transformed algebra.Node, shape *Shape, dec Decision) []*plancheck.Certificate {
+	var certs []*plancheck.Certificate
+	for _, g := range plancheck.EagerGroups(transformed) {
+		certs = append(certs, &plancheck.Certificate{
+			Group:     g,
+			FD1:       dec.OK,
+			FD2:       dec.OK,
+			GroupCols: shape.GA1Plus,
+			R2Tables:  shape.R2,
+			Origin:    "TestFD",
+		})
+	}
+	return certs
+}
+
+// auditPlans statically verifies a standard/transformed plan pair produced
+// by the oracle or fuzz suites: the standard plan must be well-formed, and
+// the transformed plan must additionally carry a valid TestFD certificate
+// for every eager aggregation.
+func auditPlans(t *testing.T, standard, transformed algebra.Node, shape *Shape, dec Decision) {
+	t.Helper()
+	if err := plancheck.Verify(standard, nil); err != nil {
+		t.Fatalf("standard plan failed static verification: %v", err)
+	}
+	if transformed == nil {
+		return
+	}
+	opts := &plancheck.Options{
+		Certificates:     certify(transformed, shape, dec),
+		RequireEagerCert: true,
+	}
+	if err := plancheck.Verify(transformed, opts); err != nil {
+		t.Fatalf("transformed plan failed static verification: %v", err)
+	}
+}
+
+// auditCertificateRoundTrip is the fuzz-side certificate audit: the
+// transformation the fuzzer just accepted must verify with its genuine
+// certificate, and a tampered certificate refuting FD2 must be rejected
+// with a diagnostic naming the Main Theorem condition.
+func auditCertificateRoundTrip(t *testing.T, transformed algebra.Node, shape *Shape, dec Decision) {
+	t.Helper()
+	certs := certify(transformed, shape, dec)
+	opts := &plancheck.Options{Certificates: certs, RequireEagerCert: true}
+	if err := plancheck.Verify(transformed, opts); err != nil {
+		t.Fatalf("accepted transformation failed its certificate round-trip: %v", err)
+	}
+	if len(certs) == 0 {
+		t.Fatal("transformed plan has no eager aggregation to certify")
+	}
+	// Tamper: refute FD2 on every certificate and demand rejection.
+	tampered := make([]*plancheck.Certificate, len(certs))
+	for i, c := range certs {
+		cp := *c
+		cp.FD2 = false
+		tampered[i] = &cp
+	}
+	err := plancheck.Verify(transformed, &plancheck.Options{Certificates: tampered, RequireEagerCert: true})
+	if err == nil {
+		t.Fatal("plancheck accepted a certificate refuting FD2")
+	}
+	if !strings.Contains(err.Error(), "FD2") || !strings.Contains(err.Error(), "RowID(R2)") {
+		t.Fatalf("FD2 refutation diagnostic must name the theorem condition, got: %v", err)
+	}
+}

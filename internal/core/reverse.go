@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/plancheck"
 	"repro/internal/sql"
 )
 
@@ -53,8 +54,28 @@ func (r *ReverseReport) Chosen() algebra.Node {
 // TryReverse analyzes a query over an aggregated view (Section 8). The
 // nested plan is always available; when the merge succeeds and TestFD
 // proves the flat form equivalent, the report carries both plans and the
-// cost-based choice.
+// cost-based choice. With CheckPlans set, both plans are statically
+// verified (a view's grouping is wrapped in a rename projection, so
+// neither plan contains an eager aggregation needing a certificate).
 func (o *Optimizer) TryReverse(q *sql.SelectStmt) (*ReverseReport, error) {
+	r, err := o.tryReverse(q)
+	if err != nil {
+		return nil, err
+	}
+	if o.CheckPlans {
+		if err := plancheck.Verify(r.Nested, nil); err != nil {
+			return nil, fmt.Errorf("core: nested plan failed verification: %w", err)
+		}
+		if r.FlatPlan != nil {
+			if err := plancheck.Verify(r.FlatPlan, nil); err != nil {
+				return nil, fmt.Errorf("core: flat plan failed verification: %w", err)
+			}
+		}
+	}
+	return r, nil
+}
+
+func (o *Optimizer) tryReverse(q *sql.SelectStmt) (*ReverseReport, error) {
 	b, err := o.planner.Bind(q)
 	if err != nil {
 		return nil, err

@@ -105,7 +105,11 @@ func oracleQuery(t *testing.T, store *storage.Store, query string) int {
 	if err != nil {
 		t.Fatalf("parsing %q: %v", query, err)
 	}
-	report, err := core.NewOptimizer(store).Optimize(q)
+	o := core.NewOptimizer(store)
+	// Static plan audit: every plan the oracle executes must pass plancheck,
+	// including the TestFD certificate on a transformed plan's eager group.
+	o.CheckPlans = true
+	report, err := o.Optimize(q)
 	if err != nil {
 		t.Fatalf("optimizing %q: %v", query, err)
 	}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCounterAnalyzer flags plain counter mutation (x++, x--, x += n,
+// x -= n) of an integer variable captured from an enclosing scope inside a
+// `go` statement's function literal. Every goroutine spawned this way may
+// run concurrently with its siblings and its spawner, so an unsynchronized
+// read-modify-write on shared state is a data race; the morsel dispatcher's
+// cursor is the canonical example and uses atomic.Int64. The check is
+// deliberately narrow — plain assignment to captured variables stays legal
+// because the executor synchronizes those through WaitGroups and channels.
+var AtomicCounterAnalyzer = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "forbid non-atomic increment of captured integer counters inside go-routines",
+	Dirs: []string{"internal/exec"},
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineBody scans one goroutine literal for counter mutations of
+// captured integers.
+func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal that is not itself launched creates no new
+			// concurrency; keep scanning it with the same capture boundary.
+			return true
+		case *ast.IncDecStmt:
+			reportCapturedCounter(pass, lit, stmt.X, stmt.Tok)
+		case *ast.AssignStmt:
+			if stmt.Tok == token.ADD_ASSIGN || stmt.Tok == token.SUB_ASSIGN {
+				for _, lhs := range stmt.Lhs {
+					reportCapturedCounter(pass, lit, lhs, stmt.Tok)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportCapturedCounter reports when the mutated expression is an integer
+// identifier declared outside the goroutine literal.
+func reportCapturedCounter(pass *Pass, lit *ast.FuncLit, x ast.Expr, tok token.Token) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return // index/selector writes are per-slot by convention
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return
+	}
+	if lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End() {
+		return // declared inside the goroutine: thread-local
+	}
+	if b, ok := obj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return
+	}
+	pass.Reportf(x.Pos(), "%s%s on %s captured by a go statement: use sync/atomic for shared counters", id.Name, tok, id.Name)
+}

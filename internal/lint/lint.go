@@ -1,0 +1,202 @@
+// Package lint is a dependency-free static-analysis framework in the style
+// of golang.org/x/tools/go/analysis, specialized for this repository's
+// correctness invariants. Each Analyzer checks one rule; the gbj-lint
+// command runs them all over the module ("make lint" / "make check").
+//
+// The analyzer catalog:
+//
+//   - maprange: no bare range over a map in the executor/expression row
+//     paths (internal/exec, internal/expr). Map iteration order is
+//     randomized; a row path that depends on it produces nondeterministic
+//     results and breaks the serial-vs-parallel oracle. Iterate an
+//     insertion-order slice or sort the keys.
+//   - nowallclock: no time.Now/Since/Until and no math/rand in the planner
+//     and cost code (internal/core). Plan choice must be a pure function of
+//     schema, statistics and query, or EXPLAIN output and the oracle suites
+//     become unreproducible.
+//   - atomiccounter: no plain ++/--/+=/-= on an integer captured by a `go`
+//     statement's function literal; shared counters must use sync/atomic.
+//   - accmerge: every accumulator implementation (a type with Add and
+//     Result methods, internal/expr) must also implement the partial-
+//     aggregate Merge, and Merge must type-assert its partner — the
+//     contract parallel aggregation is built on.
+//   - optmutation: no writes to exec.Options fields outside the Options
+//     methods themselves (internal/exec); an Options value is treated as
+//     immutable once execution starts, and mutating it mid-run races with
+//     the workers reading it.
+//
+// A finding can be suppressed with a directive comment on the same line or
+// the line immediately above it:
+//
+//	//lint:ignore <analyzer> <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Dirs are the module-relative directory prefixes the rule applies
+	// to; empty means the whole module.
+	Dirs []string
+	// Run reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer covers a module-relative
+// directory.
+func (a *Analyzer) AppliesTo(rel string) bool {
+	if len(a.Dirs) == 0 {
+		return true
+	}
+	for _, d := range a.Dirs {
+		if rel == d || strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding as "file:line:col: message (analyzer)".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags   *[]Diagnostic
+	ignores map[ignoreKey]bool
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// TypeOf returns the type of an expression, nil when type checking could
+// not resolve it.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (use or definition), nil
+// when unresolved.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// Reportf records a finding unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if p.ignores[ignoreKey{position.Filename, line, p.Analyzer.Name}] ||
+			p.ignores[ignoreKey{position.Filename, line, "all"}] {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers applies every analyzer whose Dirs cover the package and
+// returns the combined findings in file/line order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores := collectIgnores(pkg)
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Rel) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+			ignores:  ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// collectIgnores indexes every //lint:ignore directive by file and line.
+func collectIgnores(pkg *Package) map[ignoreKey]bool {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ignores[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return ignores
+}
+
+// DefaultAnalyzers is the full catalog, the set gbj-lint runs.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRangeAnalyzer,
+		NoWallClockAnalyzer,
+		AtomicCounterAnalyzer,
+		AccMergeAnalyzer,
+		OptMutationAnalyzer,
+	}
+}

@@ -1,0 +1,118 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// loader is shared across tests: the source importer's type-checked stdlib
+// cache is the expensive part, and it is reusable.
+var loader *lint.Loader
+
+func TestMain(m *testing.M) {
+	var err error
+	loader, err = lint.NewLoader(".")
+	if err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}
+
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	return dir
+}
+
+func TestMapRangeFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "maprange"), lint.MapRangeAnalyzer)
+}
+
+func TestNoWallClockFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "nowallclock"), lint.NoWallClockAnalyzer)
+}
+
+func TestAtomicCounterFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "atomiccounter"), lint.AtomicCounterAnalyzer)
+}
+
+func TestAccMergeFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "accmerge"), lint.AccMergeAnalyzer)
+}
+
+func TestOptMutationFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "optmutation"), lint.OptMutationAnalyzer)
+}
+
+// TestAnalyzerScoping pins the directory scoping the driver applies: each
+// analyzer names the row-path/planner directories it guards.
+func TestAnalyzerScoping(t *testing.T) {
+	cases := []struct {
+		a       *lint.Analyzer
+		in, out string
+	}{
+		{lint.MapRangeAnalyzer, "internal/exec", "internal/core"},
+		{lint.MapRangeAnalyzer, "internal/expr", "cmd/gbj-lint"},
+		{lint.NoWallClockAnalyzer, "internal/core", "internal/exec"},
+		{lint.AtomicCounterAnalyzer, "internal/exec", "internal/sql"},
+		{lint.AccMergeAnalyzer, "internal/expr", "internal/exec"},
+		{lint.OptMutationAnalyzer, "internal/exec", ""},
+	}
+	for _, c := range cases {
+		if !c.a.AppliesTo(c.in) {
+			t.Errorf("%s must apply to %s", c.a.Name, c.in)
+		}
+		if c.a.AppliesTo(c.out) {
+			t.Errorf("%s must not apply to %q", c.a.Name, c.out)
+		}
+	}
+}
+
+// TestRepoClean runs the full analyzer catalog over every package of the
+// module and demands zero findings — the same gate "make lint" enforces.
+// The engine's conventions (insertion-order slices beside maps, atomics for
+// shared counters, pure cost code) must actually hold in the tree.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module against stdlib source")
+	}
+	dirs, err := lint.ModuleDirs(loader.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := lint.DefaultAnalyzers()
+	checked := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+		checked++
+	}
+	if checked < 8 {
+		t.Fatalf("only %d packages checked — module walk is broken", checked)
+	}
+	// The row-path and planner packages the analyzers exist for must be in
+	// the walk, or a clean run is vacuous.
+	joined := strings.Join(dirs, "\n")
+	for _, must := range []string{"internal/exec", "internal/expr", "internal/core"} {
+		if !strings.Contains(joined, filepath.FromSlash(must)) {
+			t.Errorf("module walk missed %s", must)
+		}
+	}
+}

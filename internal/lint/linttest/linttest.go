@@ -1,0 +1,98 @@
+// Package linttest runs one analyzer over a fixture package and matches
+// its findings against `// want "regex"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest. A fixture line carrying a
+// want comment must produce at least one diagnostic on that line whose
+// message matches the regular expression; any unmatched diagnostic or
+// unsatisfied want fails the test.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture directory with the given loader and checks the
+// analyzer's findings against the fixture's want comments.
+func Run(t *testing.T, loader *lint.Loader, fixtureDir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := loader.Load(fixtureDir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	wants := parseWants(t, pkg)
+
+	// Run the analyzer directly: fixtures live under testdata, outside the
+	// analyzer's Dirs scoping, which the driver (not the rule) applies.
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{{
+		Name: a.Name,
+		Doc:  a.Doc,
+		Run:  a.Run,
+	}})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixtureDir, err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unhit want matching the diagnostic.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts every `// want "regex"` comment with its position.
+func parseWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				rest = strings.TrimSpace(rest)
+				pat, err := strconv.Unquote(rest)
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", pkg.Fset.Position(c.Pos()), rest, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed, type-checked directory of non-test Go files.
+type Package struct {
+	// Dir is the absolute directory holding the files.
+	Dir string
+	// Rel is the module-relative directory ("" for the module root,
+	// "internal/exec", ...); analyzers scope themselves by it.
+	Rel string
+	// Path is the import path the package was loaded under.
+	Path string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-checking problems (e.g. a stdlib
+	// package the source importer could not fully load). Analyzers run on
+	// the partial information anyway.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of the surrounding module. Imports
+// of the module's own packages are resolved by loading their directories
+// recursively; standard-library imports go through the source importer. The
+// whole design is deliberately dependency-free: only go/ast, go/parser,
+// go/types and go/importer.
+type Loader struct {
+	// ModuleRoot is the absolute directory containing go.mod; ModulePath
+	// is the module's declared import path.
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // by absolute directory
+	loading map[string]bool     // cycle guard, by absolute directory
+}
+
+// NewLoader builds a loader for the module enclosing startDir (found by
+// walking up to go.mod).
+func NewLoader(startDir string) (*Loader, error) {
+	root, path, err := findModule(startDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: path,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the first go.mod and reads its module
+// path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Load parses and type-checks the non-test Go files of one directory.
+// Results are cached; loading the same directory twice is free.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.pkgs[abs]; ok {
+		return p, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("lint: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", abs)
+	}
+
+	pkg := &Package{
+		Dir:   abs,
+		Rel:   l.relDir(abs),
+		Path:  l.importPath(abs),
+		Fset:  l.fset,
+		Files: files,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check returns a usable (if incomplete) package even when it also
+	// reports errors through conf.Error; analyzers work on what resolved.
+	tpkg, _ := conf.Check(pkg.Path, l.fset, files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[abs] = pkg
+	return pkg, nil
+}
+
+// relDir is the module-relative directory, or the absolute one for
+// directories outside the module.
+func (l *Loader) relDir(abs string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return abs
+	}
+	if rel == "." {
+		return ""
+	}
+	return filepath.ToSlash(rel)
+}
+
+// importPath derives the path a directory is imported under.
+func (l *Loader) importPath(abs string) string {
+	rel := l.relDir(abs)
+	switch {
+	case rel == "":
+		return l.ModulePath
+	case !filepath.IsAbs(rel):
+		return l.ModulePath + "/" + rel
+	default:
+		return filepath.Base(abs) // out-of-module fixture
+	}
+}
+
+// Import implements types.Importer: module-local packages load through the
+// loader itself; anything else goes to the source importer, degrading to an
+// empty stub package when that fails (the type checker then reports soft
+// errors which Load collects and ignores).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := l.ModuleRoot
+		if path != l.ModulePath {
+			dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+		}
+		p, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	p, err := l.std.Import(path)
+	if err != nil {
+		return types.NewPackage(path, guessName(path)), nil
+	}
+	return p, nil
+}
+
+// ModuleDirs walks the module tree and returns every directory holding
+// buildable (non-test) Go files, skipping testdata, hidden directories and
+// vendored code. This is the "./..." the gbj-lint driver and the repo
+// cleanliness test expand.
+func ModuleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// guessName guesses a package name from its import path.
+func guessName(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return base
+}

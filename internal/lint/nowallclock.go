@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NoWallClockAnalyzer keeps the planner, cost model and decision procedure
+// pure: importing math/rand or reading the wall clock (time.Now, time.Since,
+// time.Until) inside internal/core would make plan choice — and therefore
+// EXPLAIN output, the oracle suites and the fuzz corpus — depend on when and
+// where the process runs. Cost must be a function of schema, statistics and
+// query text alone.
+var NoWallClockAnalyzer = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid wall-clock reads and math/rand in planner and cost code (cost-model purity)",
+	Dirs: []string{"internal/core"},
+	Run:  runNoWallClock,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNoWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" || strings.HasPrefix(path, "math/rand/") {
+				pass.Reportf(imp.Pos(), "import of %s in planner/cost code: plan decisions must be deterministic", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok && pn.Imported().Path() == "time" {
+				pass.Reportf(sel.Pos(), "time.%s in planner/cost code: cost must not depend on the wall clock", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OptMutationAnalyzer treats exec.Options as frozen once execution starts:
+// the compiler snapshots it and parallel workers read it concurrently, so a
+// field write after the initial composite literal races with every running
+// operator. The rule flags any assignment (or ++/--) through a selector
+// whose base is an Options value, except inside methods of Options itself
+// — construction happens via composite literals, which the rule does not
+// touch.
+var OptMutationAnalyzer = &Analyzer{
+	Name: "optmutation",
+	Doc:  "forbid exec.Options field mutation outside Options methods (frozen after engine start)",
+	Dirs: []string{"internal/exec"},
+	Run:  runOptMutation,
+}
+
+func runOptMutation(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 && receiverTypeName(fd.Recv.List[0].Type) == "Options" {
+				continue // Options' own methods may touch their fields
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.AssignStmt:
+					if stmt.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range stmt.Lhs {
+						reportOptionsWrite(pass, lhs)
+					}
+				case *ast.IncDecStmt:
+					reportOptionsWrite(pass, stmt.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// reportOptionsWrite reports when the written expression is a field
+// selected from an Options value.
+func reportOptionsWrite(pass *Pass, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Options" {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to %s.%s: Options is frozen once execution starts (workers read it concurrently); set the field when building the literal", types.ExprString(sel.X), sel.Sel.Name)
+}

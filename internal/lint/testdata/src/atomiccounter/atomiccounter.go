@@ -1,0 +1,96 @@
+// Fixture for the atomiccounter analyzer.
+package atomiccounter
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func racyCounters(n int) int {
+	count := 0
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++    // want "use sync/atomic for shared counters"
+			total += 2 // want "use sync/atomic for shared counters"
+		}()
+	}
+	wg.Wait()
+	return count + total
+}
+
+func atomicCounter(n int) int64 {
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count.Add(1) // method call, not a plain mutation
+		}()
+	}
+	wg.Wait()
+	return count.Load()
+}
+
+// Locals declared inside the goroutine are thread-local and fine.
+func localCounter(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for j := 0; j < 10; j++ {
+				local++
+			}
+			_ = local
+		}()
+	}
+	wg.Wait()
+}
+
+// Per-slot slice writes are the sanctioned fan-in pattern.
+func perSlot(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = w * w
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Mutation outside any goroutine is serial code and fine.
+func serial(n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		count++
+	}
+	return count
+}
+
+// A nested (non-launched) literal inside a goroutine shares its capture
+// boundary: mutating an outer variable through it is still racy.
+func nestedLiteral(n int) int {
+	count := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bump := func() {
+			count++ // want "use sync/atomic for shared counters"
+		}
+		for i := 0; i < n; i++ {
+			bump()
+		}
+	}()
+	<-done
+	return count
+}

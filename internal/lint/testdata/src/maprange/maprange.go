@@ -1,0 +1,65 @@
+// Fixture for the maprange analyzer.
+package maprange
+
+func emitGroups(groups map[string][]int) []int {
+	var out []int
+	for _, rows := range groups { // want "range over map"
+		out = append(out, rows...)
+	}
+	return out
+}
+
+func emitKeys(index map[string]int) []string {
+	var keys []string
+	for k := range index { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+type table map[int]string
+
+func emitNamedMap(t table) []string {
+	var out []string
+	for _, v := range t { // want "range over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Slices, arrays, strings and channels are fine.
+func emitSlices(rows [][]int, order []string, s string, ch chan int) int {
+	n := 0
+	for _, r := range rows {
+		n += len(r)
+	}
+	for range order {
+		n++
+	}
+	for range s {
+		n++
+	}
+	for range ch {
+		n++
+	}
+	return n
+}
+
+// An insertion-order slice kept beside the map is exactly the sanctioned
+// pattern.
+func emitInOrder(index map[string]int, order []string) []int {
+	out := make([]int, 0, len(order))
+	for _, k := range order {
+		out = append(out, index[k])
+	}
+	return out
+}
+
+func suppressed(m map[string]int) int {
+	n := 0
+	//lint:ignore maprange key order does not affect the sum
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

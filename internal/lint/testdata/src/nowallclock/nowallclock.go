@@ -1,0 +1,35 @@
+// Fixture for the nowallclock analyzer.
+package nowallclock
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in planner/cost code"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in planner/cost code"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until in planner/cost code"
+}
+
+func jitter() float64 {
+	return rand.Float64()
+}
+
+// Pure uses of package time are fine: durations, formatting constants.
+func timeout() time.Duration {
+	return 3 * time.Second
+}
+
+// A local method named Now on a non-time type is fine.
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func localNow(c clock) int { return c.Now() }

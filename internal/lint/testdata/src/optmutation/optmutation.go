@@ -1,0 +1,51 @@
+// Fixture for the optmutation analyzer.
+package optmutation
+
+// Options mirrors exec.Options for the fixture.
+type Options struct {
+	Parallelism int
+	Workers     int
+}
+
+// normalize is a method of Options and may adjust its own fields.
+func (o *Options) normalize() {
+	if o.Parallelism < 0 {
+		o.Parallelism = 8
+	}
+}
+
+type engine struct {
+	opts *Options
+}
+
+func run(opts *Options) {
+	opts.Parallelism = 4 // want "Options is frozen once execution starts"
+	opts.Workers++       // want "Options is frozen once execution starts"
+}
+
+func (e *engine) tune(n int) {
+	e.opts.Parallelism = n // want "Options is frozen once execution starts"
+}
+
+func byValue(o Options) {
+	o.Parallelism = 2 // want "Options is frozen once execution starts"
+}
+
+// Building a fresh literal is the sanctioned way to configure execution.
+func build(n int) *Options {
+	return &Options{Parallelism: n}
+}
+
+// Replacing a whole variable (not a field) is an ordinary assignment.
+func replace(o *Options) *Options {
+	o = &Options{}
+	return o
+}
+
+// Writes to other types' fields are unrelated.
+type stats struct{ rows int }
+
+func bump(s *stats) {
+	s.rows++
+	s.rows = s.rows + 1
+}

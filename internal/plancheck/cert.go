@@ -1,0 +1,130 @@
+package plancheck
+
+import (
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+)
+
+// Certificate witnesses the legality of one eager aggregation: it records
+// that Algorithm TestFD proved the Main Theorem's two functional
+// dependencies for the transformed query shape whose eager GroupBy is
+// Group. The optimizer issues one per transformation (Report.Certificates);
+// tests may hand-build them to assert that illegal plans are rejected.
+type Certificate struct {
+	// Group is the eager *algebra.GroupBy node the certificate covers
+	// (compared by identity).
+	Group algebra.Node
+	// FD1 records that (GA1, GA2) → GA1+ was proven to hold in the join
+	// result.
+	FD1 bool
+	// FD2 records that (GA1+, GA2) → RowID(R2) was proven: the grouped
+	// R1 side joins with at most one row per R2 group.
+	FD2 bool
+	// GroupCols is the certified GA1+ — the exact column set the eager
+	// aggregation must group on.
+	GroupCols []expr.ColumnID
+	// R2Tables names the R2-side tables FD2 ranges over, for diagnostics.
+	R2Tables []string
+	// Origin names the prover, e.g. "TestFD".
+	Origin string
+}
+
+// EagerGroups returns the plan's eager aggregations: every GroupBy sitting
+// directly below a Join or Product — the shape the group-by-before-join
+// transformation produces (the planner never emits it otherwise; view and
+// derived-table groupings are always wrapped in a rename projection).
+func EagerGroups(root algebra.Node) []*algebra.GroupBy {
+	var out []*algebra.GroupBy
+	algebra.Walk(root, func(n algebra.Node) {
+		var l, r algebra.Node
+		switch j := n.(type) {
+		case *algebra.Join:
+			l, r = j.L, j.R
+		case *algebra.Product:
+			l, r = j.L, j.R
+		default:
+			return
+		}
+		for _, side := range []algebra.Node{l, r} {
+			if g, ok := side.(*algebra.GroupBy); ok {
+				out = append(out, g)
+			}
+		}
+	})
+	return out
+}
+
+// checkCertificates enforces the eager-cert rule: every eager aggregation
+// must be covered by a certificate proving FD1 ∧ FD2 with matching grouping
+// columns; certificates covering no node in the plan are stale.
+func (c *checker) checkCertificates(root algebra.Node) {
+	eager := EagerGroups(root)
+	covered := make(map[algebra.Node]bool, len(c.opts.Certificates))
+	for _, cert := range c.opts.Certificates {
+		covered[cert.Group] = true
+		found := false
+		for _, g := range eager {
+			if algebra.Node(g) == cert.Group {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.report("eager-cert", root, "stale certificate: its GroupBy node is not an eager aggregation of this plan")
+			continue
+		}
+		c.checkCertificate(cert)
+	}
+	for _, g := range eager {
+		if !covered[algebra.Node(g)] {
+			c.report("eager-cert", g,
+				"eager aggregation below a join carries no TestFD certificate: Main Theorem conditions FD1 ((GA1, GA2) → GA1+) and FD2 ((GA1+, GA2) → RowID(R2)) are unverified")
+		}
+	}
+	if c.opts.RequireEagerCert && len(eager) == 0 {
+		c.report("eager-cert", root, "plan claims to be transformed (group-by before join) but contains no eager aggregation")
+	}
+}
+
+// checkCertificate validates one certificate against its covered node.
+func (c *checker) checkCertificate(cert *Certificate) {
+	g := cert.Group.(*algebra.GroupBy)
+	if !cert.FD1 {
+		c.report("eager-cert", g,
+			"certificate refutes Main Theorem condition FD1: (GA1, GA2) → GA1+ does not hold in the join result; eager aggregation would merge rows the final grouping must keep apart")
+	}
+	if !cert.FD2 {
+		c.report("eager-cert", g,
+			"certificate refutes Main Theorem condition FD2: (GA1+, GA2) → RowID(R2) does not hold in the join result; an aggregated R1 row could join more than one R2 row per group, duplicating aggregates")
+	}
+	if !sameColumnSet(cert.GroupCols, g.GroupCols) {
+		c.report("eager-cert", g,
+			"eager grouping columns %s differ from the certified GA1+ %s; the certificate does not license this grouping", colList(g.GroupCols), colList(cert.GroupCols))
+	}
+}
+
+func sameColumnSet(a, b []expr.ColumnID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[expr.ColumnID]bool, len(a))
+	for _, c := range a {
+		set[c] = true
+	}
+	for _, c := range b {
+		if !set[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func colList(cols []expr.ColumnID) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,334 @@
+package plancheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+func col(table, name string, k value.Kind) algebra.ColDesc {
+	return algebra.ColDesc{ID: expr.ColumnID{Table: table, Name: name}, Type: k}
+}
+
+// empScan/deptScan mirror the paper's Example 1 tables.
+func empScan() *algebra.Scan {
+	return algebra.NewScan("Employee", "E", algebra.Schema{
+		col("E", "EmpID", value.KindInt),
+		col("E", "DeptID", value.KindInt),
+		col("E", "Salary", value.KindInt),
+	})
+}
+
+func deptScan() *algebra.Scan {
+	return algebra.NewScan("Department", "D", algebra.Schema{
+		col("D", "DeptID", value.KindInt),
+		col("D", "Name", value.KindString),
+	})
+}
+
+// standardPlan builds the textbook group-after-join plan:
+// GroupBy[D.DeptID](Join[E.DeptID = D.DeptID](E, D)) under a projection.
+func standardPlan() algebra.Node {
+	join := &algebra.Join{
+		L:    empScan(),
+		R:    deptScan(),
+		Cond: expr.Eq(expr.Column("E", "DeptID"), expr.Column("D", "DeptID")),
+	}
+	group := &algebra.GroupBy{
+		Input:     join,
+		GroupCols: []expr.ColumnID{{Table: "D", Name: "DeptID"}},
+		Aggs: []algebra.AggItem{{
+			E:  &expr.Aggregate{Func: expr.AggCountStar},
+			As: expr.ColumnID{Name: "$agg0"},
+		}},
+	}
+	return &algebra.Project{Input: group, Items: []algebra.ProjItem{
+		{E: expr.Column("D", "DeptID"), As: expr.ColumnID{Name: "DeptID"}},
+		{E: expr.Column("", "$agg0"), As: expr.ColumnID{Name: "count"}},
+	}}
+}
+
+// eagerPlan builds the transformed shape by hand: the GroupBy sits directly
+// below the join — exactly what PlanTransformed emits.
+func eagerPlan() (algebra.Node, *algebra.GroupBy) {
+	group := &algebra.GroupBy{
+		Input:     empScan(),
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "DeptID"}},
+		Aggs: []algebra.AggItem{{
+			E:  &expr.Aggregate{Func: expr.AggSum, Arg: expr.Column("E", "Salary")},
+			As: expr.ColumnID{Name: "$agg0"},
+		}},
+	}
+	join := &algebra.Join{
+		L:    group,
+		R:    deptScan(),
+		Cond: expr.Eq(expr.Column("E", "DeptID"), expr.Column("D", "DeptID")),
+	}
+	plan := &algebra.Project{Input: join, Items: []algebra.ProjItem{
+		{E: expr.Column("D", "Name"), As: expr.ColumnID{Name: "Name"}},
+		{E: expr.Column("", "$agg0"), As: expr.ColumnID{Name: "total"}},
+	}}
+	return plan, group
+}
+
+// requireRules asserts that the violations hit exactly the expected rules
+// (as a multiset of rule names).
+func requireRules(t *testing.T, vs []Violation, want ...string) {
+	t.Helper()
+	got := make([]string, len(vs))
+	for i, v := range vs {
+		got[i] = v.Rule
+	}
+	if len(vs) != len(want) {
+		t.Fatalf("got %d violation(s) %v, want rules %v\n%s", len(vs), got, want, render(vs))
+	}
+	remaining := append([]string{}, want...)
+outer:
+	for _, g := range got {
+		for i, w := range remaining {
+			if g == w {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				continue outer
+			}
+		}
+		t.Fatalf("unexpected violation rule %q (want %v)\n%s", g, want, render(vs))
+	}
+}
+
+func render(vs []Violation) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.Error()
+	}
+	return strings.Join(parts, "\n")
+}
+
+func TestStandardPlanIsClean(t *testing.T) {
+	if vs := Check(standardPlan(), nil); len(vs) != 0 {
+		t.Fatalf("standard plan should verify cleanly, got:\n%s", render(vs))
+	}
+}
+
+func TestCertifiedEagerPlanIsClean(t *testing.T) {
+	plan, group := eagerPlan()
+	cert := &Certificate{
+		Group:     group,
+		FD1:       true,
+		FD2:       true,
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "DeptID"}},
+		R2Tables:  []string{"D"},
+		Origin:    "TestFD",
+	}
+	opts := &Options{Certificates: []*Certificate{cert}, RequireEagerCert: true}
+	if vs := Check(plan, opts); len(vs) != 0 {
+		t.Fatalf("certified eager plan should verify cleanly, got:\n%s", render(vs))
+	}
+}
+
+// TestIllegalEagerPlanMissingFD2 is the regression demanded by the PR
+// issue: a hand-built eager plan whose certificate refutes FD2 must be
+// rejected with a diagnostic naming the violated theorem condition.
+func TestIllegalEagerPlanMissingFD2(t *testing.T) {
+	plan, group := eagerPlan()
+	cert := &Certificate{
+		Group:     group,
+		FD1:       true,
+		FD2:       false, // TestFD could not prove (GA1+, GA2) → RowID(R2)
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "DeptID"}},
+		R2Tables:  []string{"D"},
+		Origin:    "TestFD",
+	}
+	vs := Check(plan, &Options{Certificates: []*Certificate{cert}, RequireEagerCert: true})
+	requireRules(t, vs, "eager-cert")
+	msg := vs[0].Msg
+	if !strings.Contains(msg, "FD2") || !strings.Contains(msg, "(GA1+, GA2) → RowID(R2)") {
+		t.Fatalf("diagnostic must name the violated theorem condition FD2, got: %s", msg)
+	}
+	if err := Verify(plan, &Options{Certificates: []*Certificate{cert}}); err == nil {
+		t.Fatal("Verify must reject the FD2-less eager plan")
+	}
+}
+
+func TestIllegalEagerPlanMissingFD1(t *testing.T) {
+	plan, group := eagerPlan()
+	cert := &Certificate{
+		Group:     group,
+		FD1:       false,
+		FD2:       true,
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "DeptID"}},
+	}
+	vs := Check(plan, &Options{Certificates: []*Certificate{cert}})
+	requireRules(t, vs, "eager-cert")
+	if !strings.Contains(vs[0].Msg, "FD1") || !strings.Contains(vs[0].Msg, "(GA1, GA2) → GA1+") {
+		t.Fatalf("diagnostic must name the violated theorem condition FD1, got: %s", vs[0].Msg)
+	}
+}
+
+func TestUncertifiedEagerPlanRejected(t *testing.T) {
+	plan, _ := eagerPlan()
+	vs := Check(plan, nil)
+	requireRules(t, vs, "eager-cert")
+	if !strings.Contains(vs[0].Msg, "FD1") || !strings.Contains(vs[0].Msg, "FD2") {
+		t.Fatalf("uncertified eager aggregation must cite both unverified conditions, got: %s", vs[0].Msg)
+	}
+}
+
+func TestCertificateGroupColumnMismatch(t *testing.T) {
+	plan, group := eagerPlan()
+	cert := &Certificate{
+		Group:     group,
+		FD1:       true,
+		FD2:       true,
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "EmpID"}}, // not what the node groups on
+	}
+	vs := Check(plan, &Options{Certificates: []*Certificate{cert}})
+	requireRules(t, vs, "eager-cert")
+	if !strings.Contains(vs[0].Msg, "GA1+") {
+		t.Fatalf("diagnostic must mention the certified GA1+, got: %s", vs[0].Msg)
+	}
+}
+
+func TestStaleCertificate(t *testing.T) {
+	// The certificate's group node is not part of the checked plan.
+	_, orphan := eagerPlan()
+	vs := Check(standardPlan(), &Options{Certificates: []*Certificate{{
+		Group: orphan, FD1: true, FD2: true,
+	}}})
+	requireRules(t, vs, "eager-cert")
+	if !strings.Contains(vs[0].Msg, "stale") {
+		t.Fatalf("want a stale-certificate diagnostic, got: %s", vs[0].Msg)
+	}
+}
+
+func TestRequireEagerCertOnStandardPlan(t *testing.T) {
+	vs := Check(standardPlan(), &Options{RequireEagerCert: true})
+	requireRules(t, vs, "eager-cert")
+}
+
+func TestUnresolvedColumn(t *testing.T) {
+	plan := &algebra.Select{
+		Input: empScan(),
+		Cond:  expr.Eq(expr.Column("E", "NoSuchColumn"), expr.IntLit(1)),
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "resolve")
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	// Joining a table with itself under different aliases, then referencing
+	// the column unqualified, is ambiguous.
+	l := algebra.NewScan("T", "A", algebra.Schema{col("A", "X", value.KindInt)})
+	r := algebra.NewScan("T", "B", algebra.Schema{col("B", "X", value.KindInt)})
+	plan := &algebra.Select{
+		Input: &algebra.Product{L: l, R: r},
+		Cond:  expr.Eq(expr.Column("", "X"), expr.IntLit(1)),
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "resolve")
+}
+
+func TestGroupColumnNotInInput(t *testing.T) {
+	plan := &algebra.GroupBy{
+		Input:     empScan(),
+		GroupCols: []expr.ColumnID{{Table: "D", Name: "DeptID"}}, // wrong side
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "group-input")
+}
+
+func TestJoinKeyTypeMismatch(t *testing.T) {
+	plan := &algebra.Join{
+		L:    empScan(),
+		R:    deptScan(),
+		Cond: expr.Eq(expr.Column("E", "DeptID"), expr.Column("D", "Name")), // INT = STRING
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "join-key-type")
+}
+
+func TestAggregateOutsideGroupBy(t *testing.T) {
+	plan := &algebra.Select{
+		Input: empScan(),
+		Cond: expr.Eq(
+			&expr.Aggregate{Func: expr.AggSum, Arg: expr.Column("E", "Salary")},
+			expr.IntLit(10)),
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "agg-placement")
+}
+
+func TestAggItemWithoutAggregate(t *testing.T) {
+	plan := &algebra.GroupBy{
+		Input:     empScan(),
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "DeptID"}},
+		Aggs: []algebra.AggItem{{
+			E:  expr.Column("E", "Salary"), // plain column, no aggregate
+			As: expr.ColumnID{Name: "$agg0"},
+		}},
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "agg-placement")
+}
+
+func TestUnmergeableAggregate(t *testing.T) {
+	plan := &algebra.GroupBy{
+		Input:     empScan(),
+		GroupCols: []expr.ColumnID{{Table: "E", Name: "DeptID"}},
+		Aggs: []algebra.AggItem{{
+			E:  &expr.Aggregate{Func: expr.AggFunc(250), Arg: expr.Column("E", "Salary")},
+			As: expr.ColumnID{Name: "$agg0"},
+		}},
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "mergeable")
+}
+
+func TestSortKeyUnresolved(t *testing.T) {
+	plan := &algebra.Sort{
+		Input: empScan(),
+		Keys:  []algebra.SortItem{{Col: expr.ColumnID{Table: "E", Name: "Missing"}}},
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "order")
+}
+
+func TestValuesRowMismatch(t *testing.T) {
+	plan := &algebra.Values{
+		Cols: algebra.Schema{col("V", "A", value.KindInt)},
+		Rows: []value.Row{
+			{value.NewInt(1)},
+			{value.NewString("oops")},          // wrong kind
+			{value.NewInt(1), value.NewInt(2)}, // wrong arity
+		},
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "shape", "shape")
+}
+
+func TestNilPlan(t *testing.T) {
+	vs := Check(nil, nil)
+	requireRules(t, vs, "shape")
+}
+
+func TestSubqueryExpressionRejected(t *testing.T) {
+	plan := &algebra.Select{
+		Input: empScan(),
+		Cond:  &expr.ExistsSubquery{},
+	}
+	vs := Check(plan, nil)
+	requireRules(t, vs, "shape")
+}
+
+func TestEagerGroupsFindsDirectChildrenOnly(t *testing.T) {
+	plan, group := eagerPlan()
+	got := EagerGroups(plan)
+	if len(got) != 1 || got[0] != group {
+		t.Fatalf("EagerGroups: got %v, want exactly the hand-built eager node", got)
+	}
+	if got := EagerGroups(standardPlan()); len(got) != 0 {
+		t.Fatalf("standard plan has no eager groups, got %d", len(got))
+	}
+}
