@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint plancheck build test race fuzz bench
+.PHONY: check vet lint plancheck build test race fuzz bench bench-json
 
-check: vet lint build race plancheck fuzz
+check: vet lint build race plancheck bench-json fuzz
 
 vet:
 	$(GO) vet ./...
@@ -46,3 +46,9 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Machine-readable experiment records: one quick pass over the paper's two
+# headline experiments (Figure 1 and Figure 8), with per-operator metrics,
+# written to BENCH_gbj.json.
+bench-json:
+	$(GO) run ./cmd/gbj-bench -exp E1,E2 -reps 1 -json BENCH_gbj.json > /dev/null

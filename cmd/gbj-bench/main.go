@@ -28,11 +28,26 @@ import (
 // serial, n > 1 that many workers, negative one per CPU.
 var parallelism int
 
+// record, when non-nil, accumulates every comparison as a machine-readable
+// run record (the -json flag).
+var record *bench.File
+
+// addRecord appends a comparison to the JSON output when -json is active.
+func addRecord(experiment, note string, c *bench.Comparison) {
+	if record != nil {
+		record.Add(experiment, note, parallelism, c)
+	}
+}
+
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
+	jsonPath := flag.String("json", "", "also write machine-readable run records (per-operator metrics included) to this file")
 	flag.IntVar(&parallelism, "parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
 	flag.Parse()
+	if *jsonPath != "" {
+		record = &bench.File{Tool: "gbj-bench"}
+	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
@@ -72,6 +87,14 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if record != nil {
+		if err := record.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "writing", *jsonPath, "failed:", err)
+			failed = true
+		} else {
+			fmt.Printf("wrote %d run records to %s\n", len(record.Runs), *jsonPath)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -91,6 +114,7 @@ func runE1(reps int) error {
 	fmt.Println()
 	fmt.Print(c.Table())
 	fmt.Printf("optimizer choice: transformed=%v\n", c.Report.Transformed)
+	addRecord("E1", "", c)
 	return nil
 }
 
@@ -108,6 +132,7 @@ func runE2(reps int) error {
 	fmt.Println()
 	fmt.Print(c.Table())
 	fmt.Printf("optimizer choice: transformed=%v (must be false)\n", c.Report.Transformed)
+	addRecord("E2", "", c)
 	return nil
 }
 
@@ -135,6 +160,7 @@ func runE3(reps int) error {
 		return err
 	}
 	fmt.Print(c.Table())
+	addRecord("E3", "", c)
 	return nil
 }
 
@@ -154,6 +180,7 @@ func runE4(reps int) error {
 	fmt.Println("flat   = merged single query (join before group-by, Section 8)")
 	fmt.Println()
 	fmt.Print(c.Table())
+	addRecord("E4", "", c)
 	return nil
 }
 
@@ -177,6 +204,7 @@ func runE5(reps int) error {
 		}
 		fmt.Printf("%-10g  %-14v  %-14v  %-9.2f  %s\n",
 			match, c.Standard.Duration, c.Transformed.Duration, c.Speedup(), choice)
+		addRecord("E5", fmt.Sprintf("match=%g", match), c)
 	}
 	return nil
 }
@@ -201,6 +229,7 @@ func runE6(reps int) error {
 		}
 		fmt.Printf("%-10d  %-14v  %-14v  %-9.2f  %s\n",
 			groups, c.Standard.Duration, c.Transformed.Duration, c.Speedup(), choice)
+		addRecord("E6", fmt.Sprintf("groups=%d", groups), c)
 	}
 	return nil
 }
@@ -271,6 +300,7 @@ func runE8(reps int) error {
 			if ok {
 				agree++
 			}
+			addRecord("E8", fmt.Sprintf("match=%g groups=%d", match, groups), c)
 			fmt.Printf("%-10g %-8d  %-11v  %-11v  %-12s %-9s %v\n",
 				match, groups, c.Standard.Duration.Round(time.Microsecond*100),
 				c.Transformed.Duration.Round(time.Microsecond*100), picked, winner, ok)

@@ -47,6 +47,8 @@ func main() {
 	schemaFile := flag.String("schema", "", "SQL script defining tables, views and data")
 	demo := flag.Bool("demo", false, "explain the paper's Example 1 on a built-in schema")
 	check := flag.Bool("check", false, "statically verify both plans (plancheck): schema resolution, join key types, aggregate placement, and the TestFD certificate of an eager aggregation")
+	analyze := flag.Bool("analyze", false, "execute the chosen plan and annotate it with actual row counts, estimates and per-node q-errors (EXPLAIN ANALYZE)")
+	trace := flag.Bool("trace", false, "with -analyze output, also print the hierarchical operator span trace as JSON")
 	flag.Parse()
 
 	engine := gbj.New()
@@ -80,6 +82,22 @@ func main() {
 			}
 			query = string(in)
 		}
+	}
+
+	if *analyze || *trace {
+		a, err := engine.QueryAnalyzed(query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *analyze || !*trace {
+			fmt.Print(a.String())
+		}
+		if *trace {
+			os.Stdout.Write(a.TraceJSON)
+			fmt.Println()
+		}
+		return
 	}
 
 	text, err := engine.Explain(query)

@@ -11,7 +11,10 @@
 //	\mode cost|always|never       set the optimizer mode
 //	\tables                       list tables and views
 //	\import file.csv table [hdr]  bulk-load CSV (hdr: first line names columns)
-//	\analyze SELECT ...           run and show actual per-operator row counts
+//	\analyze SELECT ...           run and show actual per-operator row counts,
+//	                              estimates and q-errors (EXPLAIN ANALYZE)
+//	\stats SELECT ...             run and show the per-operator metrics table
+//	\timing                       toggle printing execution time after queries
 //	\quit                         exit
 package main
 
@@ -21,9 +24,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 )
+
+// timing reports whether \timing is on: queries print their elapsed time.
+var timing bool
 
 func main() {
 	file := flag.String("f", "", "run statements from a file, then exit")
@@ -132,6 +139,21 @@ func handleCommand(engine *gbj.Engine, cmd string) bool {
 			return false
 		}
 		fmt.Println(text)
+	case `\stats`:
+		query := strings.TrimSpace(strings.TrimPrefix(cmd, `\stats`))
+		a, err := engine.QueryAnalyzed(strings.TrimSuffix(query, ";"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		printStats(a)
+	case `\timing`:
+		timing = !timing
+		if timing {
+			fmt.Println("timing is on")
+		} else {
+			fmt.Println("timing is off")
+		}
 	default:
 		fmt.Printf("unknown command %s\n", fields[0])
 	}
@@ -149,5 +171,32 @@ func runScript(engine *gbj.Engine, text string) error {
 }
 
 func runStatement(engine *gbj.Engine, stmt string) error {
-	return engine.RunScript(stmt, os.Stdout)
+	start := time.Now()
+	err := engine.RunScript(stmt, os.Stdout)
+	if err == nil && timing {
+		fmt.Printf("Time: %v\n", time.Since(start).Round(time.Microsecond))
+	}
+	return err
+}
+
+// printStats renders the per-operator metrics of an analyzed query as a
+// table: one line per plan node in pre-order, with cardinalities, wall
+// time, hash-table shape, state size and morsel counts.
+func printStats(a *gbj.Analysis) {
+	width := len("operator")
+	for _, nc := range a.Calibration.Nodes {
+		if n := len(nc.Node.Describe()); n > width {
+			width = n
+		}
+	}
+	fmt.Printf("%-*s %9s %9s %12s %8s %8s %10s %8s\n",
+		width, "operator", "rows_in", "rows_out", "time", "build", "hits", "state_b", "morsels")
+	for _, nc := range a.Calibration.Nodes {
+		m := nc.Metrics
+		fmt.Printf("%-*s %9d %9d %12v %8d %8d %10d %8d\n",
+			width, nc.Node.Describe(), m.RowsIn, m.RowsOut, time.Duration(m.WallNanos),
+			m.BuildEntries, m.ProbeHits, m.StateBytes, m.Batches)
+	}
+	fmt.Printf("(%d rows)  workers=%d  max q-error: %.2f\n",
+		len(a.Result.Rows), a.Metrics.Workers(), a.Calibration.MaxQError)
 }

@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -57,6 +59,7 @@ type Engine struct {
 	store       *storage.Store
 	opt         *core.Optimizer
 	parallelism int
+	clock       obs.Clock
 }
 
 // New returns an empty engine.
@@ -95,6 +98,16 @@ func (e *Engine) Parallelism() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.parallelism
+}
+
+// SetClock injects the clock behind the timings that Analyze and the
+// observability surfaces report; nil restores the wall clock. Injecting an
+// obs.FakeClock makes analyze output fully deterministic — the golden tests
+// rely on it.
+func (e *Engine) SetClock(c obs.Clock) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock = c
 }
 
 // SetPlanCheck toggles static plan verification (package plancheck): when
@@ -386,22 +399,37 @@ func (e *Engine) runPlan(plan algebra.Node) (*Result, error) {
 // choosePlan runs the optimizer, including the Section 8 reverse analysis
 // when the query references an aggregated view.
 func (e *Engine) choosePlan(q *sql.SelectStmt) (algebra.Node, error) {
+	plan, _, err := e.choosePlanEstimated(q)
+	return plan, err
+}
+
+// choosePlanEstimated additionally returns the cost model's per-node row
+// estimates for the chosen plan — keyed by the exact node pointers the
+// executor will run, which is what lets Analyze pair estimates with
+// measured cardinalities.
+func (e *Engine) choosePlanEstimated(q *sql.SelectStmt) (algebra.Node, algebra.Annotations, error) {
 	// The reverse analysis applies to non-aggregating queries over an
 	// aggregated view; try it first, falling back to the forward path.
 	if e.referencesView(q) && e.opt.Mode != ModeNever {
 		rr, err := e.opt.TryReverse(q)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if rr.Applicable && rr.Decision.OK {
-			return rr.Chosen(), nil
+			if rr.UseFlat {
+				return rr.Chosen(), rr.FlatCost.Ann, nil
+			}
+			return rr.Chosen(), rr.NestedCost.Ann, nil
 		}
 	}
 	r, err := e.opt.Optimize(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return r.Chosen(), nil
+	if r.Transformed {
+		return r.Alternative, r.TransformedCost.Ann, nil
+	}
+	return r.Standard, r.StandardCost.Ann, nil
 }
 
 func (e *Engine) referencesView(q *sql.SelectStmt) bool {
@@ -444,33 +472,91 @@ func (e *Engine) explainQuery(q *sql.SelectStmt) (string, error) {
 	return r.Explain(), nil
 }
 
-// ExplainAnalyze executes the chosen plan and renders it with ACTUAL
-// per-operator row counts (the measured analogue of the paper's plan
-// diagrams), followed by the result cardinality.
-func (e *Engine) ExplainAnalyze(text string) (string, error) {
+// Analysis is the result of QueryAnalyzed: the rows plus the full
+// observability profile of the execution.
+type Analysis struct {
+	// Result holds the query's rows.
+	Result *Result
+	// Plan is the executed plan.
+	Plan algebra.Node
+	// Calibration pairs the cost model's per-node estimates with measured
+	// cardinalities (q-errors included) and carries the per-operator
+	// metrics snapshots.
+	Calibration *core.Calibration
+	// Metrics is the raw per-operator collector.
+	Metrics *obs.Collector
+	// TraceJSON is the hierarchical span trace of the execution.
+	TraceJSON []byte
+	// Duration is the root operator's wall time.
+	Duration time.Duration
+}
+
+// QueryAnalyzed parses, optimizes and executes a SELECT with full
+// instrumentation: per-operator metrics, a span trace, and the
+// estimate-vs-actual calibration against the cost model.
+func (e *Engine) QueryAnalyzed(text string) (*Analysis, error) {
 	q, err := sql.ParseQuery(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "EXPLAIN")))
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	plan, err := e.choosePlan(q)
+	plan, est, err := e.choosePlanEstimated(q)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	stats := make(algebra.Annotations)
+	col := obs.NewCollector()
+	tracer := obs.NewTracer(e.clock)
 	res, err := exec.Run(plan, e.store, &exec.Options{
-		Stats:       stats,
+		Metrics:     col,
+		Clock:       e.clock,
+		Trace:       tracer,
 		Group:       groupStrategyFor(plan),
 		Parallelism: e.parallelism,
 	})
 	if err != nil {
+		return nil, err
+	}
+	cal := core.Calibrate(plan, est, col)
+	trace, err := tracer.JSON()
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		Result:      convertResult(res),
+		Plan:        plan,
+		Calibration: cal,
+		Metrics:     col,
+		TraceJSON:   trace,
+		Duration:    time.Duration(cal.TotalNanos),
+	}, nil
+}
+
+// String renders the analysis the way EXPLAIN ANALYZE displays it: the plan
+// tree with actual row counts, estimates and q-errors per node, the result
+// cardinality, and the calibration summary.
+func (a *Analysis) String() string {
+	var sb strings.Builder
+	sb.WriteString(algebra.Format(a.Plan, a.Calibration.Annotations()))
+	fmt.Fprintf(&sb, "(%d rows)\n", len(a.Result.Rows))
+	fmt.Fprintf(&sb, "join input rows: %d\n", a.Calibration.JoinInputRows)
+	fmt.Fprintf(&sb, "max q-error: %.2f\n", a.Calibration.MaxQError)
+	if a.Duration > 0 {
+		fmt.Fprintf(&sb, "total time: %v\n", a.Duration)
+	}
+	return sb.String()
+}
+
+// ExplainAnalyze executes the chosen plan and renders it with ACTUAL
+// per-operator row counts (the measured analogue of the paper's plan
+// diagrams) annotated with the cost model's estimates and per-node
+// q-errors, followed by the result cardinality and the calibration summary.
+func (e *Engine) ExplainAnalyze(text string) (string, error) {
+	a, err := e.QueryAnalyzed(text)
+	if err != nil {
 		return "", err
 	}
-	var sb strings.Builder
-	sb.WriteString(algebra.Format(plan, stats))
-	fmt.Fprintf(&sb, "(%d rows)\n", len(res.Rows))
-	return sb.String(), nil
+	return a.String(), nil
 }
 
 // DistributedEstimate is the Section 7 communication-cost analysis: the

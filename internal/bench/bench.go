@@ -15,6 +15,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -47,6 +48,10 @@ type PlanRun struct {
 	Duration time.Duration
 	// Ann carries the measured per-node cardinalities for plan display.
 	Ann algebra.Annotations
+	// Metrics is the per-operator collector of the last repetition: rows
+	// in/out, wall times, hash-table build/probe statistics, state bytes
+	// and per-worker morsel counts, keyed by plan node.
+	Metrics *obs.Collector
 
 	checksum []string
 }
@@ -70,8 +75,9 @@ func RunPlanParallel(label string, plan algebra.Node, store *storage.Store, reps
 	var rows []value.Row
 	for i := 0; i < reps; i++ {
 		ann := make(algebra.Annotations)
+		col := obs.NewCollector() // fresh per rep: counters accumulate otherwise
 		start := time.Now()
-		res, err := exec.Run(plan, store, &exec.Options{Stats: ann, Parallelism: parallelism})
+		res, err := exec.Run(plan, store, &exec.Options{Stats: ann, Metrics: col, Parallelism: parallelism})
 		elapsed := time.Since(start)
 		if err != nil {
 			return nil, err
@@ -81,6 +87,7 @@ func RunPlanParallel(label string, plan algebra.Node, store *storage.Store, reps
 		}
 		rows = res.Rows
 		run.Ann = ann
+		run.Metrics = col
 	}
 	run.OutRows = int64(len(rows))
 	run.checksum = canonical(rows)

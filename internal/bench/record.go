@@ -1,0 +1,125 @@
+package bench
+
+// This file defines the machine-readable run records behind the
+// BENCH_*.json output of cmd/gbj-bench. Every PlanRun carries the
+// executor's full per-operator metrics, so a recorded experiment preserves
+// the plan-diagram cardinalities (Figures 1 and 8), the hash-table and
+// morsel statistics, and the timings — enough to regenerate every table in
+// EXPERIMENTS.md without rerunning.
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/algebra"
+	"repro/internal/obs"
+)
+
+// OpRecord is one plan operator's measured profile.
+type OpRecord struct {
+	// Op is the operator's Describe() line.
+	Op string `json:"op"`
+	// Depth is the operator's depth in the plan tree (root = 0).
+	Depth int `json:"depth"`
+	// Metrics is the executor's measurement for the operator.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// PlanRecord is the machine-readable form of one PlanRun.
+type PlanRecord struct {
+	Label   string `json:"label"`
+	OutRows int64  `json:"out_rows"`
+	// GroupInput/GroupOutput are the grouping operator's cardinalities —
+	// the paper's central trade-off quantities.
+	GroupInput  int64 `json:"group_input"`
+	GroupOutput int64 `json:"group_output"`
+	// JoinInputRows totals the rows entering join operators (the Section 7
+	// quantity eager aggregation shrinks).
+	JoinInputRows int64 `json:"join_input_rows"`
+	// DurationNs is the fastest repetition's wall time.
+	DurationNs int64 `json:"duration_ns"`
+	// Ops lists every operator in plan pre-order.
+	Ops []OpRecord `json:"ops,omitempty"`
+}
+
+// Record converts the run to its JSON form.
+func (r *PlanRun) Record() *PlanRecord {
+	rec := &PlanRecord{
+		Label:       r.Label,
+		OutRows:     r.OutRows,
+		GroupInput:  r.GroupInput,
+		GroupOutput: r.GroupOutput,
+		DurationNs:  r.Duration.Nanoseconds(),
+	}
+	if r.Metrics == nil {
+		return rec
+	}
+	var walk func(n algebra.Node, depth int)
+	walk = func(n algebra.Node, depth int) {
+		op := OpRecord{Op: n.Describe(), Depth: depth}
+		if m := r.Metrics.Lookup(n); m != nil {
+			op.Metrics = m.Snapshot()
+		}
+		switch n.(type) {
+		case *algebra.Join, *algebra.Product:
+			rec.JoinInputRows += op.Metrics.RowsIn
+		}
+		rec.Ops = append(rec.Ops, op)
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(r.Plan, 0)
+	return rec
+}
+
+// RunRecord is one experiment data point.
+type RunRecord struct {
+	// Experiment is the id from EXPERIMENTS.md (E1..E10).
+	Experiment string `json:"experiment"`
+	// Note distinguishes points within a sweep (e.g. "match=0.05").
+	Note        string      `json:"note,omitempty"`
+	Query       string      `json:"query,omitempty"`
+	Parallelism int         `json:"parallelism"`
+	Chosen      string      `json:"chosen,omitempty"`
+	Speedup     float64     `json:"speedup,omitempty"`
+	Standard    *PlanRecord `json:"standard,omitempty"`
+	Transformed *PlanRecord `json:"transformed,omitempty"`
+}
+
+// File is the top-level BENCH_*.json document.
+type File struct {
+	Tool string      `json:"tool"`
+	Runs []RunRecord `json:"runs"`
+}
+
+// Add appends an experiment's comparison as a run record.
+func (f *File) Add(experiment, note string, parallelism int, c *Comparison) {
+	rec := RunRecord{
+		Experiment:  experiment,
+		Note:        note,
+		Query:       c.Query,
+		Parallelism: parallelism,
+		Speedup:     c.Speedup(),
+		Standard:    c.Standard.Record(),
+	}
+	if c.Transformed != nil {
+		rec.Transformed = c.Transformed.Record()
+	}
+	if c.Report != nil {
+		rec.Chosen = "standard"
+		if c.Report.Transformed {
+			rec.Chosen = "transformed"
+		}
+	}
+	f.Runs = append(f.Runs, rec)
+}
+
+// WriteFile writes the document as indented JSON.
+func (f *File) WriteFile(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

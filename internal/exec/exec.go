@@ -14,10 +14,10 @@ package exec
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -93,8 +93,30 @@ type Options struct {
 	// execution for any setting (see parallel.go).
 	Parallelism int
 	// Stats, when non-nil, receives the actual output cardinality of
-	// every plan node. Recording is safe under parallel execution.
+	// every plan node. It predates the Metrics collector and is kept as a
+	// compatibility shim: both paths share one instrumentation wrapper
+	// (metricOp) whose row counter is atomic and whose map writes are
+	// serialized through a plan-wide mutex, because parallel execution
+	// drains the two inputs of a join concurrently and sibling wrappers
+	// therefore close concurrently against the shared sink. New code
+	// should prefer Metrics, which also records timings, hash-table and
+	// morsel statistics.
 	Stats algebra.Annotations
+	// Metrics, when non-nil, collects per-operator obs.OpMetrics keyed by
+	// plan node: rows in/out, wall time, hash-table build entries and
+	// probe hits, approximate state bytes, and per-worker morsel counts.
+	// Use a fresh collector per run. When nil (and Stats and Trace are
+	// nil too) the executor inserts no instrumentation at all, so the
+	// disabled path adds zero allocations per row.
+	Metrics *obs.Collector
+	// Clock supplies the timestamps behind operator timings and trace
+	// spans; nil means obs.Wall. Inject an obs.FakeClock to make timing
+	// output deterministic (the golden-test and lint-sanctioned
+	// alternative to reading the wall clock in executor code).
+	Clock obs.Clock
+	// Trace, when non-nil, records one hierarchical span per operator,
+	// mirroring the plan tree, begun/ended at operator Open/Close.
+	Trace *obs.Tracer
 }
 
 // Result is a fully materialized query result.
@@ -109,6 +131,13 @@ func Run(root algebra.Node, store *storage.Store, opts *Options) (*Result, error
 		opts = &Options{}
 	}
 	c := &compiler{store: store, opts: opts, par: opts.effectiveParallelism()}
+	c.clock = opts.Clock
+	if c.clock == nil {
+		c.clock = obs.Wall
+	}
+	if opts.Metrics != nil {
+		opts.Metrics.SetWorkers(c.par)
+	}
 	out, err := c.compile(root)
 	if err != nil {
 		return nil, err
@@ -116,6 +145,9 @@ func Run(root algebra.Node, store *storage.Store, opts *Options) (*Result, error
 	rows, err := drain(out.op)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Metrics != nil {
+		fillRowsIn(root, opts.Metrics)
 	}
 	return &Result{Schema: root.Schema(), Rows: rows}, nil
 }
@@ -191,19 +223,45 @@ type compiler struct {
 	opts  *Options
 	// par is the resolved worker count; 1 selects the serial operators.
 	par int
-	// statsMu serializes stats-sink writes: under parallel execution the
-	// two inputs of a join are drained concurrently, so their statsOp
-	// Closes race on the shared Annotations map without it.
-	statsMu sync.Mutex
+	// clock is the resolved Options.Clock (obs.Wall by default).
+	clock obs.Clock
+	// span is the trace span of the node currently being compiled; child
+	// compilations hang their spans beneath it, mirroring the plan tree.
+	span *obs.Span
+	// sinkMu serializes writes to the shared Stats annotation map: under
+	// parallel execution the two inputs of a join are drained by
+	// concurrent goroutines, so sibling metricOp Closes would race on the
+	// map without it. (The Metrics collector needs no such lock — its
+	// counters are atomics on preallocated per-node structs.)
+	sinkMu sync.Mutex
 }
 
 func (c *compiler) compile(n algebra.Node) (compiled, error) {
+	parent := c.span
+	var span *obs.Span
+	if c.opts.Trace != nil {
+		if parent == nil {
+			span = c.opts.Trace.Root(n.Describe())
+		} else {
+			span = parent.Child(n.Describe())
+		}
+		c.span = span
+	}
 	out, err := c.compileInner(n)
+	c.span = parent
 	if err != nil {
 		return compiled{}, err
 	}
-	if c.opts.Stats != nil {
-		out.op = &statsOp{inner: out.op, node: n, sink: c.opts.Stats, mu: &c.statsMu}
+	if c.opts.Stats != nil || c.opts.Metrics != nil || span != nil {
+		out.op = &metricOp{
+			inner:   out.op,
+			node:    n,
+			metrics: c.nodeMetrics(n),
+			sink:    c.opts.Stats,
+			mu:      &c.sinkMu,
+			clock:   c.clock,
+			span:    span,
+		}
 	}
 	return out, nil
 }
@@ -231,7 +289,7 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		// morsels in input order, so it preserves it too).
 		if c.par > 1 {
 			return compiled{
-				op:    &parallelFilterOp{input: in.op, cond: cond, params: c.opts.Params, par: c.par},
+				op:    &parallelFilterOp{input: in.op, cond: cond, params: c.opts.Params, par: c.par, metrics: c.nodeMetrics(n)},
 				order: in.order,
 			}, nil
 		}
@@ -271,7 +329,7 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		}
 		if c.par > 1 {
 			return compiled{
-				op:    &parallelProjectOp{input: in.op, items: items, distinct: node.Distinct, params: c.opts.Params, par: c.par},
+				op:    &parallelProjectOp{input: in.op, items: items, distinct: node.Distinct, params: c.opts.Params, par: c.par, metrics: c.nodeMetrics(n)},
 				order: order,
 			}, nil
 		}
@@ -280,9 +338,9 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 			order: order,
 		}, nil
 	case *algebra.Product:
-		return c.compileJoin(&algebra.Join{L: node.L, R: node.R})
+		return c.compileJoin(&algebra.Join{L: node.L, R: node.R}, n)
 	case *algebra.Join:
-		return c.compileJoin(node)
+		return c.compileJoin(node, n)
 	case *algebra.GroupBy:
 		return c.compileGroupBy(node)
 	case *algebra.Sort:
@@ -332,37 +390,6 @@ func hasSequencePrefix(order, want []int) bool {
 		}
 	}
 	return true
-}
-
-// statsOp counts rows flowing out of a node. The counter is atomic and the
-// sink write is serialized through a shared mutex: with parallel execution
-// the two sides of a join are drained by concurrent goroutines, so sibling
-// statsOps open, count and close concurrently against the same sink map.
-type statsOp struct {
-	inner Operator
-	node  algebra.Node
-	sink  algebra.Annotations
-	mu    *sync.Mutex
-	count atomic.Int64
-}
-
-func (s *statsOp) Open() error { s.count.Store(0); return s.inner.Open() }
-
-func (s *statsOp) Next() (value.Row, bool, error) {
-	row, ok, err := s.inner.Next()
-	if ok && err == nil {
-		s.count.Add(1)
-	}
-	return row, ok, err
-}
-
-func (s *statsOp) Close() error {
-	s.mu.Lock()
-	a := s.sink[s.node]
-	a.Rows = s.count.Load()
-	s.sink[s.node] = a
-	s.mu.Unlock()
-	return s.inner.Close()
 }
 
 // scanOp iterates a stored table.

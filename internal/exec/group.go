@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -55,6 +56,7 @@ func (c *compiler) compileGroupBy(node *algebra.GroupBy) (compiled, error) {
 		groupCols: groupCols,
 		specs:     specs,
 		params:    c.opts.Params,
+		metrics:   c.nodeMetrics(node),
 	}
 	// Streams already ordered on the grouping columns have contiguous
 	// groups: a single aggregation pass with no sort and no hash table.
@@ -103,9 +105,25 @@ type groupCore struct {
 	groupCols []int
 	specs     []aggSpec
 	params    expr.Params
+	metrics   *obs.OpMetrics // nil unless metrics collection is on
 
 	out []value.Row
 	pos int
+}
+
+// recordBuild reports n groups built with their keys totalling keyBytes —
+// for parallel grouping it is called once per partial table, so BuildEntries
+// sums the per-worker partials.
+func (g *groupCore) recordBuild(n int, keyBytes int64) {
+	if g.metrics == nil || n == 0 {
+		return
+	}
+	g.metrics.BuildEntries.Add(int64(n))
+	accs := 0
+	for _, spec := range g.specs {
+		accs += len(spec.aggs)
+	}
+	g.metrics.StateBytes.Add(keyBytes + int64(n)*int64(accs)*accStateBytes)
 }
 
 // newState allocates accumulators for a fresh group.
@@ -229,8 +247,10 @@ func (g *hashGroupOp) Open() error {
 				return err
 			}
 		}
+		g.recordBuild(1, 0)
 		return g.emit(order)
 	}
+	var keyBytes int64
 	for _, row := range rows {
 		key := value.GroupKey(row, g.groupCols)
 		st, ok := index[key]
@@ -241,11 +261,13 @@ func (g *hashGroupOp) Open() error {
 			}
 			index[key] = st
 			order = append(order, st)
+			keyBytes += int64(len(key))
 		}
 		if err := g.feed(st, row); err != nil {
 			return err
 		}
 	}
+	g.recordBuild(len(order), keyBytes)
 	return g.emit(order)
 }
 
@@ -279,6 +301,7 @@ func (g *sortGroupOp) Open() error {
 				return err
 			}
 		}
+		g.recordBuild(1, 0)
 		return g.emit([]*groupState{st})
 	}
 	if !g.preSorted {
@@ -298,6 +321,7 @@ func (g *sortGroupOp) Open() error {
 			return err
 		}
 	}
+	g.recordBuild(len(states), 0)
 	return g.emit(states)
 }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -38,7 +39,12 @@ func splitJoinCondition(cond expr.Expr, left, right algebra.Schema) (keys []equi
 	return keys, expr.And(rest...)
 }
 
-func (c *compiler) compileJoin(node *algebra.Join) (compiled, error) {
+// compileJoin lowers a join. key is the logical node metrics are registered
+// under — the original plan node, which for a Product differs from the
+// synthetic Join wrapper node, and must match the node the surrounding
+// metricOp (and the cost model's estimates) are keyed by.
+func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, error) {
+	metrics := c.nodeMetrics(key)
 	left, err := c.compile(node.L)
 	if err != nil {
 		return compiled{}, err
@@ -77,6 +83,7 @@ func (c *compiler) compileJoin(node *algebra.Join) (compiled, error) {
 				op: &parallelHashJoinOp{
 					left: left.op, right: right.op, keys: keys,
 					residual: boundResidual, params: c.opts.Params, par: c.par,
+					metrics: metrics,
 				},
 				order: left.order,
 			}, nil
@@ -85,6 +92,7 @@ func (c *compiler) compileJoin(node *algebra.Join) (compiled, error) {
 			op: &hashJoinOp{
 				left: left.op, right: right.op, keys: keys,
 				residual: boundResidual, params: c.opts.Params,
+				metrics: metrics,
 			},
 			order: left.order,
 		}, nil
@@ -142,6 +150,7 @@ func (c *compiler) compileJoin(node *algebra.Join) (compiled, error) {
 				op: &parallelNestedLoopJoinOp{
 					left: left.op, right: right.op,
 					cond: full, params: c.opts.Params, par: c.par,
+					metrics: metrics,
 				},
 				order: left.order,
 			}, nil
@@ -226,6 +235,7 @@ type hashJoinOp struct {
 	keys        []equiKey
 	residual    expr.Expr
 	params      expr.Params
+	metrics     *obs.OpMetrics // nil unless metrics collection is on
 
 	table   map[string][]value.Row
 	cur     value.Row
@@ -247,12 +257,22 @@ func (j *hashJoinOp) Open() error {
 		rightCols[i] = k.right
 	}
 	j.table = make(map[string][]value.Row)
+	// Build stats accumulate in the insertion loop (the built map is never
+	// re-iterated — instrumented executor code keeps the maprange
+	// determinism guarantee).
+	var entries, stateBytes int64
 	for _, row := range rows {
 		if anyNullAt(row, rightCols) {
 			continue
 		}
 		key := value.GroupKey(row, rightCols)
 		j.table[key] = append(j.table[key], row)
+		entries++
+		stateBytes += int64(len(key)) + rowStateBytes(row)
+	}
+	if j.metrics != nil {
+		j.metrics.BuildEntries.Add(entries)
+		j.metrics.StateBytes.Add(stateBytes)
 	}
 	j.cur = nil
 	j.matches = nil
@@ -295,6 +315,9 @@ func (j *hashJoinOp) Next() (value.Row, bool, error) {
 		j.cur = row
 		j.matches = j.table[value.GroupKey(row, leftCols)]
 		j.mpos = 0
+		if j.metrics != nil && len(j.matches) > 0 {
+			j.metrics.ProbeHits.Add(int64(len(j.matches)))
+		}
 	}
 }
 

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// metricOp is the single instrumentation wrapper the compiler inserts
+// around a physical operator when any observability sink is active. It
+// serves three sinks at once:
+//
+//   - Options.Metrics: rows out and tree-inclusive wall time into the
+//     node's obs.OpMetrics (operator internals — hash builds, probe hits,
+//     morsel counts — are recorded by the operators themselves);
+//   - Options.Stats: the legacy cardinality map, kept as a compatibility
+//     shim over the metrics path;
+//   - Options.Trace: the node's span, begun at Open and ended at Close.
+//
+// The row counter is atomic and the Stats-map write is serialized through
+// the compiler's shared sinkMu: under parallel execution the two inputs of
+// a join are drained by concurrent goroutines, so sibling wrappers open,
+// count and close concurrently. Next performs one atomic add per row and
+// never allocates; when every sink is nil the compiler inserts no wrapper
+// at all, so the disabled path costs nothing.
+type metricOp struct {
+	inner   Operator
+	node    algebra.Node
+	metrics *obs.OpMetrics       // nil unless Options.Metrics is set
+	sink    algebra.Annotations  // nil unless Options.Stats is set
+	mu      *sync.Mutex          // guards sink; shared across the plan's wrappers
+	clock   obs.Clock
+	span    *obs.Span // nil unless Options.Trace is set
+
+	count atomic.Int64
+	start time.Time
+}
+
+func (s *metricOp) Open() error {
+	s.count.Store(0)
+	if s.metrics != nil || s.span != nil {
+		s.start = s.clock.Now()
+		if s.span != nil {
+			s.span.BeginAt(s.start)
+		}
+	}
+	return s.inner.Open()
+}
+
+func (s *metricOp) Next() (value.Row, bool, error) {
+	row, ok, err := s.inner.Next()
+	if ok && err == nil {
+		s.count.Add(1)
+	}
+	return row, ok, err
+}
+
+func (s *metricOp) Close() error {
+	n := s.count.Load()
+	if s.metrics != nil || s.span != nil {
+		end := s.clock.Now()
+		if s.span != nil {
+			s.span.EndAt(end)
+		}
+		if s.metrics != nil {
+			s.metrics.RowsOut.Add(n)
+			s.metrics.WallNanos.Add(end.Sub(s.start).Nanoseconds())
+		}
+	}
+	if s.sink != nil {
+		s.mu.Lock()
+		a := s.sink[s.node]
+		a.Rows = n
+		s.sink[s.node] = a
+		s.mu.Unlock()
+	}
+	return s.inner.Close()
+}
+
+// State-size approximation constants: a value.Row in a hash table costs one
+// slice header plus one interface word pair per column; an accumulator is a
+// small struct behind an interface.
+const (
+	rowHeaderBytes = 24
+	valueSlotBytes = 16
+	accStateBytes  = 32
+)
+
+// rowStateBytes approximates the bytes a hash table retains per stored row.
+func rowStateBytes(row value.Row) int64 {
+	return rowHeaderBytes + valueSlotBytes*int64(len(row))
+}
+
+// nodeMetrics resolves the OpMetrics for a plan node, or nil when metrics
+// collection is disabled. Registration happens here, at compile time, so
+// operators touch only a preallocated struct on the row path.
+func (c *compiler) nodeMetrics(n algebra.Node) *obs.OpMetrics {
+	if c.opts.Metrics == nil {
+		return nil
+	}
+	return c.opts.Metrics.Node(n)
+}
+
+// fillRowsIn derives each node's input cardinality as the sum of its
+// children's output cardinalities, after execution. Done once per run over
+// the plan tree — never on the row path.
+func fillRowsIn(root algebra.Node, col *obs.Collector) {
+	algebra.Walk(root, func(n algebra.Node) {
+		m := col.Lookup(n)
+		if m == nil {
+			return
+		}
+		var in int64
+		for _, ch := range n.Children() {
+			if cm := col.Lookup(ch); cm != nil {
+				in += cm.RowsOut.Load()
+			}
+		}
+		m.RowsIn.Store(in)
+	})
+}

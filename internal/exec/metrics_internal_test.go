@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// These tests pin the cost model of the observability layer itself: with
+// every sink nil the compiler inserts no instrumentation at all, and with
+// sinks active the per-row work is a single atomic add — zero allocations
+// either way. testing.AllocsPerRun makes both claims checkable.
+
+// valuesPlan builds an n-row single-column Values node — the smallest plan
+// whose row path the compiler accepts.
+func valuesPlan(n int) *algebra.Values {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(i))}
+	}
+	return &algebra.Values{
+		Cols: algebra.Schema{{ID: expr.ColumnID{Table: "t", Name: "v"}, Type: value.KindInt}},
+		Rows: rows,
+	}
+}
+
+// TestDisabledObservabilityInsertsNoWrapper: when Stats, Metrics and Trace
+// are all nil, compile produces the bare operator — no metricOp in the tree.
+func TestDisabledObservabilityInsertsNoWrapper(t *testing.T) {
+	c := &compiler{opts: &Options{}, par: 1, clock: obs.Wall}
+	out, err := c.compile(valuesPlan(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.op.(*metricOp); ok {
+		t.Fatal("compile inserted a metricOp with every observability sink disabled")
+	}
+
+	// Sanity check of the inverse: any active sink produces the wrapper.
+	for _, opts := range []*Options{
+		{Stats: make(algebra.Annotations)},
+		{Metrics: obs.NewCollector()},
+		{Trace: obs.NewTracer(obs.NewFakeClock(time.Unix(0, 0), time.Millisecond))},
+	} {
+		c := &compiler{opts: opts, par: 1, clock: obs.Wall}
+		if opts.Clock != nil {
+			c.clock = opts.Clock
+		}
+		out, err := c.compile(valuesPlan(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := out.op.(*metricOp); !ok {
+			t.Fatalf("compile produced %T with a sink active, want *metricOp", out.op)
+		}
+	}
+}
+
+// TestRowPathZeroAllocs: pulling rows allocates nothing per row — neither on
+// the uninstrumented path (no wrapper exists) nor on the fully instrumented
+// path (metricOp.Next is one atomic add; timings and sink writes happen at
+// Open/Close, off the row path).
+func TestRowPathZeroAllocs(t *testing.T) {
+	const runs = 1000
+	cases := []struct {
+		name string
+		opts *Options
+	}{
+		{"disabled", &Options{}},
+		{"metrics+stats+trace", &Options{
+			Stats:   make(algebra.Annotations),
+			Metrics: obs.NewCollector(),
+			Trace:   obs.NewTracer(obs.NewFakeClock(time.Unix(0, 0), time.Millisecond)),
+			Clock:   obs.NewFakeClock(time.Unix(0, 0), time.Millisecond),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &compiler{opts: tc.opts, par: 1, clock: tc.opts.Clock}
+			if c.clock == nil {
+				c.clock = obs.Wall
+			}
+			// More rows than AllocsPerRun will pull, so every measured Next
+			// returns a live row.
+			out, err := c.compile(valuesPlan(runs + 10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := out.op.Open(); err != nil {
+				t.Fatal(err)
+			}
+			defer out.op.Close()
+			avg := testing.AllocsPerRun(runs, func() {
+				if _, ok, err := out.op.Next(); !ok || err != nil {
+					t.Fatalf("Next: ok=%v err=%v", ok, err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%s row path allocates %.2f times per row, want 0", tc.name, avg)
+			}
+		})
+	}
+}

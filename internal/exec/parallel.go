@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -70,12 +71,14 @@ func numChunks(n, size int) int {
 }
 
 // forEachChunk partitions [0, n) into fixed size-row chunks and runs
-// fn(chunk, lo, hi) for each, fanning the chunks out to at most `workers`
-// goroutines that pull chunk indices from a shared atomic cursor. Chunk
-// boundaries depend only on n and size, so per-chunk results are
-// deterministic regardless of which worker runs which chunk. The first
+// fn(worker, chunk, lo, hi) for each, fanning the chunks out to at most
+// `workers` goroutines that pull chunk indices from a shared atomic cursor.
+// Chunk boundaries depend only on n and size, so per-chunk results are
+// deterministic regardless of which worker runs which chunk; the worker
+// index (0 on the serial fallback path) exists purely for observability —
+// per-worker morsel accounting — and must not influence results. The first
 // error (by chunk index) cancels remaining chunks and is returned.
-func forEachChunk(workers, n, size int, fn func(chunk, lo, hi int) error) error {
+func forEachChunk(workers, n, size int, fn func(worker, chunk, lo, hi int) error) error {
 	chunks := numChunks(n, size)
 	if chunks == 0 {
 		return nil
@@ -90,7 +93,7 @@ func forEachChunk(workers, n, size int, fn func(chunk, lo, hi int) error) error 
 			if hi > n {
 				hi = n
 			}
-			if err := fn(c, lo, hi); err != nil {
+			if err := fn(0, c, lo, hi); err != nil {
 				return err
 			}
 		}
@@ -102,7 +105,7 @@ func forEachChunk(workers, n, size int, fn func(chunk, lo, hi int) error) error 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				c := int(cursor.Add(1)) - 1
@@ -114,13 +117,13 @@ func forEachChunk(workers, n, size int, fn func(chunk, lo, hi int) error) error 
 				if hi > n {
 					hi = n
 				}
-				if err := fn(c, lo, hi); err != nil {
+				if err := fn(worker, c, lo, hi); err != nil {
 					errs[c] = err
 					failed.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -206,10 +209,11 @@ func (b *bufOp) Close() error { return nil }
 // morsels in parallel. Concatenating survivors in morsel order makes the
 // output row-identical to the serial filterOp's.
 type parallelFilterOp struct {
-	input  Operator
-	cond   expr.Expr
-	params expr.Params
-	par    int
+	input   Operator
+	cond    expr.Expr
+	params  expr.Params
+	par     int
+	metrics *obs.OpMetrics // nil unless metrics collection is on
 	bufOp
 }
 
@@ -219,7 +223,10 @@ func (f *parallelFilterOp) Open() error {
 		return err
 	}
 	outs := make([][]value.Row, numChunks(len(rows), MorselSize))
-	err = forEachChunk(f.par, len(rows), MorselSize, func(c, lo, hi int) error {
+	err = forEachChunk(f.par, len(rows), MorselSize, func(w, c, lo, hi int) error {
+		if f.metrics != nil {
+			f.metrics.Morsel(w)
+		}
 		var keep []value.Row
 		for _, row := range rows[lo:hi] {
 			truth, err := expr.EvalTruth(f.cond, row, f.params)
@@ -252,6 +259,7 @@ type parallelProjectOp struct {
 	distinct bool
 	params   expr.Params
 	par      int
+	metrics  *obs.OpMetrics
 	bufOp
 }
 
@@ -261,7 +269,10 @@ func (p *parallelProjectOp) Open() error {
 		return err
 	}
 	outs := make([][]value.Row, numChunks(len(rows), MorselSize))
-	err = forEachChunk(p.par, len(rows), MorselSize, func(c, lo, hi int) error {
+	err = forEachChunk(p.par, len(rows), MorselSize, func(w, c, lo, hi int) error {
+		if p.metrics != nil {
+			p.metrics.Morsel(w)
+		}
 		proj := make([]value.Row, 0, hi-lo)
 		for _, row := range rows[lo:hi] {
 			out := make(value.Row, len(p.items))
@@ -321,6 +332,7 @@ type parallelHashJoinOp struct {
 	residual    expr.Expr
 	params      expr.Params
 	par         int
+	metrics     *obs.OpMetrics
 	bufOp
 }
 
@@ -347,13 +359,22 @@ func (j *parallelHashJoinOp) Open() error {
 		parts[p] = append(parts[p], row)
 	}
 	tables := make([]map[string][]value.Row, nPart)
-	err = forEachChunk(j.par, nPart, 1, func(c, lo, hi int) error {
+	err = forEachChunk(j.par, nPart, 1, func(w, c, lo, hi int) error {
+		if j.metrics != nil {
+			j.metrics.Morsel(w)
+		}
 		t := make(map[string][]value.Row, len(parts[c]))
+		var bytes int64
 		for _, row := range parts[c] {
 			key := value.GroupKey(row, rightCols)
 			t[key] = append(t[key], row)
+			bytes += int64(len(key)) + rowStateBytes(row)
 		}
 		tables[c] = t
+		if j.metrics != nil {
+			j.metrics.BuildEntries.Add(int64(len(parts[c])))
+			j.metrics.StateBytes.Add(bytes)
+		}
 		return nil
 	})
 	if err != nil {
@@ -362,14 +383,20 @@ func (j *parallelHashJoinOp) Open() error {
 
 	// Probe phase: morsel-parallel over the left input.
 	outs := make([][]value.Row, numChunks(len(lrows), MorselSize))
-	err = forEachChunk(j.par, len(lrows), MorselSize, func(c, lo, hi int) error {
+	err = forEachChunk(j.par, len(lrows), MorselSize, func(w, c, lo, hi int) error {
+		if j.metrics != nil {
+			j.metrics.Morsel(w)
+		}
 		var matches []value.Row
+		var hits int64
 		for _, row := range lrows[lo:hi] {
 			if anyNullAt(row, leftCols) {
 				continue
 			}
 			key := value.GroupKey(row, leftCols)
-			for _, m := range tables[partitionOf(key, nPart)][key] {
+			found := tables[partitionOf(key, nPart)][key]
+			hits += int64(len(found))
+			for _, m := range found {
 				out := row.Concat(m)
 				truth, err := expr.EvalTruth(j.residual, out, j.params)
 				if err != nil {
@@ -381,6 +408,9 @@ func (j *parallelHashJoinOp) Open() error {
 			}
 		}
 		outs[c] = matches
+		if j.metrics != nil {
+			j.metrics.ProbeHits.Add(hits)
+		}
 		return nil
 	})
 	if err != nil {
@@ -401,6 +431,7 @@ type parallelNestedLoopJoinOp struct {
 	cond        expr.Expr
 	params      expr.Params
 	par         int
+	metrics     *obs.OpMetrics
 	bufOp
 }
 
@@ -410,7 +441,10 @@ func (j *parallelNestedLoopJoinOp) Open() error {
 		return err
 	}
 	outs := make([][]value.Row, numChunks(len(lrows), MorselSize))
-	err = forEachChunk(j.par, len(lrows), MorselSize, func(c, lo, hi int) error {
+	err = forEachChunk(j.par, len(lrows), MorselSize, func(w, c, lo, hi int) error {
+		if j.metrics != nil {
+			j.metrics.Morsel(w)
+		}
 		var matches []value.Row
 		for _, lrow := range lrows[lo:hi] {
 			for _, rrow := range rrows {
@@ -465,8 +499,12 @@ func (g *parallelHashGroupOp) Open() error {
 	}
 	size := chunkSizeFor(len(rows), g.par)
 	locals := make([]localGroups, numChunks(len(rows), size))
-	err = forEachChunk(g.par, len(rows), size, func(c, lo, hi int) error {
+	err = forEachChunk(g.par, len(rows), size, func(w, c, lo, hi int) error {
+		if g.metrics != nil {
+			g.metrics.Morsel(w)
+		}
 		local := localGroups{index: make(map[string]*groupState)}
+		var keyBytes int64
 		for _, row := range rows[lo:hi] {
 			key := value.GroupKey(row, g.groupCols)
 			st, ok := local.index[key]
@@ -479,12 +517,16 @@ func (g *parallelHashGroupOp) Open() error {
 				local.index[key] = st
 				local.order = append(local.order, st)
 				local.keys = append(local.keys, key)
+				keyBytes += int64(len(key))
 			}
 			if err := g.feed(st, row); err != nil {
 				return err
 			}
 		}
 		locals[c] = local
+		// Per-partial accounting: BuildEntries sums the thread-local
+		// tables, exposing the duplication the merge step later folds away.
+		g.recordBuild(len(local.order), keyBytes)
 		return nil
 	})
 	if err != nil {
@@ -525,7 +567,10 @@ func (g *parallelHashGroupOp) openScalar(rows []value.Row) error {
 	}
 	size := chunkSizeFor(len(rows), g.par)
 	partials := make([]*groupState, numChunks(len(rows), size))
-	err := forEachChunk(g.par, len(rows), size, func(c, lo, hi int) error {
+	err := forEachChunk(g.par, len(rows), size, func(w, c, lo, hi int) error {
+		if g.metrics != nil {
+			g.metrics.Morsel(w)
+		}
 		st, err := g.newState(nil)
 		if err != nil {
 			return err
@@ -536,6 +581,7 @@ func (g *parallelHashGroupOp) openScalar(rows []value.Row) error {
 			}
 		}
 		partials[c] = st
+		g.recordBuild(1, 0)
 		return nil
 	})
 	if err != nil {
@@ -580,7 +626,7 @@ func sortRowsStable(rows []value.Row, par int, less func(a, b value.Row) bool) [
 	size := chunkSizeFor(len(rows), par)
 	chunks := numChunks(len(rows), size)
 	runs := make([][]value.Row, chunks)
-	forEachChunk(par, len(rows), size, func(c, lo, hi int) error {
+	forEachChunk(par, len(rows), size, func(w, c, lo, hi int) error {
 		run := rows[lo:hi]
 		sort.SliceStable(run, func(i, j int) bool { return less(run[i], run[j]) })
 		runs[c] = run
@@ -589,7 +635,7 @@ func sortRowsStable(rows []value.Row, par int, less func(a, b value.Row) bool) [
 	// Pairwise merge passes; adjacent runs merge in parallel.
 	for len(runs) > 1 {
 		merged := make([][]value.Row, (len(runs)+1)/2)
-		forEachChunk(par, len(merged), 1, func(c, lo, hi int) error {
+		forEachChunk(par, len(merged), 1, func(w, c, lo, hi int) error {
 			a := runs[2*c]
 			if 2*c+1 >= len(runs) {
 				merged[c] = a

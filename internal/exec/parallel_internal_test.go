@@ -20,9 +20,12 @@ func TestForEachChunkCoverage(t *testing.T) {
 			for _, size := range []int{1, 3, 1024} {
 				var mu sync.Mutex
 				visited := make([]int, n)
-				err := forEachChunk(workers, n, size, func(chunk, lo, hi int) error {
+				err := forEachChunk(workers, n, size, func(worker, chunk, lo, hi int) error {
 					if lo < 0 || hi > n || lo > hi {
 						return fmt.Errorf("chunk %d has bad range [%d, %d)", chunk, lo, hi)
+					}
+					if worker < 0 || worker >= workers {
+						return fmt.Errorf("chunk %d ran on out-of-range worker %d", chunk, worker)
 					}
 					mu.Lock()
 					for i := lo; i < hi; i++ {
@@ -49,7 +52,7 @@ func TestForEachChunkCoverage(t *testing.T) {
 // pass would have hit first, which keeps error behavior deterministic.
 func TestForEachChunkFirstError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		err := forEachChunk(workers, 10_000, 100, func(chunk, lo, hi int) error {
+		err := forEachChunk(workers, 10_000, 100, func(worker, chunk, lo, hi int) error {
 			if chunk >= 3 {
 				return fmt.Errorf("chunk %d failed", chunk)
 			}
@@ -59,7 +62,7 @@ func TestForEachChunkFirstError(t *testing.T) {
 			t.Fatalf("workers=%d: got %v, want the chunk-3 error", workers, err)
 		}
 	}
-	if err := forEachChunk(4, 0, 100, func(int, int, int) error {
+	if err := forEachChunk(4, 0, 100, func(int, int, int, int) error {
 		return errors.New("must not be called")
 	}); err != nil {
 		t.Fatalf("empty input: %v", err)

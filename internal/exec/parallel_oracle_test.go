@@ -21,6 +21,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -62,17 +63,37 @@ func sameRowOrder(a, b []string) bool {
 	return true
 }
 
-// runWithStats executes a plan and returns its rows plus per-node counts.
-func runWithStats(t *testing.T, plan algebra.Node, store *storage.Store, opts exec.Options) ([]value.Row, algebra.Annotations) {
+// runWithStats executes a plan with both observability sinks active — the
+// legacy Stats annotations and the obs metrics collector — and returns the
+// rows plus both sinks. Running them together makes every oracle execution
+// also an agreement check between the compat shim and its replacement.
+func runWithStats(t *testing.T, plan algebra.Node, store *storage.Store, opts exec.Options) ([]value.Row, algebra.Annotations, *obs.Collector) {
 	t.Helper()
 	ann := make(algebra.Annotations)
+	col := obs.NewCollector()
 	opts.Stats = ann
+	opts.Metrics = col
 	res, err := exec.Run(plan, store, &opts)
 	if err != nil {
 		t.Fatalf("exec.Run (parallelism=%d join=%v group=%v): %v",
 			opts.Parallelism, opts.Join, opts.Group, err)
 	}
-	return res.Rows, ann
+	return res.Rows, ann, col
+}
+
+// joinInputRows sums RowsIn over the plan's join and product operators —
+// the Section 7 quantity eager aggregation is meant to shrink.
+func joinInputRows(plan algebra.Node, col *obs.Collector) int64 {
+	var total int64
+	algebra.Walk(plan, func(n algebra.Node) {
+		switch n.(type) {
+		case *algebra.Join, *algebra.Product:
+			if m := col.Lookup(n); m != nil {
+				total += m.RowsIn.Load()
+			}
+		}
+	})
+	return total
 }
 
 // checkSerialVsParallel runs one plan under one strategy combination both
@@ -80,8 +101,8 @@ func runWithStats(t *testing.T, plan algebra.Node, store *storage.Store, opts ex
 // per-operator cardinalities.
 func checkSerialVsParallel(t *testing.T, label, query string, plan algebra.Node, store *storage.Store, js exec.JoinStrategy, gs exec.GroupStrategy) []string {
 	t.Helper()
-	serialRows, serialAnn := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs})
-	parRows, parAnn := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs, Parallelism: oracleParallelism})
+	serialRows, serialAnn, serialCol := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs})
+	parRows, parAnn, parCol := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs, Parallelism: oracleParallelism})
 	s, p := rowStrings(serialRows), rowStrings(parRows)
 	if !sameRowOrder(s, p) {
 		t.Fatalf("%s plan, join=%v group=%v: parallel output differs from serial\nquery: %s\nserial   (%d rows): %v\nparallel (%d rows): %v",
@@ -91,6 +112,27 @@ func checkSerialVsParallel(t *testing.T, label, query string, plan algebra.Node,
 		if serialAnn[n].Rows != parAnn[n].Rows {
 			t.Fatalf("%s plan, join=%v group=%v: node %T output cardinality %d serial vs %d parallel\nquery: %s",
 				label, js, gs, n, serialAnn[n].Rows, parAnn[n].Rows, query)
+		}
+		sm, pm := serialCol.Lookup(n), parCol.Lookup(n)
+		if sm == nil || pm == nil {
+			t.Fatalf("%s plan, join=%v group=%v: node %T missing from metrics collector (serial=%v parallel=%v)",
+				label, js, gs, n, sm != nil, pm != nil)
+		}
+		// The metrics collector must agree with the parallel run and with
+		// the legacy Stats sink (the compat shim shares one counter).
+		if sm.RowsOut.Load() != pm.RowsOut.Load() {
+			t.Fatalf("%s plan, join=%v group=%v: node %T RowsOut %d serial vs %d parallel\nquery: %s",
+				label, js, gs, n, sm.RowsOut.Load(), pm.RowsOut.Load(), query)
+		}
+		if sm.RowsOut.Load() != serialAnn[n].Rows {
+			t.Fatalf("%s plan, join=%v group=%v: node %T metrics RowsOut %d disagrees with Stats %d\nquery: %s",
+				label, js, gs, n, sm.RowsOut.Load(), serialAnn[n].Rows, query)
+		}
+		// RowsIn is a structural invariant (sum of children's outputs), so
+		// it must match between runs too.
+		if sm.RowsIn.Load() != pm.RowsIn.Load() {
+			t.Fatalf("%s plan, join=%v group=%v: node %T RowsIn %d serial vs %d parallel\nquery: %s",
+				label, js, gs, n, sm.RowsIn.Load(), pm.RowsIn.Load(), query)
 		}
 	})
 	return s
@@ -260,4 +302,50 @@ func TestSerialVsParallelOracle(t *testing.T) {
 		}
 	}
 	t.Logf("serial-vs-parallel oracle: %d queries, %d plan/strategy comparisons", queries, checks)
+}
+
+// TestEagerPlanShrinksJoinInput asserts Section 7's core claim on measured
+// (not estimated) cardinalities: when each group spans many fact rows,
+// performing the group-by before the join strictly reduces the rows entering
+// join operators. With 5000 employees in 25 departments, the standard plan
+// joins 5000+25 input rows while the eager plan joins only 25+25.
+func TestEagerPlanShrinksJoinInput(t *testing.T) {
+	store, err := workload.EmployeeDepartment(5000, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sql.ParseQuery(workload.Example1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := core.NewOptimizer(store).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Alternative == nil {
+		t.Fatal("Example 1 query did not produce a transformed plan")
+	}
+	measure := func(plan algebra.Node, parallelism int) int64 {
+		rows, _, col := runWithStats(t, plan, store, exec.Options{Parallelism: parallelism})
+		if len(rows) == 0 {
+			t.Fatal("plan produced no rows")
+		}
+		return joinInputRows(plan, col)
+	}
+	for _, parallelism := range []int{0, oracleParallelism} {
+		lazy := measure(report.Standard, parallelism)
+		eager := measure(report.Alternative, parallelism)
+		if eager >= lazy {
+			t.Errorf("parallelism=%d: eager plan fed %d rows into joins, lazy fed %d — eager must be strictly smaller",
+				parallelism, eager, lazy)
+		}
+		// The exact counts are deterministic for this workload: the lazy
+		// plan joins every employee row, the eager plan one row per group.
+		if lazy < 5000 {
+			t.Errorf("parallelism=%d: lazy join input %d, want >= 5000 (all employee rows)", parallelism, lazy)
+		}
+		if eager > 100 {
+			t.Errorf("parallelism=%d: eager join input %d, want <= 100 (one row per department-side group)", parallelism, eager)
+		}
+	}
 }

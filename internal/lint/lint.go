@@ -10,10 +10,13 @@
 //     randomized; a row path that depends on it produces nondeterministic
 //     results and breaks the serial-vs-parallel oracle. Iterate an
 //     insertion-order slice or sort the keys.
-//   - nowallclock: no time.Now/Since/Until and no math/rand in the planner
-//     and cost code (internal/core). Plan choice must be a pure function of
-//     schema, statistics and query, or EXPLAIN output and the oracle suites
-//     become unreproducible.
+//   - nowallclock: no time.Now/Since/Until and no math/rand in the planner,
+//     the executor or the observability layer (internal/core, internal/exec,
+//     internal/obs). Plan choice must be a pure function of schema,
+//     statistics and query, and operator timings must flow through an
+//     injected obs.Clock, or EXPLAIN / EXPLAIN ANALYZE output and the
+//     oracle suites become unreproducible. The one sanctioned wall-clock
+//     read is obs.Wall, which carries the //lint:ignore directive.
 //   - atomiccounter: no plain ++/--/+=/-= on an integer captured by a `go`
 //     statement's function literal; shared counters must use sync/atomic.
 //   - accmerge: every accumulator implementation (a type with Add and

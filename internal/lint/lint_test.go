@@ -61,7 +61,9 @@ func TestAnalyzerScoping(t *testing.T) {
 	}{
 		{lint.MapRangeAnalyzer, "internal/exec", "internal/core"},
 		{lint.MapRangeAnalyzer, "internal/expr", "cmd/gbj-lint"},
-		{lint.NoWallClockAnalyzer, "internal/core", "internal/exec"},
+		{lint.NoWallClockAnalyzer, "internal/core", "internal/bench"},
+		{lint.NoWallClockAnalyzer, "internal/exec", "internal/sql"},
+		{lint.NoWallClockAnalyzer, "internal/obs", "cmd/gbj-bench"},
 		{lint.AtomicCounterAnalyzer, "internal/exec", "internal/sql"},
 		{lint.AccMergeAnalyzer, "internal/expr", "internal/exec"},
 		{lint.OptMutationAnalyzer, "internal/exec", ""},

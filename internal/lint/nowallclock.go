@@ -7,16 +7,19 @@ import (
 	"strings"
 )
 
-// NoWallClockAnalyzer keeps the planner, cost model and decision procedure
-// pure: importing math/rand or reading the wall clock (time.Now, time.Since,
-// time.Until) inside internal/core would make plan choice — and therefore
-// EXPLAIN output, the oracle suites and the fuzz corpus — depend on when and
-// where the process runs. Cost must be a function of schema, statistics and
-// query text alone.
+// NoWallClockAnalyzer keeps plan choice and execution deterministic:
+// importing math/rand or reading the wall clock (time.Now, time.Since,
+// time.Until) inside the planner (internal/core) would make plan choice —
+// and therefore EXPLAIN output, the oracle suites and the fuzz corpus —
+// depend on when and where the process runs, and inside the executor or the
+// observability layer (internal/exec, internal/obs) it would make the
+// golden EXPLAIN ANALYZE output unreproducible. Timings must flow through
+// an injected obs.Clock; the single sanctioned wall-clock read is obs.Wall,
+// which carries a //lint:ignore directive.
 var NoWallClockAnalyzer = &Analyzer{
 	Name: "nowallclock",
-	Doc:  "forbid wall-clock reads and math/rand in planner and cost code (cost-model purity)",
-	Dirs: []string{"internal/core"},
+	Doc:  "forbid wall-clock reads and math/rand in planner, executor and observability code (read an injected obs.Clock instead)",
+	Dirs: []string{"internal/core", "internal/exec", "internal/obs"},
 	Run:  runNoWallClock,
 }
 
@@ -30,7 +33,7 @@ func runNoWallClock(pass *Pass) error {
 				continue
 			}
 			if path == "math/rand" || path == "math/rand/v2" || strings.HasPrefix(path, "math/rand/") {
-				pass.Reportf(imp.Pos(), "import of %s in planner/cost code: plan decisions must be deterministic", path)
+				pass.Reportf(imp.Pos(), "import of %s in planner/executor code: plan decisions and execution must be deterministic", path)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -43,7 +46,7 @@ func runNoWallClock(pass *Pass) error {
 				return true
 			}
 			if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok && pn.Imported().Path() == "time" {
-				pass.Reportf(sel.Pos(), "time.%s in planner/cost code: cost must not depend on the wall clock", sel.Sel.Name)
+				pass.Reportf(sel.Pos(), "time.%s in planner/executor code: read an injected obs.Clock (obs.Wall in production) instead", sel.Sel.Name)
 			}
 			return true
 		})

@@ -1,0 +1,70 @@
+// Package obs is the engine's observability layer: an injected clock, a
+// per-operator metrics collector, and a hierarchical span tracer. It is
+// deliberately dependency-free (stdlib only, no other repo packages) so
+// that any layer — executor, optimizer, benchmark harness, CLIs — can
+// record into it without import cycles.
+//
+// Everything here is deterministic under an injected FakeClock, which is
+// how the golden EXPLAIN ANALYZE tests get byte-stable timings, and every
+// counter is an atomic, which is how parallel morsel workers aggregate
+// into one OpMetrics without locks on the row path.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies timestamps. The executor and tracer never call time.Now
+// directly: they read an injected Clock, so tests substitute a FakeClock
+// and timing output becomes deterministic. This is the sanctioned
+// alternative to the wall-clock reads the nowallclock analyzer forbids in
+// planner and executor code.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// Wall is the process wall clock — the one production Clock. It lives
+// here, in one audited place, so instrumented code elsewhere can stay
+// wall-clock-free.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+// Now reads the real (monotonic) clock.
+func (wallClock) Now() time.Time {
+	return time.Now() //lint:ignore nowallclock obs.Wall is the single sanctioned wall-clock read
+}
+
+// FakeClock is a deterministic Clock for tests: every Now call advances a
+// virtual instant by a fixed step, so the k-th read is start + k*step
+// regardless of host speed. It is safe for concurrent use, though
+// deterministic timings additionally require a deterministic call order
+// (serial execution).
+type FakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewFakeClock returns a fake clock starting at start, advancing by step
+// per Now call.
+func NewFakeClock(start time.Time, step time.Duration) *FakeClock {
+	return &FakeClock{now: start, step: step}
+}
+
+// Now advances the virtual clock by one step and returns the new instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// Set repositions the virtual clock (the next Now returns t + step).
+func (c *FakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

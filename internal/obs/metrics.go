@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// OpMetrics is the runtime profile of one physical operator: cardinalities,
+// wall time, hash-table shape, approximate state size, and the morsel
+// counts of each parallel worker. All counters are atomics — morsel workers
+// and concurrently-drained join subtrees update them without locks — and
+// updating them never allocates, which is what keeps instrumentation off
+// the allocation profile of the row path.
+type OpMetrics struct {
+	// RowsIn is the total number of rows the operator consumed (the sum of
+	// its children's outputs, filled in after execution).
+	RowsIn atomic.Int64
+	// RowsOut is the number of rows the operator produced.
+	RowsOut atomic.Int64
+	// Batches is the number of morsels (scheduling units) processed by the
+	// operator's parallel implementation; 0 for serial operators.
+	Batches atomic.Int64
+	// WallNanos is the operator's wall time from Open to Close, including
+	// its children (tree-inclusive, like EXPLAIN ANALYZE in most engines).
+	WallNanos atomic.Int64
+	// BuildEntries counts hash-table entries built: rows inserted on a hash
+	// join's build side, or groups created by a grouping operator (for
+	// parallel grouping, the sum over per-worker partial tables).
+	BuildEntries atomic.Int64
+	// ProbeHits counts build rows found by probe lookups in a hash join,
+	// before residual-predicate filtering.
+	ProbeHits atomic.Int64
+	// StateBytes approximates the bytes of operator-owned state (hash-table
+	// keys and row references, group accumulators).
+	StateBytes atomic.Int64
+
+	// workerMorsels[w] counts the morsels executed by worker w.
+	workerMorsels []atomic.Int64
+}
+
+// Morsel records one morsel executed by the given worker.
+func (m *OpMetrics) Morsel(worker int) {
+	m.Batches.Add(1)
+	if worker >= 0 && worker < len(m.workerMorsels) {
+		m.workerMorsels[worker].Add(1)
+	}
+}
+
+// WorkerMorsels returns the per-worker morsel counts (a copy).
+func (m *OpMetrics) WorkerMorsels() []int64 {
+	out := make([]int64, len(m.workerMorsels))
+	for i := range m.workerMorsels {
+		out[i] = m.workerMorsels[i].Load()
+	}
+	return out
+}
+
+// Snapshot is a plain-value copy of an OpMetrics, for reports and JSON.
+type Snapshot struct {
+	RowsIn        int64   `json:"rows_in"`
+	RowsOut       int64   `json:"rows_out"`
+	Batches       int64   `json:"batches,omitempty"`
+	WallNanos     int64   `json:"wall_ns"`
+	BuildEntries  int64   `json:"build_entries,omitempty"`
+	ProbeHits     int64   `json:"probe_hits,omitempty"`
+	StateBytes    int64   `json:"state_bytes,omitempty"`
+	WorkerMorsels []int64 `json:"worker_morsels,omitempty"`
+}
+
+// Snapshot reads every counter once.
+func (m *OpMetrics) Snapshot() Snapshot {
+	s := Snapshot{
+		RowsIn:       m.RowsIn.Load(),
+		RowsOut:      m.RowsOut.Load(),
+		Batches:      m.Batches.Load(),
+		WallNanos:    m.WallNanos.Load(),
+		BuildEntries: m.BuildEntries.Load(),
+		ProbeHits:    m.ProbeHits.Load(),
+		StateBytes:   m.StateBytes.Load(),
+	}
+	if s.Batches > 0 && len(m.workerMorsels) > 0 {
+		s.WorkerMorsels = m.WorkerMorsels()
+	}
+	return s
+}
+
+// Collector maps plan nodes (opaque keys) to their OpMetrics. Keys are
+// `any` so this package needs no dependency on the plan algebra; the
+// executor keys by algebra.Node. Registration (Node) takes a lock and may
+// allocate; it happens once per operator at compile time, never per row.
+// The returned *OpMetrics is then updated lock-free.
+//
+// A Collector records one execution: use a fresh one per run (counters
+// accumulate across runs otherwise).
+type Collector struct {
+	mu      sync.Mutex
+	workers int
+	ops     map[any]*OpMetrics
+	order   []any
+}
+
+// NewCollector returns an empty collector sized for serial execution.
+func NewCollector() *Collector {
+	return &Collector{workers: 1, ops: make(map[any]*OpMetrics)}
+}
+
+// SetWorkers fixes the worker count for per-worker morsel accounting. The
+// executor calls it before compiling operators; metrics registered earlier
+// keep their old width.
+func (c *Collector) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.workers = n
+	c.mu.Unlock()
+}
+
+// Workers returns the configured worker count.
+func (c *Collector) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers
+}
+
+// Node returns the metrics for id, creating them on first use.
+func (c *Collector) Node(id any) *OpMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.ops[id]; ok {
+		return m
+	}
+	m := &OpMetrics{workerMorsels: make([]atomic.Int64, c.workers)}
+	c.ops[id] = m
+	c.order = append(c.order, id)
+	return m
+}
+
+// Lookup returns the metrics for id, or nil if none were registered.
+func (c *Collector) Lookup(id any) *OpMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops[id]
+}
+
+// Len reports the number of registered operators.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ops)
+}
+
+// Each visits every registered operator in registration order (compile
+// order — deterministic for a deterministic plan).
+func (c *Collector) Each(fn func(id any, m *OpMetrics)) {
+	c.mu.Lock()
+	ids := append([]any(nil), c.order...)
+	c.mu.Unlock()
+	for _, id := range ids {
+		fn(id, c.Lookup(id))
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Tracer records a hierarchy of timed spans — one per operator when the
+// executor runs with tracing — against an injected Clock. Span structure
+// is built at compile time (mirroring the plan tree) and timestamps are
+// filled in at Open/Close, so the exported hierarchy is deterministic even
+// though sibling subtrees may execute concurrently.
+type Tracer struct {
+	clock Clock
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns a tracer reading the given clock (nil means Wall).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = Wall
+	}
+	return &Tracer{clock: clock}
+}
+
+// Span is one timed node in the trace tree.
+type Span struct {
+	tracer *Tracer
+	name   string
+
+	mu       sync.Mutex
+	start    time.Time
+	end      time.Time
+	started  bool
+	ended    bool
+	children []*Span
+}
+
+// Root starts a new top-level span (not yet begun).
+func (t *Tracer) Root(name string) *Span {
+	s := &Span{tracer: t, name: name}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns the top-level spans in creation order.
+func (t *Tracer) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Child adds a child span (not yet begun).
+func (s *Span) Child(name string) *Span {
+	c := &Span{tracer: s.tracer, name: name}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Name returns the span's label.
+func (s *Span) Name() string { return s.name }
+
+// Begin stamps the start of the span from the tracer's clock.
+func (s *Span) Begin() { s.BeginAt(s.tracer.clock.Now()) }
+
+// BeginAt stamps the start of the span with a caller-read instant (lets
+// the caller share one clock read between a span and a metric).
+func (s *Span) BeginAt(t time.Time) {
+	s.mu.Lock()
+	s.start = t
+	s.started = true
+	s.mu.Unlock()
+}
+
+// End stamps the end of the span from the tracer's clock.
+func (s *Span) End() { s.EndAt(s.tracer.clock.Now()) }
+
+// EndAt stamps the end of the span with a caller-read instant.
+func (s *Span) EndAt(t time.Time) {
+	s.mu.Lock()
+	s.end = t
+	s.ended = true
+	s.mu.Unlock()
+}
+
+// Duration is end − start, or 0 while the span is open.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || !s.ended {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// spanJSON is the export shape of one span.
+type spanJSON struct {
+	Name         string     `json:"name"`
+	StartUnixNs  int64      `json:"start_unix_ns"`
+	DurationNs   int64      `json:"duration_ns"`
+	Children     []spanJSON `json:"children,omitempty"`
+	NeverStarted bool       `json:"never_started,omitempty"`
+}
+
+func (s *Span) export() spanJSON {
+	s.mu.Lock()
+	out := spanJSON{Name: s.name}
+	if s.started {
+		out.StartUnixNs = s.start.UnixNano()
+		if s.ended {
+			out.DurationNs = s.end.Sub(s.start).Nanoseconds()
+		}
+	} else {
+		out.NeverStarted = true
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.export())
+	}
+	return out
+}
+
+// JSON renders the whole trace tree as indented JSON, children nested
+// under parents in creation (compile) order.
+func (t *Tracer) JSON() ([]byte, error) {
+	roots := t.Roots()
+	out := make([]spanJSON, len(roots))
+	for i, r := range roots {
+		out[i] = r.export()
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
