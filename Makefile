@@ -1,14 +1,15 @@
 # Development entry points. `make check` is the full gate: vet, the custom
 # static analyzers (gbj-lint), build, race-enabled tests (which include the
 # serial-vs-parallel oracle, the concurrent-execution smoke tests and the
-# plan-verifier suite), and a short run of every fuzz target.
+# plan-verifier suite), the chaos oracle, and a short run of every fuzz
+# target.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint plancheck build test race fuzz bench bench-json
+.PHONY: check vet lint plancheck build test race chaos fuzz bench bench-json
 
-check: vet lint build race plancheck bench-json fuzz
+check: vet lint build race plancheck chaos bench-json fuzz
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +36,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The fault-injection chaos oracle under the race detector: hundreds of
+# randomized queries × deterministic cancel/panic/alloc-fail/delay
+# schedules; every run must return the oracle's rows or a clean typed
+# error, with no goroutine leaks (internal/exec/chaos_oracle_test.go).
+chaos:
+	$(GO) test -race ./internal/exec -run TestChaosOracle
 
 # Each fuzz target needs its own invocation (go test allows one -fuzz
 # pattern per package run). -run=^$ skips the regular tests.

@@ -9,9 +9,14 @@
 //	gbj-bench -exp E1,E5       # run a subset
 //	gbj-bench -reps 5          # repetitions per measurement (fastest wins)
 //	gbj-bench -parallelism -1  # parallel execution, one worker per CPU
+//	gbj-bench -timeout 30s     # per-measurement deadline
+//	gbj-bench -mem-budget 1048576  # per-execution state-byte cap; an
+//	                               # over-budget eager plan degrades to the
+//	                               # lazy plan (recorded as a fallback)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +26,43 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/sql"
+	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
 // parallelism is the executor worker count for every experiment: 0 or 1
 // serial, n > 1 that many workers, negative one per CPU.
 var parallelism int
+
+// timeout is the per-measurement deadline, 0 for none; memBudget caps
+// operator state bytes per execution, 0 for unlimited.
+var (
+	timeout   time.Duration
+	memBudget int64
+)
+
+// measureCtx returns the context one measurement runs under.
+func measureCtx() (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// compareForward runs a governed forward comparison with the tool's
+// timeout, budget and parallelism settings.
+func compareForward(store *storage.Store, query string, reps int) (*bench.Comparison, error) {
+	ctx, cancel := measureCtx()
+	defer cancel()
+	return bench.CompareForwardGoverned(ctx, store, query, reps, parallelism, memBudget)
+}
+
+// compareReverse is compareForward for the Section 8 reverse experiment.
+func compareReverse(store *storage.Store, query string, reps int) (*bench.Comparison, error) {
+	ctx, cancel := measureCtx()
+	defer cancel()
+	return bench.CompareReverseGoverned(ctx, store, query, reps, parallelism, memBudget)
+}
 
 // record, when non-nil, accumulates every comparison as a machine-readable
 // run record (the -json flag).
@@ -44,6 +80,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	jsonPath := flag.String("json", "", "also write machine-readable run records (per-operator metrics included) to this file")
 	flag.IntVar(&parallelism, "parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
+	flag.DurationVar(&timeout, "timeout", 0, "per-measurement deadline (0 = none)")
+	flag.Int64Var(&memBudget, "mem-budget", 0, "per-execution operator-state byte cap (0 = unlimited); over-budget eager plans degrade to the lazy plan")
 	flag.Parse()
 	if *jsonPath != "" {
 		record = &bench.File{Tool: "gbj-bench"}
@@ -105,7 +143,7 @@ func runE1(reps int) error {
 	if err != nil {
 		return err
 	}
-	c, err := bench.CompareForwardParallel(store, workload.Example1Query, reps, parallelism)
+	c, err := compareForward(store, workload.Example1Query, reps)
 	if err != nil {
 		return err
 	}
@@ -123,7 +161,7 @@ func runE2(reps int) error {
 	if err != nil {
 		return err
 	}
-	c, err := bench.CompareForwardParallel(store, workload.Figure8Query, reps, parallelism)
+	c, err := compareForward(store, workload.Figure8Query, reps)
 	if err != nil {
 		return err
 	}
@@ -155,7 +193,7 @@ func runE3(reps int) error {
 	fmt.Println()
 	fmt.Println(r.Decision.TraceString())
 	fmt.Printf("\nTestFD answer: %v (paper: YES)\n\n", r.Decision.OK)
-	c, err := bench.CompareForwardParallel(store, workload.Example3Query, reps, parallelism)
+	c, err := compareForward(store, workload.Example3Query, reps)
 	if err != nil {
 		return err
 	}
@@ -172,7 +210,7 @@ func runE4(reps int) error {
 	if err := workload.RegisterUserInfoView(store); err != nil {
 		return err
 	}
-	c, err := bench.CompareReverseParallel(store, workload.Example5Query, reps, parallelism)
+	c, err := compareReverse(store, workload.Example5Query, reps)
 	if err != nil {
 		return err
 	}
@@ -194,7 +232,7 @@ func runE5(reps int) error {
 		if err != nil {
 			return err
 		}
-		c, err := bench.CompareForwardParallel(store, workload.SweepQueryGroupByDim, reps, parallelism)
+		c, err := compareForward(store, workload.SweepQueryGroupByDim, reps)
 		if err != nil {
 			return err
 		}
@@ -219,7 +257,7 @@ func runE6(reps int) error {
 		if err != nil {
 			return err
 		}
-		c, err := bench.CompareForwardParallel(store, workload.SweepQueryGroupByDim, reps, parallelism)
+		c, err := compareForward(store, workload.SweepQueryGroupByDim, reps)
 		if err != nil {
 			return err
 		}
@@ -283,7 +321,7 @@ func runE8(reps int) error {
 			if err != nil {
 				return err
 			}
-			c, err := bench.CompareForwardParallel(store, workload.SweepQueryGroupByDim, reps, parallelism)
+			c, err := compareForward(store, workload.SweepQueryGroupByDim, reps)
 			if err != nil {
 				return err
 			}

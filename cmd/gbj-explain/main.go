@@ -11,9 +11,14 @@
 //	gbj-explain -schema schema.sql "SELECT ... GROUP BY ..."
 //	gbj-explain -schema schema.sql < query.sql
 //	gbj-explain -demo              # built-in Example 1 demonstration
+//
+// With -analyze, -timeout bounds the execution and -mem-budget caps its
+// operator state; an over-budget eager plan degrades to the lazy plan and
+// the analysis reports the fallback.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,10 +54,13 @@ func main() {
 	check := flag.Bool("check", false, "statically verify both plans (plancheck): schema resolution, join key types, aggregate placement, and the TestFD certificate of an eager aggregation")
 	analyze := flag.Bool("analyze", false, "execute the chosen plan and annotate it with actual row counts, estimates and per-node q-errors (EXPLAIN ANALYZE)")
 	trace := flag.Bool("trace", false, "with -analyze output, also print the hierarchical operator span trace as JSON")
+	timeout := flag.Duration("timeout", 0, "deadline for -analyze execution (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "operator-state byte cap for -analyze execution (0 = unlimited); an over-budget eager plan degrades to the lazy plan and the output says so")
 	flag.Parse()
 
 	engine := gbj.New()
 	engine.SetPlanCheck(*check)
+	engine.SetMemoryBudget(*memBudget)
 	var query string
 	switch {
 	case *demo:
@@ -85,7 +93,13 @@ func main() {
 	}
 
 	if *analyze || *trace {
-		a, err := engine.QueryAnalyzed(query)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		a, err := engine.QueryAnalyzedContext(ctx, query)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

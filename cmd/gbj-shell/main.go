@@ -15,15 +15,24 @@
 //	                              estimates and q-errors (EXPLAIN ANALYZE)
 //	\stats SELECT ...             run and show the per-operator metrics table
 //	\timing                       toggle printing execution time after queries
+//	\timeout 30s|off              set a per-query deadline
+//	\budget 64MB|off              cap per-query operator state; an over-budget
+//	                              eager plan degrades to the lazy plan
 //	\quit                         exit
+//
+// Ctrl-C cancels the in-flight query — the shell itself stays up.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -32,6 +41,32 @@ import (
 // timing reports whether \timing is on: queries print their elapsed time.
 var timing bool
 
+// queryTimeout is the \timeout deadline applied to each query, 0 for none.
+var queryTimeout time.Duration
+
+// inflight holds the cancel function of the running query, nil at the
+// prompt; the SIGINT handler fires it so Ctrl-C aborts the query, not the
+// shell.
+var inflight atomic.Pointer[context.CancelFunc]
+
+// queryContext returns the context a query should run under — the \timeout
+// deadline, cancellable by SIGINT — and the cleanup to call when it
+// finishes.
+func queryContext() (context.Context, func()) {
+	ctx := context.Background()
+	cancelTimeout := func() {}
+	if queryTimeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, queryTimeout)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	inflight.Store(&cancel)
+	return ctx, func() {
+		inflight.Store(nil)
+		cancel()
+		cancelTimeout()
+	}
+}
+
 func main() {
 	file := flag.String("f", "", "run statements from a file, then exit")
 	parallelism := flag.Int("parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
@@ -39,6 +74,19 @@ func main() {
 
 	engine := gbj.New()
 	engine.SetParallelism(*parallelism)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		for range sigc {
+			if cancel := inflight.Load(); cancel != nil {
+				(*cancel)()
+				fmt.Fprintln(os.Stderr, "\ncancelling query...")
+			} else {
+				fmt.Fprintln(os.Stderr, "\ninterrupt — use \\quit to exit")
+			}
+		}
+	}()
 	if *file != "" {
 		data, err := os.ReadFile(*file)
 		if err != nil {
@@ -133,20 +181,58 @@ func handleCommand(engine *gbj.Engine, cmd string) bool {
 		fmt.Printf("loaded %d rows into %s\n", n, fields[2])
 	case `\analyze`:
 		query := strings.TrimSpace(strings.TrimPrefix(cmd, `\analyze`))
-		text, err := engine.ExplainAnalyze(strings.TrimSuffix(query, ";"))
+		ctx, done := queryContext()
+		a, err := engine.QueryAnalyzedContext(ctx, strings.TrimSuffix(query, ";"))
+		done()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return false
 		}
-		fmt.Println(text)
+		fmt.Println(a.String())
 	case `\stats`:
 		query := strings.TrimSpace(strings.TrimPrefix(cmd, `\stats`))
-		a, err := engine.QueryAnalyzed(strings.TrimSuffix(query, ";"))
+		ctx, done := queryContext()
+		a, err := engine.QueryAnalyzedContext(ctx, strings.TrimSuffix(query, ";"))
+		done()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return false
 		}
 		printStats(a)
+	case `\timeout`:
+		if len(fields) != 2 {
+			fmt.Println(`usage: \timeout 30s|off`)
+			return false
+		}
+		if fields[1] == "off" || fields[1] == "0" {
+			queryTimeout = 0
+			fmt.Println("timeout is off")
+			return false
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d < 0 {
+			fmt.Println(`usage: \timeout 30s|off`)
+			return false
+		}
+		queryTimeout = d
+		fmt.Printf("timeout: %v per query\n", d)
+	case `\budget`:
+		if len(fields) != 2 {
+			fmt.Println(`usage: \budget 64MB|off`)
+			return false
+		}
+		if fields[1] == "off" || fields[1] == "0" {
+			engine.SetMemoryBudget(0)
+			fmt.Println("memory budget is off")
+			return false
+		}
+		n, err := parseBytes(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		engine.SetMemoryBudget(n)
+		fmt.Printf("memory budget: %d bytes per query\n", n)
 	case `\timing`:
 		timing = !timing
 		if timing {
@@ -171,12 +257,34 @@ func runScript(engine *gbj.Engine, text string) error {
 }
 
 func runStatement(engine *gbj.Engine, stmt string) error {
+	ctx, done := queryContext()
+	defer done()
 	start := time.Now()
-	err := engine.RunScript(stmt, os.Stdout)
+	err := engine.RunScriptContext(ctx, stmt, os.Stdout)
 	if err == nil && timing {
 		fmt.Printf("Time: %v\n", time.Since(start).Round(time.Microsecond))
 	}
 	return err
+}
+
+// parseBytes reads a byte size with an optional KB/MB/GB (or K/M/G) suffix.
+func parseBytes(s string) (int64, error) {
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		scale  int64
+	}{{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1}} {
+		if strings.HasSuffix(upper, u.suffix) {
+			upper, mult = strings.TrimSuffix(upper, u.suffix), u.scale
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q: want e.g. 65536, 64KB, 1MB", s)
+	}
+	return n * mult, nil
 }
 
 // printStats renders the per-operator metrics of an analyzed query as a

@@ -32,7 +32,7 @@ func (e *Engine) LoadCSV(table string, r io.Reader, header bool) (int, error) {
 	if header {
 		record, err := reader.Read()
 		if err != nil {
-			return 0, fmt.Errorf("gbj: reading CSV header: %v", err)
+			return 0, fmt.Errorf("gbj: reading CSV header: %w", err)
 		}
 		line++
 		for _, name := range record {
@@ -55,7 +55,7 @@ func (e *Engine) LoadCSV(table string, r io.Reader, header bool) (int, error) {
 			break
 		}
 		if err != nil {
-			return inserted, fmt.Errorf("gbj: reading CSV line %d: %v", line+1, err)
+			return inserted, fmt.Errorf("gbj: reading CSV line %d: %w", line+1, err)
 		}
 		line++
 		if len(record) != len(positions) {
@@ -69,12 +69,12 @@ func (e *Engine) LoadCSV(table string, r io.Reader, header bool) (int, error) {
 			col := def.Columns[positions[i]]
 			v, err := parseCSVField(field, col.Type)
 			if err != nil {
-				return inserted, fmt.Errorf("gbj: CSV line %d, column %s: %v", line, col.Name, err)
+				return inserted, fmt.Errorf("gbj: CSV line %d, column %s: %w", line, col.Name, err)
 			}
 			row[positions[i]] = v
 		}
 		if err := e.store.Insert(table, row); err != nil {
-			return inserted, fmt.Errorf("gbj: CSV line %d: %v", line, err)
+			return inserted, fmt.Errorf("gbj: CSV line %d: %w", line, err)
 		}
 		inserted++
 	}

@@ -1,6 +1,9 @@
 package gbj
 
 import (
+	"encoding/csv"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -104,5 +107,84 @@ func TestExplainAnalyze(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("ExplainAnalyze missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// failingReader yields its data, then fails with a sentinel error —
+// simulating an I/O fault in the middle of a bulk load.
+type failingReader struct {
+	data io.Reader
+	err  error
+	done bool
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if !f.done {
+		n, err := f.data.Read(p)
+		if err == io.EOF {
+			f.done = true
+			return n, nil
+		}
+		return n, err
+	}
+	return 0, f.err
+}
+
+// TestLoadCSVMidFileReadError: an I/O error after some rows loaded aborts
+// the load with the failing line's number, preserves the inserted count,
+// and — because LoadCSV wraps with %w — keeps the cause reachable through
+// errors.Is.
+func TestLoadCSVMidFileReadError(t *testing.T) {
+	e := csvEngine(t)
+	sentinel := errors.New("disk on fire")
+	r := &failingReader{data: strings.NewReader("1,alice,2.5,true\n2,bob,1.0,false\n"), err: sentinel}
+	n, err := e.LoadCSV("T", r, false)
+	if err == nil {
+		t.Fatal("mid-file read error went unreported")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("cause not reachable through errors.Is: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error does not name the failing line: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("inserted count = %d, want the 2 rows loaded before the fault", n)
+	}
+	// The rows that made it in are queryable.
+	res, qerr := e.Query(`SELECT T.id FROM T ORDER BY id`)
+	if qerr != nil || len(res.Rows) != 2 {
+		t.Errorf("rows after aborted load: %v (err %v), want 2", res, qerr)
+	}
+}
+
+// TestLoadCSVSyntaxErrorUnwraps: a CSV syntax error (bare quote) surfaces
+// the encoding/csv *ParseError through errors.As, with our line context.
+func TestLoadCSVSyntaxErrorUnwraps(t *testing.T) {
+	e := csvEngine(t)
+	_, err := e.LoadCSV("T", strings.NewReader("1,alice,2.5,true\n2,\"bo\"b,1.0,false\n"), false)
+	if err == nil {
+		t.Fatal("malformed quoting went unreported")
+	}
+	var pe *csv.ParseError
+	if !errors.As(err, &pe) {
+		t.Errorf("*csv.ParseError not reachable through errors.As: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line") {
+		t.Errorf("error carries no line context: %v", err)
+	}
+}
+
+// TestLoadCSVHeaderReadError: a reader that fails on the first byte aborts
+// before any insert, with the cause wrapped.
+func TestLoadCSVHeaderReadError(t *testing.T) {
+	e := csvEngine(t)
+	sentinel := errors.New("gone")
+	n, err := e.LoadCSV("T", &failingReader{data: strings.NewReader(""), err: sentinel}, true)
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("header read error = %v, want wrapped sentinel", err)
+	}
+	if n != 0 {
+		t.Errorf("inserted %d rows from a dead reader", n)
 	}
 }

@@ -24,9 +24,12 @@
 package gbj
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
@@ -52,6 +55,18 @@ const (
 	ModeNever  = core.ModeNever
 )
 
+// ResourceError is the typed error a query returns when it exceeds the
+// engine's memory budget and no cheaper plan is available; match it with
+// errors.As. It reports the budget, the high-water usage that tripped it,
+// and the operator that was allocating.
+type ResourceError = exec.ResourceError
+
+// ExecPanicError is the typed error wrapping a panic contained inside the
+// executor — the query fails cleanly instead of crashing the process. It
+// carries the plan node, the worker index (-1 for serial execution), the
+// recovered value, and the stack.
+type ExecPanicError = exec.ExecPanicError
+
 // Engine is an embedded SQL engine instance. It is safe for concurrent
 // use: DDL/DML statements take a write lock, queries a read lock.
 type Engine struct {
@@ -59,7 +74,9 @@ type Engine struct {
 	store       *storage.Store
 	opt         *core.Optimizer
 	parallelism int
+	memBudget   int64
 	clock       obs.Clock
+	fallbacks   atomic.Int64
 }
 
 // New returns an empty engine.
@@ -98,6 +115,34 @@ func (e *Engine) Parallelism() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.parallelism
+}
+
+// SetMemoryBudget caps the bytes of operator state (hash tables, group
+// tables, sort buffers) a single query may hold; 0 (the default) means
+// unlimited. A query that would exceed the budget is aborted — but when the
+// optimizer chose the eager group-before-join plan, the engine degrades
+// gracefully: it re-executes the lazy group-after-join plan once (eager
+// aggregation trades memory for speed; the lazy plan is the conservative
+// shape), counts the event in Fallbacks, and surfaces it in ExplainAnalyze.
+// Only when the lazy plan also exceeds the budget does the query fail, with
+// a *ResourceError.
+func (e *Engine) SetMemoryBudget(bytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.memBudget = bytes
+}
+
+// MemoryBudget returns the per-query state-byte cap, 0 when unlimited.
+func (e *Engine) MemoryBudget() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.memBudget
+}
+
+// Fallbacks reports how many queries degraded from the eager plan to the
+// lazy plan because the eager plan exceeded the memory budget.
+func (e *Engine) Fallbacks() int64 {
+	return e.fallbacks.Load()
 }
 
 // SetClock injects the clock behind the timings that Analyze and the
@@ -327,20 +372,33 @@ func (e *Engine) execInsert(s *sql.InsertStmt) error {
 
 // Query parses, optimizes and executes a SELECT statement.
 func (e *Engine) Query(text string) (*Result, error) {
-	return e.QueryParams(text, nil)
+	return e.QueryParamsContext(context.Background(), text, nil)
+}
+
+// QueryContext is Query under a context: cancelling the context or passing
+// one with a deadline aborts the query promptly (within one scheduling
+// quantum of every worker), joins all goroutines, and returns the context's
+// error.
+func (e *Engine) QueryContext(ctx context.Context, text string) (*Result, error) {
+	return e.QueryParamsContext(ctx, text, nil)
 }
 
 // QueryParams executes a SELECT with host-variable bindings (":name"
 // references in the query text). Values may be int/int64, float64, string,
 // bool, or nil.
 func (e *Engine) QueryParams(text string, params map[string]any) (*Result, error) {
+	return e.QueryParamsContext(context.Background(), text, params)
+}
+
+// QueryParamsContext is QueryParams under a context.
+func (e *Engine) QueryParamsContext(ctx context.Context, text string, params map[string]any) (*Result, error) {
 	q, err := sql.ParseQuery(text)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	plan, err := e.choosePlan(q)
+	pc, err := e.chooseForExec(q)
 	if err != nil {
 		return nil, err
 	}
@@ -348,15 +406,50 @@ func (e *Engine) QueryParams(text string, params map[string]any) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(plan, e.store, &exec.Options{
-		Params:      p,
-		Group:       groupStrategyFor(plan),
-		Parallelism: e.parallelism,
-	})
+	res, err := e.governedRun(ctx, pc.plan, p, nil, nil)
+	if re := fallbackError(err, pc); re != nil {
+		e.fallbacks.Add(1)
+		res, err = e.governedRun(ctx, pc.fallback, p, nil, nil)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return convertResult(res), nil
+}
+
+// governedRun executes one plan under the engine's governance settings:
+// the caller's context and the configured memory budget.
+func (e *Engine) governedRun(ctx context.Context, plan algebra.Node, params expr.Params, col *obs.Collector, tracer *obs.Tracer) (*exec.Result, error) {
+	return exec.Run(plan, e.store, &exec.Options{
+		Params:       params,
+		Group:        groupStrategyFor(plan),
+		Parallelism:  e.parallelism,
+		Context:      ctx,
+		MemoryBudget: e.memBudget,
+		Metrics:      col,
+		Clock:        e.clock,
+		Trace:        tracer,
+	})
+}
+
+// fallbackError returns the *ResourceError when err is a budget abort that
+// the engine can recover from by degrading to the choice's lazy fallback
+// plan; nil otherwise.
+func fallbackError(err error, pc planChoice) *exec.ResourceError {
+	if err == nil || pc.fallback == nil {
+		return nil
+	}
+	var re *exec.ResourceError
+	if errors.As(err, &re) {
+		return re
+	}
+	return nil
+}
+
+// fallbackReason renders the one-line account of a budget degradation that
+// ExplainAnalyze and the metrics surface report.
+func fallbackReason(re *exec.ResourceError) string {
+	return fmt.Sprintf("eager plan exceeded the memory budget (%d of %d bytes at %s); re-executed the lazy group-after-join plan", re.Used, re.Budget, re.Op)
 }
 
 // groupStrategyFor picks the physical grouping strategy for a plan: when an
@@ -387,49 +480,65 @@ func groupStrategyFor(plan algebra.Node) exec.GroupStrategy {
 	return exec.GroupSort
 }
 
-// runPlan executes a chosen plan with no host variables.
-func (e *Engine) runPlan(plan algebra.Node) (*Result, error) {
-	res, err := exec.Run(plan, e.store, &exec.Options{Parallelism: e.parallelism})
-	if err != nil {
-		return nil, err
-	}
-	return convertResult(res), nil
+// planChoice is the executable outcome of plan selection: the chosen plan
+// with its cost annotations, plus — when the chosen plan is the eager
+// (group-before-join) shape — the lazy plan as a memory-budget fallback.
+// Eager aggregation builds its group table before the join filters rows, so
+// it is the shape that can blow past a budget on data the lazy plan handles
+// fine; keeping the lazy plan at hand is what makes graceful degradation a
+// single re-execution rather than a re-optimization.
+type planChoice struct {
+	plan algebra.Node
+	ann  algebra.Annotations
+	// fallback/fallbackAnn are nil when the chosen plan is already the
+	// conservative shape.
+	fallback    algebra.Node
+	fallbackAnn algebra.Annotations
 }
 
 // choosePlan runs the optimizer, including the Section 8 reverse analysis
 // when the query references an aggregated view.
 func (e *Engine) choosePlan(q *sql.SelectStmt) (algebra.Node, error) {
-	plan, _, err := e.choosePlanEstimated(q)
-	return plan, err
+	pc, err := e.chooseForExec(q)
+	return pc.plan, err
 }
 
-// choosePlanEstimated additionally returns the cost model's per-node row
-// estimates for the chosen plan — keyed by the exact node pointers the
-// executor will run, which is what lets Analyze pair estimates with
-// measured cardinalities.
-func (e *Engine) choosePlanEstimated(q *sql.SelectStmt) (algebra.Node, algebra.Annotations, error) {
+// chooseForExec runs the optimizer and packages the result for execution:
+// the chosen plan, its per-node row estimates — keyed by the exact node
+// pointers the executor will run, which is what lets Analyze pair estimates
+// with measured cardinalities — and the lazy fallback when the choice was
+// eager.
+func (e *Engine) chooseForExec(q *sql.SelectStmt) (planChoice, error) {
 	// The reverse analysis applies to non-aggregating queries over an
 	// aggregated view; try it first, falling back to the forward path.
 	if e.referencesView(q) && e.opt.Mode != ModeNever {
 		rr, err := e.opt.TryReverse(q)
 		if err != nil {
-			return nil, nil, err
+			return planChoice{}, err
 		}
 		if rr.Applicable && rr.Decision.OK {
 			if rr.UseFlat {
-				return rr.Chosen(), rr.FlatCost.Ann, nil
+				return planChoice{plan: rr.FlatPlan, ann: rr.FlatCost.Ann}, nil
 			}
-			return rr.Chosen(), rr.NestedCost.Ann, nil
+			// The nested plan materializes the aggregated view — a
+			// group-before-join; the flat plan is its lazy equivalent.
+			return planChoice{
+				plan: rr.Nested, ann: rr.NestedCost.Ann,
+				fallback: rr.FlatPlan, fallbackAnn: rr.FlatCost.Ann,
+			}, nil
 		}
 	}
 	r, err := e.opt.Optimize(q)
 	if err != nil {
-		return nil, nil, err
+		return planChoice{}, err
 	}
 	if r.Transformed {
-		return r.Alternative, r.TransformedCost.Ann, nil
+		return planChoice{
+			plan: r.Alternative, ann: r.TransformedCost.Ann,
+			fallback: r.Standard, fallbackAnn: r.StandardCost.Ann,
+		}, nil
 	}
-	return r.Standard, r.StandardCost.Ann, nil
+	return planChoice{plan: r.Standard, ann: r.StandardCost.Ann}, nil
 }
 
 func (e *Engine) referencesView(q *sql.SelectStmt) bool {
@@ -489,31 +598,50 @@ type Analysis struct {
 	TraceJSON []byte
 	// Duration is the root operator's wall time.
 	Duration time.Duration
+	// Governance reports the lifecycle facts of the execution: the memory
+	// budget and high-water state bytes, and — when the eager plan blew the
+	// budget and the engine degraded to the lazy plan — the fallback and
+	// its reason. Plan, Calibration and Metrics all describe the run that
+	// produced the rows, i.e. the fallback run when one happened.
+	Governance obs.Governance
 }
 
 // QueryAnalyzed parses, optimizes and executes a SELECT with full
 // instrumentation: per-operator metrics, a span trace, and the
 // estimate-vs-actual calibration against the cost model.
 func (e *Engine) QueryAnalyzed(text string) (*Analysis, error) {
+	return e.QueryAnalyzedContext(context.Background(), text)
+}
+
+// QueryAnalyzedContext is QueryAnalyzed under a context. When the memory
+// budget forces a degradation to the lazy plan, the analysis describes the
+// fallback run and Governance records why.
+func (e *Engine) QueryAnalyzedContext(ctx context.Context, text string) (*Analysis, error) {
 	q, err := sql.ParseQuery(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "EXPLAIN")))
 	if err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	plan, est, err := e.choosePlanEstimated(q)
+	pc, err := e.chooseForExec(q)
 	if err != nil {
 		return nil, err
 	}
+	plan, est := pc.plan, pc.ann
 	col := obs.NewCollector()
 	tracer := obs.NewTracer(e.clock)
-	res, err := exec.Run(plan, e.store, &exec.Options{
-		Metrics:     col,
-		Clock:       e.clock,
-		Trace:       tracer,
-		Group:       groupStrategyFor(plan),
-		Parallelism: e.parallelism,
-	})
+	res, err := e.governedRun(ctx, plan, nil, col, tracer)
+	if re := fallbackError(err, pc); re != nil {
+		// Degrade: re-run the lazy plan with fresh instrumentation so the
+		// analysis describes the run that produced the rows; the collector
+		// carries the fallback record.
+		e.fallbacks.Add(1)
+		plan, est = pc.fallback, pc.fallbackAnn
+		col = obs.NewCollector()
+		tracer = obs.NewTracer(e.clock)
+		col.SetFallback(fallbackReason(re))
+		res, err = e.governedRun(ctx, plan, nil, col, tracer)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -529,6 +657,7 @@ func (e *Engine) QueryAnalyzed(text string) (*Analysis, error) {
 		Metrics:     col,
 		TraceJSON:   trace,
 		Duration:    time.Duration(cal.TotalNanos),
+		Governance:  col.Gov(),
 	}, nil
 }
 
@@ -543,6 +672,13 @@ func (a *Analysis) String() string {
 	fmt.Fprintf(&sb, "max q-error: %.2f\n", a.Calibration.MaxQError)
 	if a.Duration > 0 {
 		fmt.Fprintf(&sb, "total time: %v\n", a.Duration)
+	}
+	if a.Governance.BudgetBytes > 0 {
+		fmt.Fprintf(&sb, "memory budget: %d bytes (high-water state %d bytes)\n",
+			a.Governance.BudgetBytes, a.Governance.UsedBytes)
+	}
+	if a.Governance.Fallback {
+		fmt.Fprintf(&sb, "fallback: %s\n", a.Governance.FallbackReason)
 	}
 	return sb.String()
 }

@@ -7,6 +7,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -52,6 +54,10 @@ type PlanRun struct {
 	// in/out, wall times, hash-table build/probe statistics, state bytes
 	// and per-worker morsel counts, keyed by plan node.
 	Metrics *obs.Collector
+	// Fallbacks counts budget degradations: 1 when the measured plan blew
+	// the memory budget and the run switched to the governed fallback plan
+	// (Plan, Label and all stats then describe the fallback).
+	Fallbacks int
 
 	checksum []string
 }
@@ -68,6 +74,38 @@ func RunPlan(label string, plan algebra.Node, store *storage.Store, reps int) (*
 // RunPlanParallel is RunPlan with an executor worker count (0 or 1 serial,
 // negative one worker per CPU).
 func RunPlanParallel(label string, plan algebra.Node, store *storage.Store, reps, parallelism int) (*PlanRun, error) {
+	return RunPlanGoverned(label, plan, store, reps, parallelism, Governed{})
+}
+
+// Governed bundles the query-lifecycle settings of a governed benchmark
+// run: a context carrying a deadline or cancellation, a per-run cap on
+// operator state bytes, and — optionally — a lazy fallback plan to degrade
+// to when the measured plan exceeds the budget, mirroring the engine's
+// graceful degradation.
+type Governed struct {
+	// Context cancels or deadlines the run; nil means none.
+	Context context.Context
+	// MemoryBudget caps operator state bytes per execution; 0 is unlimited.
+	MemoryBudget int64
+	// Fallback, when non-nil, is executed instead after a budget abort; the
+	// run's Fallbacks counter records the switch.
+	Fallback algebra.Node
+}
+
+func (g Governed) ctx() context.Context {
+	if g.Context == nil {
+		return context.Background()
+	}
+	return g.Context
+}
+
+// RunPlanGoverned is RunPlanParallel under lifecycle governance. A
+// repetition that trips the memory budget degrades the whole run to
+// g.Fallback (when set): the plan, label, cardinalities and metrics then
+// describe the fallback plan, and Fallbacks records the switch. Without a
+// fallback, the budget abort — like a cancellation — fails the run with
+// the executor's typed error.
+func RunPlanGoverned(label string, plan algebra.Node, store *storage.Store, reps, parallelism int, g Governed) (*PlanRun, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -77,8 +115,22 @@ func RunPlanParallel(label string, plan algebra.Node, store *storage.Store, reps
 		ann := make(algebra.Annotations)
 		col := obs.NewCollector() // fresh per rep: counters accumulate otherwise
 		start := time.Now()
-		res, err := exec.Run(plan, store, &exec.Options{Stats: ann, Metrics: col, Parallelism: parallelism})
+		res, err := exec.Run(plan, store, &exec.Options{
+			Stats: ann, Metrics: col, Parallelism: parallelism,
+			Context: g.ctx(), MemoryBudget: g.MemoryBudget,
+		})
 		elapsed := time.Since(start)
+		var re *exec.ResourceError
+		if err != nil && run.Fallbacks == 0 && g.Fallback != nil && errors.As(err, &re) {
+			// Degrade once, for this and every remaining repetition; the
+			// first over-budget rep restarts the loop on the fallback plan.
+			run.Fallbacks = 1
+			run.Label = label + " [over budget: fell back to lazy plan]"
+			plan, run.Plan = g.Fallback, g.Fallback
+			run.Duration = 0
+			i = -1
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +210,18 @@ func (c *Comparison) Speedup() float64 {
 	return float64(c.Standard.Duration) / float64(c.Transformed.Duration)
 }
 
+// FallbackCount totals the budget degradations across both measured runs.
+func (c *Comparison) FallbackCount() int {
+	n := 0
+	if c.Standard != nil {
+		n += c.Standard.Fallbacks
+	}
+	if c.Transformed != nil {
+		n += c.Transformed.Fallbacks
+	}
+	return n
+}
+
 // CompareForward runs the full pipeline on a query: optimize, execute both
 // plans (when the transformation is valid), and verify equivalence.
 func CompareForward(store *storage.Store, query string, reps int) (*Comparison, error) {
@@ -167,6 +231,15 @@ func CompareForward(store *storage.Store, query string, reps int) (*Comparison, 
 // CompareForwardParallel is CompareForward with an executor worker count,
 // also passed to the optimizer's cost model.
 func CompareForwardParallel(store *storage.Store, query string, reps, parallelism int) (*Comparison, error) {
+	return CompareForwardGoverned(nil, store, query, reps, parallelism, 0)
+}
+
+// CompareForwardGoverned is CompareForwardParallel under lifecycle
+// governance: both plans run under ctx and the memory budget, and an
+// over-budget transformed (eager) plan degrades to the standard plan — the
+// lazy shape is never fallback-eligible, since it has nothing cheaper to
+// degrade to.
+func CompareForwardGoverned(ctx context.Context, store *storage.Store, query string, reps, parallelism int, budget int64) (*Comparison, error) {
 	q, err := sql.ParseQuery(query)
 	if err != nil {
 		return nil, err
@@ -177,14 +250,16 @@ func CompareForwardParallel(store *storage.Store, query string, reps, parallelis
 	if err != nil {
 		return nil, err
 	}
+	gov := Governed{Context: ctx, MemoryBudget: budget}
 	c := &Comparison{Query: query, Report: report}
-	if c.Standard, err = RunPlanParallel("standard (group after join)", report.Standard, store, reps, parallelism); err != nil {
+	if c.Standard, err = RunPlanGoverned("standard (group after join)", report.Standard, store, reps, parallelism, gov); err != nil {
 		return nil, err
 	}
 	if report.Alternative == nil {
 		return c, nil
 	}
-	if c.Transformed, err = RunPlanParallel("transformed (group before join)", report.Alternative, store, reps, parallelism); err != nil {
+	gov.Fallback = report.Standard
+	if c.Transformed, err = RunPlanGoverned("transformed (group before join)", report.Alternative, store, reps, parallelism, gov); err != nil {
 		return nil, err
 	}
 	if !sameChecksum(c.Standard.checksum, c.Transformed.checksum) {
@@ -201,6 +276,14 @@ func CompareReverse(store *storage.Store, query string, reps int) (*Comparison, 
 
 // CompareReverseParallel is CompareReverse with an executor worker count.
 func CompareReverseParallel(store *storage.Store, query string, reps, parallelism int) (*Comparison, error) {
+	return CompareReverseGoverned(nil, store, query, reps, parallelism, 0)
+}
+
+// CompareReverseGoverned is CompareReverseParallel under lifecycle
+// governance. The nested plan materializes the aggregated view — a
+// group-before-join — so when the reverse transformation is valid it
+// degrades to the flat join-first plan on a budget abort.
+func CompareReverseGoverned(ctx context.Context, store *storage.Store, query string, reps, parallelism int, budget int64) (*Comparison, error) {
 	q, err := sql.ParseQuery(query)
 	if err != nil {
 		return nil, err
@@ -211,14 +294,19 @@ func CompareReverseParallel(store *storage.Store, query string, reps, parallelis
 	if err != nil {
 		return nil, err
 	}
+	gov := Governed{Context: ctx, MemoryBudget: budget}
+	if rr.Applicable && rr.Decision.OK {
+		gov.Fallback = rr.FlatPlan
+	}
 	c := &Comparison{Query: query}
-	if c.Standard, err = RunPlanParallel("nested (materialize view, then join)", rr.Nested, store, reps, parallelism); err != nil {
+	if c.Standard, err = RunPlanGoverned("nested (materialize view, then join)", rr.Nested, store, reps, parallelism, gov); err != nil {
 		return nil, err
 	}
 	if !rr.Applicable || !rr.Decision.OK {
 		return c, nil
 	}
-	if c.Transformed, err = RunPlanParallel("flat (join before group-by)", rr.FlatPlan, store, reps, parallelism); err != nil {
+	gov.Fallback = nil
+	if c.Transformed, err = RunPlanGoverned("flat (join before group-by)", rr.FlatPlan, store, reps, parallelism, gov); err != nil {
 		return nil, err
 	}
 	if !sameChecksum(c.Standard.checksum, c.Transformed.checksum) {
@@ -235,6 +323,9 @@ func (c *Comparison) Table() string {
 		if r == nil {
 			fmt.Fprintf(&sb, "%-34s (not run)\n", label)
 			return
+		}
+		if r.Fallbacks > 0 {
+			label = r.Label // carries the over-budget fallback marker
 		}
 		joins := make([]string, len(r.Joins))
 		for i, j := range r.Joins {

@@ -83,6 +83,10 @@ type RunRecord struct {
 	Parallelism int         `json:"parallelism"`
 	Chosen      string      `json:"chosen,omitempty"`
 	Speedup     float64     `json:"speedup,omitempty"`
+	// Fallbacks counts memory-budget degradations across the point's runs:
+	// each one is an execution whose eager plan blew the budget and was
+	// re-run as the lazy plan.
+	Fallbacks   int         `json:"fallbacks,omitempty"`
 	Standard    *PlanRecord `json:"standard,omitempty"`
 	Transformed *PlanRecord `json:"transformed,omitempty"`
 }
@@ -101,6 +105,7 @@ func (f *File) Add(experiment, note string, parallelism int, c *Comparison) {
 		Query:       c.Query,
 		Parallelism: parallelism,
 		Speedup:     c.Speedup(),
+		Fallbacks:   c.FallbackCount(),
 		Standard:    c.Standard.Record(),
 	}
 	if c.Transformed != nil {

@@ -1,0 +1,59 @@
+package exec
+
+import "fmt"
+
+// ResourceError reports a query aborted because operator state (hash-table
+// keys and rows, group accumulators — the same quantities the obs
+// StateBytes counters measure) exceeded Options.MemoryBudget. It is the
+// engine's graceful alternative to an OOM kill: the executor stops
+// admitting state the moment the accounted bytes cross the budget, and the
+// caller can retry with a cheaper plan (the gbj engine re-executes the
+// lazy group-after-join plan when the eager plan trips the budget).
+type ResourceError struct {
+	// Budget is the configured limit in bytes.
+	Budget int64
+	// Used is the accounted state size at the abort, including the
+	// allocation that crossed the limit.
+	Used int64
+	// Op describes the operator whose allocation crossed the limit.
+	Op string
+}
+
+// Error renders the budget violation.
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("exec: memory budget exceeded: %s needs %d bytes of operator state, budget is %d", e.Op, e.Used, e.Budget)
+}
+
+// ExecPanicError wraps a panic recovered inside the executor — in a morsel
+// worker, a concurrently drained join input, or the serial operator stack —
+// so that one runaway operator fails its query with a typed error instead
+// of killing the process. Recovery is first-error-wins across a worker
+// pool: concurrent panics all terminate their workers, and the error with
+// the lowest chunk index (or the pool's first panic) is reported.
+type ExecPanicError struct {
+	// Op describes where the panic surfaced: the plan node or pool label.
+	Op string
+	// Worker is the morsel worker id, or -1 outside a worker pool.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the contained panic.
+func (e *ExecPanicError) Error() string {
+	if e.Worker >= 0 {
+		return fmt.Sprintf("exec: panic in %s (worker %d): %v", e.Op, e.Worker, e.Value)
+	}
+	return fmt.Sprintf("exec: panic in %s: %v", e.Op, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (e.g. a runtime
+// error) to errors.Is/As chains.
+func (e *ExecPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}

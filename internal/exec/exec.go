@@ -12,11 +12,13 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -117,6 +119,22 @@ type Options struct {
 	// Trace, when non-nil, records one hierarchical span per operator,
 	// mirroring the plan tree, begun/ended at operator Open/Close.
 	Trace *obs.Tracer
+	// Context, when non-nil, bounds the execution: a cancelled or expired
+	// context aborts the query with ctx.Err() (context.Canceled or
+	// context.DeadlineExceeded) within a fraction of one morsel's work,
+	// with every worker goroutine joined before Run returns. Nil (or a
+	// never-cancelled context like context.Background) costs nothing.
+	Context context.Context
+	// MemoryBudget, when positive, caps the bytes of operator state the
+	// query may admit — hash-table keys and rows, group accumulators; the
+	// same quantities the obs StateBytes counters measure. Crossing the
+	// budget aborts the query with a typed *ResourceError the moment the
+	// over-budget allocation is attempted, never after. 0 means unlimited.
+	MemoryBudget int64
+	// Faults, when non-nil, is a deterministic fault injector (package
+	// fault) advanced once per governed row event. Testing only: the chaos
+	// oracle drives it. Nil keeps the row path fault-free and unchecked.
+	Faults *fault.Injector
 }
 
 // Result is a fully materialized query result.
@@ -125,24 +143,42 @@ type Result struct {
 	Rows   []value.Row
 }
 
-// Run executes a logical plan to completion.
-func Run(root algebra.Node, store *storage.Store, opts *Options) (*Result, error) {
+// Run executes a logical plan to completion. A panic anywhere in the
+// serial operator stack is recovered here into a typed *ExecPanicError
+// (worker-pool panics are recovered closer to the worker, with the worker
+// id, and arrive as ordinary errors).
+func Run(root algebra.Node, store *storage.Store, opts *Options) (res *Result, err error) {
 	if opts == nil {
 		opts = &Options{}
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, panicError(root.Describe(), -1, r)
+		}
+	}()
 	c := &compiler{store: store, opts: opts, par: opts.effectiveParallelism()}
 	c.clock = opts.Clock
 	if c.clock == nil {
 		c.clock = obs.Wall
 	}
+	c.gov = newGovernor(opts)
 	if opts.Metrics != nil {
 		opts.Metrics.SetWorkers(c.par)
+		if opts.MemoryBudget > 0 {
+			opts.Metrics.SetBudget(opts.MemoryBudget)
+		}
+	}
+	if err := c.gov.cancelled(); err != nil {
+		return nil, err
 	}
 	out, err := c.compile(root)
 	if err != nil {
 		return nil, err
 	}
 	rows, err := drain(out.op)
+	if opts.Metrics != nil && c.gov != nil {
+		opts.Metrics.SetBudgetUsed(c.gov.usedBytes())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +270,10 @@ type compiler struct {
 	// map without it. (The Metrics collector needs no such lock — its
 	// counters are atomics on preallocated per-node structs.)
 	sinkMu sync.Mutex
+	// gov is the execution's lifecycle governor; nil when no cancellation
+	// context, memory budget or fault injector is configured, in which
+	// case no governOp wrappers are inserted either.
+	gov *governor
 }
 
 func (c *compiler) compile(n algebra.Node) (compiled, error) {
@@ -251,6 +291,9 @@ func (c *compiler) compile(n algebra.Node) (compiled, error) {
 	c.span = parent
 	if err != nil {
 		return compiled{}, err
+	}
+	if c.gov != nil {
+		out.op = &governOp{inner: out.op, gov: c.gov}
 	}
 	if c.opts.Stats != nil || c.opts.Metrics != nil || span != nil {
 		out.op = &metricOp{
@@ -289,7 +332,7 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		// morsels in input order, so it preserves it too).
 		if c.par > 1 {
 			return compiled{
-				op:    &parallelFilterOp{input: in.op, cond: cond, params: c.opts.Params, par: c.par, metrics: c.nodeMetrics(n)},
+				op:    &parallelFilterOp{input: in.op, cond: cond, params: c.opts.Params, par: c.par, metrics: c.nodeMetrics(n), gov: c.gov, where: n.Describe()},
 				order: in.order,
 			}, nil
 		}
@@ -329,7 +372,7 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		}
 		if c.par > 1 {
 			return compiled{
-				op:    &parallelProjectOp{input: in.op, items: items, distinct: node.Distinct, params: c.opts.Params, par: c.par, metrics: c.nodeMetrics(n)},
+				op:    &parallelProjectOp{input: in.op, items: items, distinct: node.Distinct, params: c.opts.Params, par: c.par, metrics: c.nodeMetrics(n), gov: c.gov, where: n.Describe()},
 				order: order,
 			}, nil
 		}

@@ -1,0 +1,302 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/fault"
+	"repro/internal/value"
+)
+
+// These tests pin the lifecycle-governance layer: no governance option set
+// means no governOp wrapper and an unchanged row path; a cancelled context
+// aborts within a bounded number of row events; a memory budget trips a
+// typed *ResourceError on the exact allocation that crosses it; and a panic
+// anywhere inside execution surfaces as a typed *ExecPanicError with every
+// worker goroutine joined.
+
+// keyedValuesPlan builds an n-row two-column (k, v) Values node with k
+// cycling through `keys` distinct values.
+func keyedValuesPlan(table string, n, keys int) *algebra.Values {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(i % keys)), value.NewInt(int64(i))}
+	}
+	return &algebra.Values{
+		Cols: algebra.Schema{
+			{ID: expr.ColumnID{Table: table, Name: "k"}, Type: value.KindInt},
+			{ID: expr.ColumnID{Table: table, Name: "v"}, Type: value.KindInt},
+		},
+		Rows: rows,
+	}
+}
+
+// groupPlan aggregates SUM(v) per k over keyedValuesPlan rows.
+func govGroupPlan(n, keys int) *algebra.GroupBy {
+	return &algebra.GroupBy{
+		Input:     keyedValuesPlan("t", n, keys),
+		GroupCols: []expr.ColumnID{{Table: "t", Name: "k"}},
+		Aggs: []algebra.AggItem{{
+			E:  &expr.Aggregate{Func: expr.AggSum, Arg: expr.Column("t", "v")},
+			As: expr.ColumnID{Name: "s"},
+		}},
+	}
+}
+
+// joinPlan equi-joins two keyed Values inputs on k.
+func govJoinPlan(n, keys int) *algebra.Join {
+	return &algebra.Join{
+		L:    keyedValuesPlan("l", n, keys),
+		R:    keyedValuesPlan("r", n, keys),
+		Cond: expr.Eq(expr.Column("l", "k"), expr.Column("r", "k")),
+	}
+}
+
+// TestGovernanceDisabledInsertsNoWrapper: with no context, budget or fault
+// injector — including a plain context.Background(), which can never be
+// cancelled — compile produces the bare operator tree, exactly as before
+// governance existed. Any real governance option produces the wrapper.
+func TestGovernanceDisabledInsertsNoWrapper(t *testing.T) {
+	for name, opts := range map[string]*Options{
+		"zero-options":       {},
+		"background-context": {Context: context.Background()},
+	} {
+		c := &compiler{opts: opts, par: 1, clock: nil}
+		c.gov = newGovernor(opts)
+		out, err := c.compile(valuesPlan(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := out.op.(*governOp); ok {
+			t.Errorf("%s: compile inserted a governOp with governance off", name)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for name, opts := range map[string]*Options{
+		"cancelable-context": {Context: ctx},
+		"memory-budget":      {MemoryBudget: 1 << 20},
+		"fault-injector":     {Faults: fault.New(nil)},
+	} {
+		c := &compiler{opts: opts, par: 1, clock: nil}
+		c.gov = newGovernor(opts)
+		out, err := c.compile(valuesPlan(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := out.op.(*governOp); !ok {
+			t.Errorf("%s: compile produced %T, want a *governOp wrapper", name, out.op)
+		}
+	}
+}
+
+// TestGovernedRowPathZeroAllocs: the governed row path — context polling
+// plus budget accounting per pulled row — allocates nothing per row, just
+// like the instrumented metrics path.
+func TestGovernedRowPathZeroAllocs(t *testing.T) {
+	const runs = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := &Options{Context: ctx, MemoryBudget: 1 << 30}
+	c := &compiler{opts: opts, par: 1, clock: nil}
+	c.gov = newGovernor(opts)
+	out, err := c.compile(valuesPlan(runs + 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer out.op.Close()
+	avg := testing.AllocsPerRun(runs, func() {
+		if _, ok, err := out.op.Next(); !ok || err != nil {
+			t.Fatalf("Next: ok=%v err=%v", ok, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("governed row path allocates %.2f times per row, want 0", avg)
+	}
+}
+
+// TestCancelledContextFailsFast: a context cancelled before Run starts
+// yields context.Canceled without executing anything.
+func TestCancelledContextFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		res, err := Run(govGroupPlan(10_000, 100), nil, &Options{Context: ctx, Parallelism: par})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d: err = %v, want context.Canceled", par, err)
+		}
+		if res != nil {
+			t.Fatalf("par=%d: cancelled run returned a result", par)
+		}
+	}
+}
+
+// TestCancelAbortsWithinStride: a Cancel fault at row-event N must abort
+// the query within cancelStride further events — the deterministic form of
+// the "cancellation lands within a fraction of a morsel" guarantee.
+func TestCancelAbortsWithinStride(t *testing.T) {
+	const cancelAt = 5000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := fault.New([]fault.Event{{Tick: cancelAt, Kind: fault.Cancel}}).WithCancel(cancel)
+	_, err := Run(govGroupPlan(100_000, 1000), nil, &Options{Context: ctx, Faults: inj})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The governor polls the context every cancelStride ticks; a serial run
+	// must therefore unwind after at most one full stride past the cancel
+	// (plus the stride the poll counter was already into).
+	if got := inj.Ticks(); got > cancelAt+2*cancelStride {
+		t.Fatalf("query ran %d row events past the cancel, want <= %d", got-cancelAt, 2*cancelStride)
+	}
+}
+
+// TestDeadlineAbortsLongScanEarly: a query that would run for minutes
+// (every row event carries an injected delay) aborts with
+// context.DeadlineExceeded shortly after its deadline expires.
+func TestDeadlineAbortsLongScanEarly(t *testing.T) {
+	const n = 50_000
+	events := make([]fault.Event, n)
+	for i := range events {
+		events[i] = fault.Event{Tick: int64(i + 1), Kind: fault.Delay}
+	}
+	// One millisecond per row event: an ungoverned run would take ~50s.
+	inj := fault.New(events).WithDelay(time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Run(govGroupPlan(n, 100), nil, &Options{Context: ctx, Faults: inj})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Worst case: the deadline plus one cancelStride of delayed events
+	// (~64ms) before the next poll. 5s leaves two orders of magnitude slack
+	// for CI scheduling while still proving the scan did not run to
+	// completion.
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline-bound query took %v, want well under the ~50s full run", elapsed)
+	}
+}
+
+// TestBudgetTripsTypedError: executions whose operator state crosses the
+// budget fail with *ResourceError naming the operator, for both the
+// grouping and hash-join state, serial and parallel.
+func TestBudgetTripsTypedError(t *testing.T) {
+	cases := []struct {
+		name string
+		plan algebra.Node
+	}{
+		{"group-by", govGroupPlan(20_000, 5000)},
+		{"hash-join", govJoinPlan(5000, 2500)},
+	}
+	for _, tc := range cases {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/par=%d", tc.name, par), func(t *testing.T) {
+				res, err := Run(tc.plan, nil, &Options{MemoryBudget: 4096, Parallelism: par})
+				var re *ResourceError
+				if !errors.As(err, &re) {
+					t.Fatalf("err = %v, want *ResourceError", err)
+				}
+				if res != nil {
+					t.Fatal("over-budget run returned a result")
+				}
+				if re.Budget != 4096 || re.Used <= re.Budget || re.Op == "" {
+					t.Fatalf("ResourceError fields: %+v", re)
+				}
+				// The same plan under a generous budget succeeds and reports
+				// a high-water mark above the tripping budget.
+				if _, err := Run(tc.plan, nil, &Options{MemoryBudget: 1 << 30, Parallelism: par}); err != nil {
+					t.Fatalf("generous budget: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestInjectedPanicContainedSerial: a panic mid-execution on the serial
+// path surfaces as *ExecPanicError (Worker -1) carrying the injected
+// *fault.PanicValue, not a process crash.
+func TestInjectedPanicContainedSerial(t *testing.T) {
+	inj := fault.New([]fault.Event{{Tick: 500, Kind: fault.Panic}})
+	_, err := Run(govGroupPlan(10_000, 100), nil, &Options{Faults: inj})
+	var pe *ExecPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ExecPanicError", err)
+	}
+	if pe.Worker != -1 {
+		t.Fatalf("serial panic reports worker %d, want -1", pe.Worker)
+	}
+	pv, ok := pe.Value.(*fault.PanicValue)
+	if !ok || pv.Tick != 500 {
+		t.Fatalf("contained value %T (%v), want the injected *fault.PanicValue", pe.Value, pe.Value)
+	}
+	if pe.Op == "" || len(pe.Stack) == 0 {
+		t.Fatalf("ExecPanicError missing context: %+v", pe)
+	}
+}
+
+// TestInjectedPanicContainedWorker: a panic inside a morsel worker is
+// recovered by the pool (goSafe), reports the worker id, and still joins
+// every goroutine.
+func TestInjectedPanicContainedWorker(t *testing.T) {
+	const n = 8 * MorselSize
+	// The filter input drains serially first (n+1 governed pulls); a tick
+	// beyond that lands inside the morsel workers' per-row loop.
+	plan := &algebra.Select{
+		Input: keyedValuesPlan("t", n, 17),
+		Cond:  expr.Eq(expr.Column("t", "k"), expr.IntLit(3)),
+	}
+	inj := fault.New([]fault.Event{{Tick: int64(n) + 100, Kind: fault.Panic}})
+	_, err := Run(plan, nil, &Options{Faults: inj, Parallelism: 4})
+	var pe *ExecPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ExecPanicError", err)
+	}
+	if pe.Worker < 0 {
+		t.Fatalf("worker panic reports worker %d, want >= 0", pe.Worker)
+	}
+	if _, ok := pe.Value.(*fault.PanicValue); !ok {
+		t.Fatalf("contained value %T, want *fault.PanicValue", pe.Value)
+	}
+}
+
+// TestNoGoroutineLeakAfterFailures: cancelled, over-budget and panicking
+// parallel queries leave no goroutines behind once they return.
+func TestNoGoroutineLeakAfterFailures(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		inj := fault.New([]fault.Event{
+			{Tick: int64(100 + i*37), Kind: fault.Cancel},
+			{Tick: int64(400 + i*53), Kind: fault.Panic},
+		}).WithCancel(cancel)
+		_, err := Run(govJoinPlan(4000, 200), nil, &Options{
+			Context: ctx, Faults: inj, Parallelism: 4, MemoryBudget: 1 << 20,
+		})
+		cancel()
+		if err == nil {
+			t.Fatal("faulted run reported success")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,165 @@
+// Query lifecycle governance: cancellation, memory budgets and panic
+// containment. A single *governor per execution carries the query context,
+// the byte budget and the fault injector; every method is nil-receiver
+// safe, so operators call g.tick()/g.charge() unconditionally and the
+// ungoverned path costs one nil check. When no governance option is set the
+// compiler builds no governor and inserts no governOp wrappers at all, so
+// the disabled row path is byte-identical to the pre-governance executor
+// (TestGovernanceRowPathZeroAllocs pins the allocation profile).
+package exec
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/value"
+)
+
+// cancelStride is how many governed row events pass between context polls.
+// Far below one morsel (1024 rows), so a cancelled or timed-out query
+// unwinds within a fraction of a morsel's work.
+const cancelStride = 64
+
+// governor is one execution's lifecycle state.
+type governor struct {
+	ctx    context.Context
+	done   <-chan struct{}
+	budget int64 // bytes; 0 means unlimited
+	faults *fault.Injector
+	used   atomic.Int64
+	ticks  atomic.Int64
+}
+
+// newGovernor builds the execution's governor, or nil when every
+// governance option is off (the zero-cost path).
+func newGovernor(opts *Options) *governor {
+	var done <-chan struct{}
+	if opts.Context != nil {
+		done = opts.Context.Done()
+	}
+	if done == nil && opts.MemoryBudget <= 0 && opts.Faults == nil {
+		return nil
+	}
+	return &governor{
+		ctx:    opts.Context,
+		done:   done,
+		budget: opts.MemoryBudget,
+		faults: opts.Faults,
+	}
+}
+
+// tick is the per-row governance check: it advances the fault injector and
+// polls the context every cancelStride events. Nil-safe and allocation-free.
+func (g *governor) tick() error {
+	if g == nil {
+		return nil
+	}
+	if g.faults != nil {
+		if err := g.faults.Step(); err != nil {
+			return err
+		}
+	}
+	if g.done != nil && g.ticks.Add(1)%cancelStride == 0 {
+		select {
+		case <-g.done:
+			return g.ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// cancelled polls the context immediately — operators call it at chunk and
+// phase boundaries, where latency matters more than stride amortization.
+func (g *governor) cancelled() error {
+	if g == nil || g.done == nil {
+		return nil
+	}
+	select {
+	case <-g.done:
+		return g.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// charge accounts n bytes of operator state (hash-table entries, group
+// accumulators) against the budget, returning a typed *ResourceError when
+// the accounted total crosses it. State is charged when admitted and never
+// released: the executor materializes, so operator state lives until the
+// query ends, and the high-water mark is what an OOM would see.
+func (g *governor) charge(op string, n int64) error {
+	if g == nil {
+		return nil
+	}
+	used := g.used.Add(n)
+	if g.budget > 0 && used > g.budget {
+		return &ResourceError{Budget: g.budget, Used: used, Op: op}
+	}
+	return nil
+}
+
+// usedBytes reports the accounted state high-water mark.
+func (g *governor) usedBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.used.Load()
+}
+
+// governOp is the wrapper the compiler inserts around every physical
+// operator when a governor exists: one governance tick per pulled row, and
+// a context poll at Open so a cancelled query never starts new operators.
+// Like metricOp it is compile-time-only plumbing — with governance off the
+// wrapper does not exist.
+type governOp struct {
+	inner Operator
+	gov   *governor
+}
+
+func (o *governOp) Open() error {
+	if err := o.gov.cancelled(); err != nil {
+		return err
+	}
+	return o.inner.Open()
+}
+
+func (o *governOp) Next() (value.Row, bool, error) {
+	if err := o.gov.tick(); err != nil {
+		return nil, false, err
+	}
+	return o.inner.Next()
+}
+
+func (o *governOp) Close() error { return o.inner.Close() }
+
+// panicError converts a recovered panic value into a typed error,
+// preserving an already-typed *ExecPanicError from a nested recovery.
+func panicError(where string, worker int, v any) error {
+	if pe, ok := v.(*ExecPanicError); ok {
+		return pe
+	}
+	return &ExecPanicError{Op: where, Worker: worker, Value: v, Stack: debug.Stack()}
+}
+
+// goSafe is the sanctioned way to start a goroutine in this package — the
+// norawgo analyzer rejects any raw `go` statement outside it. It registers
+// with wg, runs fn on a new goroutine, and converts a panic in fn into an
+// *ExecPanicError delivered through fail strictly before the WaitGroup
+// releases (the recovery defer runs before wg.Done), so a caller that
+// wg.Waits observes the panic error without racing.
+func goSafe(wg *sync.WaitGroup, where string, worker int, fail func(error), fn func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				fail(panicError(where, worker, r))
+			}
+		}()
+		fn()
+	}()
+}

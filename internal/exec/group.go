@@ -57,6 +57,8 @@ func (c *compiler) compileGroupBy(node *algebra.GroupBy) (compiled, error) {
 		specs:     specs,
 		params:    c.opts.Params,
 		metrics:   c.nodeMetrics(node),
+		gov:       c.gov,
+		where:     node.Describe(),
 	}
 	// Streams already ordered on the grouping columns have contiguous
 	// groups: a single aggregation pass with no sort and no hash table.
@@ -106,9 +108,23 @@ type groupCore struct {
 	specs     []aggSpec
 	params    expr.Params
 	metrics   *obs.OpMetrics // nil unless metrics collection is on
+	gov       *governor      // nil unless lifecycle governance is on
+	where     string         // plan-node description for errors
 
 	out []value.Row
 	pos int
+}
+
+// groupStateBytes is the accounted size of one fresh group: its key bytes
+// plus one accumulator-state slot per aggregate — the same formula
+// recordBuild feeds the metrics, applied per group so the budget check
+// trips on the exact group that crosses the limit.
+func (g *groupCore) groupStateBytes(keyLen int) int64 {
+	accs := 0
+	for _, spec := range g.specs {
+		accs += len(spec.aggs)
+	}
+	return int64(keyLen) + int64(accs)*accStateBytes
 }
 
 // recordBuild reports n groups built with their keys totalling keyBytes —
@@ -252,6 +268,9 @@ func (g *hashGroupOp) Open() error {
 	}
 	var keyBytes int64
 	for _, row := range rows {
+		if err := g.gov.tick(); err != nil {
+			return err
+		}
 		key := value.GroupKey(row, g.groupCols)
 		st, ok := index[key]
 		if !ok {
@@ -262,6 +281,9 @@ func (g *hashGroupOp) Open() error {
 			index[key] = st
 			order = append(order, st)
 			keyBytes += int64(len(key))
+			if err := g.gov.charge(g.where, g.groupStateBytes(len(key))); err != nil {
+				return err
+			}
 		}
 		if err := g.feed(st, row); err != nil {
 			return err
@@ -305,17 +327,23 @@ func (g *sortGroupOp) Open() error {
 		return g.emit([]*groupState{st})
 	}
 	if !g.preSorted {
-		rows = sortByCols(rows, g.groupCols, g.par)
+		rows = sortByCols(g.where, rows, g.groupCols, g.par)
 	}
 	var states []*groupState
 	var cur *groupState
 	for _, row := range rows {
+		if err := g.gov.tick(); err != nil {
+			return err
+		}
 		if cur == nil || compareAt(cur.repr, g.groupCols, row, g.groupCols) != 0 {
 			cur, err = g.newState(row)
 			if err != nil {
 				return err
 			}
 			states = append(states, cur)
+			if err := g.gov.charge(g.where, g.groupStateBytes(0)); err != nil {
+				return err
+			}
 		}
 		if err := g.feed(cur, row); err != nil {
 			return err
@@ -350,7 +378,7 @@ func (s *sortOp) Open() error {
 	if err != nil {
 		return err
 	}
-	s.out = sortRowsStable(rows, s.par, func(a, b value.Row) bool {
+	s.out = sortRowsStable("sort", rows, s.par, func(a, b value.Row) bool {
 		for _, k := range s.keys {
 			c := value.OrderKey(a[k.col], b[k.col])
 			if c == 0 {

@@ -45,6 +45,7 @@ func splitJoinCondition(cond expr.Expr, left, right algebra.Schema) (keys []equi
 // metricOp (and the cost model's estimates) are keyed by.
 func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, error) {
 	metrics := c.nodeMetrics(key)
+	where := key.Describe()
 	left, err := c.compile(node.L)
 	if err != nil {
 		return compiled{}, err
@@ -83,7 +84,7 @@ func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, 
 				op: &parallelHashJoinOp{
 					left: left.op, right: right.op, keys: keys,
 					residual: boundResidual, params: c.opts.Params, par: c.par,
-					metrics: metrics,
+					metrics: metrics, gov: c.gov, where: where,
 				},
 				order: left.order,
 			}, nil
@@ -92,7 +93,7 @@ func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, 
 			op: &hashJoinOp{
 				left: left.op, right: right.op, keys: keys,
 				residual: boundResidual, params: c.opts.Params,
-				metrics: metrics,
+				metrics: metrics, gov: c.gov, where: where,
 			},
 			order: left.order,
 		}, nil
@@ -136,6 +137,7 @@ func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, 
 				left: left.op, right: right.op, keys: keys,
 				lSorted: lSorted, rSorted: rSorted,
 				residual: boundResidual, params: c.opts.Params, par: c.par,
+				gov: c.gov, where: where,
 			},
 			order: outOrder,
 		}, nil
@@ -150,7 +152,7 @@ func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, 
 				op: &parallelNestedLoopJoinOp{
 					left: left.op, right: right.op,
 					cond: full, params: c.opts.Params, par: c.par,
-					metrics: metrics,
+					metrics: metrics, gov: c.gov, where: where,
 				},
 				order: left.order,
 			}, nil
@@ -158,7 +160,7 @@ func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, 
 		return compiled{
 			op: &nestedLoopJoinOp{
 				left: left.op, right: right.op,
-				cond: full, params: c.opts.Params,
+				cond: full, params: c.opts.Params, gov: c.gov,
 			},
 			order: left.order,
 		}, nil
@@ -170,6 +172,7 @@ type nestedLoopJoinOp struct {
 	left, right Operator
 	cond        expr.Expr
 	params      expr.Params
+	gov         *governor
 
 	rightRows []value.Row
 	cur       value.Row
@@ -210,6 +213,12 @@ func (j *nestedLoopJoinOp) Next() (value.Row, bool, error) {
 			j.rpos = 0
 		}
 		for j.rpos < len(j.rightRows) {
+			// The inner scan can run long between emitted rows (selective
+			// conditions over a large right side), so it ticks itself rather
+			// than relying on the surrounding governOp's per-Next tick.
+			if err := j.gov.tick(); err != nil {
+				return nil, false, err
+			}
 			out := j.cur.Concat(j.rightRows[j.rpos])
 			j.rpos++
 			truth, err := expr.EvalTruth(j.cond, out, j.params)
@@ -236,6 +245,8 @@ type hashJoinOp struct {
 	residual    expr.Expr
 	params      expr.Params
 	metrics     *obs.OpMetrics // nil unless metrics collection is on
+	gov         *governor      // nil unless lifecycle governance is on
+	where       string         // plan-node description for errors
 
 	table   map[string][]value.Row
 	cur     value.Row
@@ -262,13 +273,22 @@ func (j *hashJoinOp) Open() error {
 	// determinism guarantee).
 	var entries, stateBytes int64
 	for _, row := range rows {
+		if err := j.gov.tick(); err != nil {
+			return err
+		}
 		if anyNullAt(row, rightCols) {
 			continue
 		}
 		key := value.GroupKey(row, rightCols)
 		j.table[key] = append(j.table[key], row)
 		entries++
-		stateBytes += int64(len(key)) + rowStateBytes(row)
+		entry := int64(len(key)) + rowStateBytes(row)
+		stateBytes += entry
+		// Budget check per admitted entry: the query aborts on the exact
+		// allocation that crosses the limit, not after the build finishes.
+		if err := j.gov.charge(j.where, entry); err != nil {
+			return err
+		}
 	}
 	if j.metrics != nil {
 		j.metrics.BuildEntries.Add(entries)
@@ -335,6 +355,8 @@ type mergeJoinOp struct {
 	residual         expr.Expr
 	params           expr.Params
 	par              int
+	gov              *governor
+	where            string
 
 	out []value.Row
 	pos int
@@ -344,7 +366,7 @@ func (j *mergeJoinOp) Open() error {
 	var lrows, rrows []value.Row
 	var err error
 	if j.par > 1 {
-		lrows, rrows, err = drainBoth(j.left, j.right)
+		lrows, rrows, err = drainBoth(j.where, j.left, j.right)
 		if err != nil {
 			return err
 		}
@@ -367,10 +389,10 @@ func (j *mergeJoinOp) Open() error {
 	lrows = dropNullKeys(lrows, lCols)
 	rrows = dropNullKeys(rrows, rCols)
 	if !j.lSorted {
-		lrows = sortByCols(lrows, lCols, j.par)
+		lrows = sortByCols(j.where, lrows, lCols, j.par)
 	}
 	if !j.rSorted {
-		rrows = sortByCols(rrows, rCols, j.par)
+		rrows = sortByCols(j.where, rrows, rCols, j.par)
 	}
 
 	j.out = j.out[:0]
@@ -394,6 +416,11 @@ func (j *mergeJoinOp) Open() error {
 			}
 			for a := li; a < lEnd; a++ {
 				for b := ri; b < rEnd; b++ {
+					// The per-key cross product materializes without pulls,
+					// so it ticks itself (a skewed key can dominate the run).
+					if err := j.gov.tick(); err != nil {
+						return err
+					}
 					row := lrows[a].Concat(rrows[b])
 					truth, err := expr.EvalTruth(j.residual, row, j.params)
 					if err != nil {
@@ -441,8 +468,8 @@ func dropNullKeys(rows []value.Row, cols []int) []value.Row {
 	return out
 }
 
-func sortByCols(rows []value.Row, cols []int, par int) []value.Row {
-	return sortRowsStable(rows, par, func(a, b value.Row) bool {
+func sortByCols(where string, rows []value.Row, cols []int, par int) []value.Row {
+	return sortRowsStable(where, rows, par, func(a, b value.Row) bool {
 		return compareAt(a, cols, b, cols) < 0
 	})
 }

@@ -77,8 +77,12 @@ func numChunks(n, size int) int {
 // deterministic regardless of which worker runs which chunk; the worker
 // index (0 on the serial fallback path) exists purely for observability —
 // per-worker morsel accounting — and must not influence results. The first
-// error (by chunk index) cancels remaining chunks and is returned.
-func forEachChunk(workers, n, size int, fn func(worker, chunk, lo, hi int) error) error {
+// error (by chunk index) cancels remaining chunks and is returned; a panic
+// in fn terminates only its worker (the pool drains and joins normally) and
+// surfaces as an *ExecPanicError carrying `where` and the worker id, after
+// any deterministic chunk-indexed error. Every worker is joined before
+// forEachChunk returns, error or not.
+func forEachChunk(where string, workers, n, size int, fn func(worker, chunk, lo, hi int) error) error {
 	chunks := numChunks(n, size)
 	if chunks == 0 {
 		return nil
@@ -87,6 +91,7 @@ func forEachChunk(workers, n, size int, fn func(worker, chunk, lo, hi int) error
 		workers = chunks
 	}
 	if workers <= 1 {
+		// Serial fallback: a panic here unwinds to Run's top-level recovery.
 		for c := 0; c < chunks; c++ {
 			lo := c * size
 			hi := lo + size
@@ -102,11 +107,14 @@ func forEachChunk(workers, n, size int, fn func(worker, chunk, lo, hi int) error
 	var cursor atomic.Int64
 	var failed atomic.Bool
 	errs := make([]error, chunks)
+	panicErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
+		worker := w
+		goSafe(&wg, where, worker, func(err error) {
+			panicErrs[worker] = err
+			failed.Store(true)
+		}, func() {
 			for {
 				c := int(cursor.Add(1)) - 1
 				if c >= chunks || failed.Load() {
@@ -123,10 +131,15 @@ func forEachChunk(workers, n, size int, fn func(worker, chunk, lo, hi int) error
 					return
 				}
 			}
-		}(w)
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, err := range panicErrs {
 		if err != nil {
 			return err
 		}
@@ -164,15 +177,24 @@ func concatChunks(outs [][]value.Row) []value.Row {
 // drainBoth drains two operators concurrently — inter-subtree parallelism
 // for plans whose join inputs are themselves expensive. The per-node stats
 // hooks must be (and are) safe for concurrent Close against a shared sink.
-func drainBoth(l, r Operator) (lrows, rrows []value.Row, err error) {
+// Panics on either side become *ExecPanicError; the left side is recovered
+// locally (not left to Run's top-level recovery) precisely so that wg.Wait
+// always runs and the right-side goroutine is joined before return.
+func drainBoth(where string, l, r Operator) (lrows, rrows []value.Row, err error) {
 	var rerr error
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
+	var wg sync.WaitGroup
+	goSafe(&wg, where, -1, func(e error) { rerr = e }, func() {
 		rrows, rerr = drain(r)
+	})
+	lrows, lerr := func() (rows []value.Row, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				rows, err = nil, panicError(where, -1, rec)
+			}
+		}()
+		return drain(l)
 	}()
-	lrows, lerr := drain(l)
-	<-done
+	wg.Wait()
 	if lerr != nil {
 		return nil, nil, lerr
 	}
@@ -214,6 +236,8 @@ type parallelFilterOp struct {
 	params  expr.Params
 	par     int
 	metrics *obs.OpMetrics // nil unless metrics collection is on
+	gov     *governor      // nil unless lifecycle governance is on
+	where   string         // plan-node description, for panic/cancel reporting
 	bufOp
 }
 
@@ -223,12 +247,18 @@ func (f *parallelFilterOp) Open() error {
 		return err
 	}
 	outs := make([][]value.Row, numChunks(len(rows), MorselSize))
-	err = forEachChunk(f.par, len(rows), MorselSize, func(w, c, lo, hi int) error {
+	err = forEachChunk(f.where, f.par, len(rows), MorselSize, func(w, c, lo, hi int) error {
+		if err := f.gov.cancelled(); err != nil {
+			return err
+		}
 		if f.metrics != nil {
 			f.metrics.Morsel(w)
 		}
 		var keep []value.Row
 		for _, row := range rows[lo:hi] {
+			if err := f.gov.tick(); err != nil {
+				return err
+			}
 			truth, err := expr.EvalTruth(f.cond, row, f.params)
 			if err != nil {
 				return err
@@ -260,6 +290,8 @@ type parallelProjectOp struct {
 	params   expr.Params
 	par      int
 	metrics  *obs.OpMetrics
+	gov      *governor
+	where    string
 	bufOp
 }
 
@@ -269,12 +301,18 @@ func (p *parallelProjectOp) Open() error {
 		return err
 	}
 	outs := make([][]value.Row, numChunks(len(rows), MorselSize))
-	err = forEachChunk(p.par, len(rows), MorselSize, func(w, c, lo, hi int) error {
+	err = forEachChunk(p.where, p.par, len(rows), MorselSize, func(w, c, lo, hi int) error {
+		if err := p.gov.cancelled(); err != nil {
+			return err
+		}
 		if p.metrics != nil {
 			p.metrics.Morsel(w)
 		}
 		proj := make([]value.Row, 0, hi-lo)
 		for _, row := range rows[lo:hi] {
+			if err := p.gov.tick(); err != nil {
+				return err
+			}
 			out := make(value.Row, len(p.items))
 			for i, item := range p.items {
 				v, err := expr.Eval(item, row, p.params)
@@ -333,11 +371,13 @@ type parallelHashJoinOp struct {
 	params      expr.Params
 	par         int
 	metrics     *obs.OpMetrics
+	gov         *governor
+	where       string
 	bufOp
 }
 
 func (j *parallelHashJoinOp) Open() error {
-	lrows, rrows, err := drainBoth(j.left, j.right)
+	lrows, rrows, err := drainBoth(j.where, j.left, j.right)
 	if err != nil {
 		return err
 	}
@@ -359,16 +399,26 @@ func (j *parallelHashJoinOp) Open() error {
 		parts[p] = append(parts[p], row)
 	}
 	tables := make([]map[string][]value.Row, nPart)
-	err = forEachChunk(j.par, nPart, 1, func(w, c, lo, hi int) error {
+	err = forEachChunk(j.where, j.par, nPart, 1, func(w, c, lo, hi int) error {
+		if err := j.gov.cancelled(); err != nil {
+			return err
+		}
 		if j.metrics != nil {
 			j.metrics.Morsel(w)
 		}
 		t := make(map[string][]value.Row, len(parts[c]))
 		var bytes int64
 		for _, row := range parts[c] {
+			if err := j.gov.tick(); err != nil {
+				return err
+			}
 			key := value.GroupKey(row, rightCols)
 			t[key] = append(t[key], row)
-			bytes += int64(len(key)) + rowStateBytes(row)
+			entry := int64(len(key)) + rowStateBytes(row)
+			bytes += entry
+			if err := j.gov.charge(j.where, entry); err != nil {
+				return err
+			}
 		}
 		tables[c] = t
 		if j.metrics != nil {
@@ -383,13 +433,19 @@ func (j *parallelHashJoinOp) Open() error {
 
 	// Probe phase: morsel-parallel over the left input.
 	outs := make([][]value.Row, numChunks(len(lrows), MorselSize))
-	err = forEachChunk(j.par, len(lrows), MorselSize, func(w, c, lo, hi int) error {
+	err = forEachChunk(j.where, j.par, len(lrows), MorselSize, func(w, c, lo, hi int) error {
+		if err := j.gov.cancelled(); err != nil {
+			return err
+		}
 		if j.metrics != nil {
 			j.metrics.Morsel(w)
 		}
 		var matches []value.Row
 		var hits int64
 		for _, row := range lrows[lo:hi] {
+			if err := j.gov.tick(); err != nil {
+				return err
+			}
 			if anyNullAt(row, leftCols) {
 				continue
 			}
@@ -432,22 +488,30 @@ type parallelNestedLoopJoinOp struct {
 	params      expr.Params
 	par         int
 	metrics     *obs.OpMetrics
+	gov         *governor
+	where       string
 	bufOp
 }
 
 func (j *parallelNestedLoopJoinOp) Open() error {
-	lrows, rrows, err := drainBoth(j.left, j.right)
+	lrows, rrows, err := drainBoth(j.where, j.left, j.right)
 	if err != nil {
 		return err
 	}
 	outs := make([][]value.Row, numChunks(len(lrows), MorselSize))
-	err = forEachChunk(j.par, len(lrows), MorselSize, func(w, c, lo, hi int) error {
+	err = forEachChunk(j.where, j.par, len(lrows), MorselSize, func(w, c, lo, hi int) error {
+		if err := j.gov.cancelled(); err != nil {
+			return err
+		}
 		if j.metrics != nil {
 			j.metrics.Morsel(w)
 		}
 		var matches []value.Row
 		for _, lrow := range lrows[lo:hi] {
 			for _, rrow := range rrows {
+				if err := j.gov.tick(); err != nil {
+					return err
+				}
 				out := lrow.Concat(rrow)
 				truth, err := expr.EvalTruth(j.cond, out, j.params)
 				if err != nil {
@@ -499,13 +563,19 @@ func (g *parallelHashGroupOp) Open() error {
 	}
 	size := chunkSizeFor(len(rows), g.par)
 	locals := make([]localGroups, numChunks(len(rows), size))
-	err = forEachChunk(g.par, len(rows), size, func(w, c, lo, hi int) error {
+	err = forEachChunk(g.where, g.par, len(rows), size, func(w, c, lo, hi int) error {
+		if err := g.gov.cancelled(); err != nil {
+			return err
+		}
 		if g.metrics != nil {
 			g.metrics.Morsel(w)
 		}
 		local := localGroups{index: make(map[string]*groupState)}
 		var keyBytes int64
 		for _, row := range rows[lo:hi] {
+			if err := g.gov.tick(); err != nil {
+				return err
+			}
 			key := value.GroupKey(row, g.groupCols)
 			st, ok := local.index[key]
 			if !ok {
@@ -518,6 +588,9 @@ func (g *parallelHashGroupOp) Open() error {
 				local.order = append(local.order, st)
 				local.keys = append(local.keys, key)
 				keyBytes += int64(len(key))
+				if err := g.gov.charge(g.where, g.groupStateBytes(len(key))); err != nil {
+					return err
+				}
 			}
 			if err := g.feed(st, row); err != nil {
 				return err
@@ -567,7 +640,10 @@ func (g *parallelHashGroupOp) openScalar(rows []value.Row) error {
 	}
 	size := chunkSizeFor(len(rows), g.par)
 	partials := make([]*groupState, numChunks(len(rows), size))
-	err := forEachChunk(g.par, len(rows), size, func(w, c, lo, hi int) error {
+	err := forEachChunk(g.where, g.par, len(rows), size, func(w, c, lo, hi int) error {
+		if err := g.gov.cancelled(); err != nil {
+			return err
+		}
 		if g.metrics != nil {
 			g.metrics.Morsel(w)
 		}
@@ -576,6 +652,9 @@ func (g *parallelHashGroupOp) openScalar(rows []value.Row) error {
 			return err
 		}
 		for _, row := range rows[lo:hi] {
+			if err := g.gov.tick(); err != nil {
+				return err
+			}
 			if err := g.feed(st, row); err != nil {
 				return err
 			}
@@ -618,7 +697,7 @@ func (g *groupCore) mergeStates(dst, src *groupState) error {
 // The output permutation is exactly sort.SliceStable's, so parallel and
 // serial sorts are interchangeable everywhere, including beneath
 // order-exploiting operators.
-func sortRowsStable(rows []value.Row, par int, less func(a, b value.Row) bool) []value.Row {
+func sortRowsStable(where string, rows []value.Row, par int, less func(a, b value.Row) bool) []value.Row {
 	if par <= 1 || len(rows) < 2*MorselSize {
 		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
 		return rows
@@ -626,16 +705,21 @@ func sortRowsStable(rows []value.Row, par int, less func(a, b value.Row) bool) [
 	size := chunkSizeFor(len(rows), par)
 	chunks := numChunks(len(rows), size)
 	runs := make([][]value.Row, chunks)
-	forEachChunk(par, len(rows), size, func(w, c, lo, hi int) error {
+	// The chunk fns never return errors, so a non-nil result can only be a
+	// contained worker panic; re-panic it (already typed) rather than drop
+	// it — the operator or Run-level recovery reports it.
+	if err := forEachChunk(where, par, len(rows), size, func(w, c, lo, hi int) error {
 		run := rows[lo:hi]
 		sort.SliceStable(run, func(i, j int) bool { return less(run[i], run[j]) })
 		runs[c] = run
 		return nil
-	})
+	}); err != nil {
+		panic(err)
+	}
 	// Pairwise merge passes; adjacent runs merge in parallel.
 	for len(runs) > 1 {
 		merged := make([][]value.Row, (len(runs)+1)/2)
-		forEachChunk(par, len(merged), 1, func(w, c, lo, hi int) error {
+		if err := forEachChunk(where, par, len(merged), 1, func(w, c, lo, hi int) error {
 			a := runs[2*c]
 			if 2*c+1 >= len(runs) {
 				merged[c] = a
@@ -659,7 +743,9 @@ func sortRowsStable(rows []value.Row, par int, less func(a, b value.Row) bool) [
 			out = append(out, b[k:]...)
 			merged[c] = out
 			return nil
-		})
+		}); err != nil {
+			panic(err)
+		}
 		runs = merged
 	}
 	return runs[0]

@@ -20,7 +20,7 @@ func TestForEachChunkCoverage(t *testing.T) {
 			for _, size := range []int{1, 3, 1024} {
 				var mu sync.Mutex
 				visited := make([]int, n)
-				err := forEachChunk(workers, n, size, func(worker, chunk, lo, hi int) error {
+				err := forEachChunk("test", workers, n, size, func(worker, chunk, lo, hi int) error {
 					if lo < 0 || hi > n || lo > hi {
 						return fmt.Errorf("chunk %d has bad range [%d, %d)", chunk, lo, hi)
 					}
@@ -52,7 +52,7 @@ func TestForEachChunkCoverage(t *testing.T) {
 // pass would have hit first, which keeps error behavior deterministic.
 func TestForEachChunkFirstError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		err := forEachChunk(workers, 10_000, 100, func(worker, chunk, lo, hi int) error {
+		err := forEachChunk("test", workers, 10_000, 100, func(worker, chunk, lo, hi int) error {
 			if chunk >= 3 {
 				return fmt.Errorf("chunk %d failed", chunk)
 			}
@@ -62,7 +62,7 @@ func TestForEachChunkFirstError(t *testing.T) {
 			t.Fatalf("workers=%d: got %v, want the chunk-3 error", workers, err)
 		}
 	}
-	if err := forEachChunk(4, 0, 100, func(int, int, int, int) error {
+	if err := forEachChunk("test", 4, 0, 100, func(int, int, int, int) error {
 		return errors.New("must not be called")
 	}); err != nil {
 		t.Fatalf("empty input: %v", err)
@@ -107,7 +107,7 @@ func TestSortRowsStableMatchesSerial(t *testing.T) {
 	for _, par := range []int{2, 3, 4, 8} {
 		in := make([]value.Row, n)
 		copy(in, rows)
-		got := sortRowsStable(in, par, less)
+		got := sortRowsStable("test", in, par, less)
 		for i := range got {
 			if got[i][0].Int() != want[i][0].Int() || got[i][1].Int() != want[i][1].Int() {
 				t.Fatalf("par=%d: position %d is (%d,%d), want (%d,%d)",

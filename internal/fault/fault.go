@@ -1,0 +1,211 @@
+// Package fault is a deterministic fault-injection harness for the
+// executor. An Injector carries a schedule of faults keyed by execution
+// tick — a global counter the executor advances once per governed row-path
+// event — so a given schedule fires at exactly the same logical point of a
+// serial execution every time, regardless of host speed. The chaos oracle
+// (internal/exec) drives randomized schedules derived from a seed and
+// demands that every faulted run either matches the no-fault oracle rows
+// exactly or fails with a clean typed error.
+//
+// Four fault kinds cover the executor's failure surface:
+//
+//   - AllocFail simulates an allocation failure: Step returns a typed
+//     *Error, which the executor propagates as the query error.
+//   - Panic panics with a *PanicValue, exercising the executor's panic
+//     containment (recovery into *exec.ExecPanicError).
+//   - Delay sleeps briefly, perturbing scheduling to shake out races and
+//     leaks without changing results.
+//   - Cancel invokes the injector's cancel function (normally a
+//     context.CancelFunc), exercising cancel-at-row-N behaviour.
+//
+// The package deliberately avoids math/rand: schedules come from a local
+// splitmix64 generator, so a seed means the same schedule on every
+// platform and Go version.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is a fault category.
+type Kind uint8
+
+// The fault kinds.
+const (
+	AllocFail Kind = iota
+	Panic
+	Delay
+	Cancel
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case AllocFail:
+		return "alloc-fail"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Cancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event schedules one fault at the given execution tick (1-based: the Nth
+// Step call fires it).
+type Event struct {
+	Tick int64
+	Kind Kind
+}
+
+// Error is the typed error an AllocFail event injects. Callers can
+// errors.As against it to distinguish injected failures from real ones.
+type Error struct {
+	Kind Kind
+	Tick int64
+}
+
+// Error renders the injected failure.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %v at tick %d", e.Kind, e.Tick)
+}
+
+// PanicValue is the value an injected panic carries, so recovery layers
+// (and tests) can recognize a deliberate panic.
+type PanicValue struct {
+	Tick int64
+}
+
+// String renders the panic value.
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("fault: injected panic at tick %d", p.Tick)
+}
+
+// Injector fires a fixed schedule of faults as the executor advances the
+// tick counter. Step is safe for concurrent use: the counter is atomic and
+// each tick value is observed by exactly one caller, so every event fires
+// at most once. A nil *Injector is inert.
+type Injector struct {
+	at     map[int64]Kind
+	events []Event
+	cancel func()
+	delay  time.Duration
+	tick   atomic.Int64
+}
+
+// New builds an injector with an explicit schedule.
+func New(events []Event) *Injector {
+	i := &Injector{
+		at:     make(map[int64]Kind, len(events)),
+		events: append([]Event(nil), events...),
+		delay:  100 * time.Microsecond,
+	}
+	for _, e := range events {
+		i.at[e.Tick] = e.Kind
+	}
+	return i
+}
+
+// WithCancel sets the function a Cancel event invokes (normally the
+// query context's CancelFunc) and returns the injector.
+func (i *Injector) WithCancel(cancel func()) *Injector {
+	i.cancel = cancel
+	return i
+}
+
+// WithDelay sets the sleep duration of Delay events and returns the
+// injector.
+func (i *Injector) WithDelay(d time.Duration) *Injector {
+	i.delay = d
+	return i
+}
+
+// rng is splitmix64 — a tiny deterministic generator so schedules derived
+// from a seed are identical across platforms (and this package stays off
+// math/rand).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}
+
+// NewSeeded derives a deterministic random schedule from seed: between one
+// and maxEvents faults, each of a random kind at a random tick in
+// [1, horizon]. The same (seed, horizon, maxEvents) always yields the same
+// schedule.
+func NewSeeded(seed int64, horizon int64, maxEvents int) *Injector {
+	if horizon < 1 {
+		horizon = 1
+	}
+	if maxEvents < 1 {
+		maxEvents = 1
+	}
+	r := &rng{state: uint64(seed)}
+	n := 1 + r.intn(int64(maxEvents))
+	events := make([]Event, 0, n)
+	for k := int64(0); k < n; k++ {
+		events = append(events, Event{
+			Tick: 1 + r.intn(horizon),
+			Kind: Kind(r.intn(4)),
+		})
+	}
+	return New(events)
+}
+
+// Events returns the schedule (a copy), for logging failed chaos runs.
+func (i *Injector) Events() []Event {
+	if i == nil {
+		return nil
+	}
+	return append([]Event(nil), i.events...)
+}
+
+// Ticks reports how many Step calls have happened.
+func (i *Injector) Ticks() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.tick.Load()
+}
+
+// Step advances the tick counter by one and fires the event scheduled at
+// the new tick, if any: AllocFail returns a typed *Error, Panic panics
+// with a *PanicValue, Delay sleeps, Cancel invokes the cancel function.
+// A nil injector does nothing.
+func (i *Injector) Step() error {
+	if i == nil {
+		return nil
+	}
+	t := i.tick.Add(1)
+	k, ok := i.at[t]
+	if !ok {
+		return nil
+	}
+	switch k {
+	case AllocFail:
+		return &Error{Kind: AllocFail, Tick: t}
+	case Panic:
+		panic(&PanicValue{Tick: t})
+	case Delay:
+		time.Sleep(i.delay)
+	case Cancel:
+		if i.cancel != nil {
+			i.cancel()
+		}
+	}
+	return nil
+}

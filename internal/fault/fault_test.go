@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestScheduleFiresAtExactTicks: each event fires on exactly the scheduled
+// Step call and never again.
+func TestScheduleFiresAtExactTicks(t *testing.T) {
+	inj := New([]Event{{Tick: 3, Kind: AllocFail}, {Tick: 5, Kind: AllocFail}})
+	var fired []int64
+	for i := 1; i <= 8; i++ {
+		if err := inj.Step(); err != nil {
+			var fe *Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("step %d: error %v is not a *fault.Error", i, err)
+			}
+			fired = append(fired, fe.Tick)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 5 {
+		t.Fatalf("alloc failures fired at %v, want [3 5]", fired)
+	}
+	if inj.Ticks() != 8 {
+		t.Fatalf("Ticks() = %d, want 8", inj.Ticks())
+	}
+}
+
+// TestSeededDeterminism: the same seed yields the same schedule; different
+// seeds (almost surely) differ.
+func TestSeededDeterminism(t *testing.T) {
+	a := NewSeeded(42, 1000, 4).Events()
+	b := NewSeeded(42, 1000, 4).Events()
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedule lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+	if len(a) == 0 || len(a) > 4 {
+		t.Fatalf("schedule size %d outside [1, 4]", len(a))
+	}
+	for _, e := range a {
+		if e.Tick < 1 || e.Tick > 1000 {
+			t.Fatalf("event tick %d outside [1, 1000]", e.Tick)
+		}
+	}
+}
+
+// TestPanicValue: a Panic event panics with a recognizable *PanicValue.
+func TestPanicValue(t *testing.T) {
+	inj := New([]Event{{Tick: 1, Kind: Panic}})
+	defer func() {
+		r := recover()
+		pv, ok := r.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *fault.PanicValue", r, r)
+		}
+		if pv.Tick != 1 {
+			t.Fatalf("panic tick %d, want 1", pv.Tick)
+		}
+	}()
+	inj.Step()
+	t.Fatal("injected panic did not fire")
+}
+
+// TestCancelInvokesFunc: a Cancel event calls the registered cancel
+// function exactly once.
+func TestCancelInvokesFunc(t *testing.T) {
+	calls := 0
+	inj := New([]Event{{Tick: 2, Kind: Cancel}}).WithCancel(func() { calls++ })
+	for i := 0; i < 5; i++ {
+		if err := inj.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("cancel invoked %d times, want 1", calls)
+	}
+}
+
+// TestConcurrentStepFiresOnce: under concurrent Step calls every scheduled
+// event fires at most once (each tick value is claimed by one caller).
+func TestConcurrentStepFiresOnce(t *testing.T) {
+	inj := New([]Event{{Tick: 50, Kind: AllocFail}}).WithDelay(time.Microsecond)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := inj.Step(); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) != 1 {
+		t.Fatalf("alloc failure fired %d times under concurrency, want exactly 1", len(errs))
+	}
+	if inj.Ticks() != 400 {
+		t.Fatalf("Ticks() = %d, want 400", inj.Ticks())
+	}
+}
+
+// TestNilInjectorIsInert: the executor's disabled path calls through nil.
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Ticks() != 0 || inj.Events() != nil {
+		t.Fatal("nil injector is not inert")
+	}
+}

@@ -27,6 +27,11 @@
 //     methods themselves (internal/exec); an Options value is treated as
 //     immutable once execution starts, and mutating it mid-run races with
 //     the workers reading it.
+//   - norawgo: no raw `go` statements in the executor (internal/exec);
+//     every goroutine must be spawned through the goSafe helper, whose
+//     recovery converts panics into typed *ExecPanicError values and whose
+//     WaitGroup registration guarantees the goroutine is joined before the
+//     query returns. goSafe itself hosts the one sanctioned `go`.
 //
 // A finding can be suppressed with a directive comment on the same line or
 // the line immediately above it:
@@ -201,5 +206,6 @@ func DefaultAnalyzers() []*Analyzer {
 		AtomicCounterAnalyzer,
 		AccMergeAnalyzer,
 		OptMutationAnalyzer,
+		NoRawGoAnalyzer,
 	}
 }

@@ -52,6 +52,10 @@ func TestOptMutationFixture(t *testing.T) {
 	linttest.Run(t, loader, fixture(t, "optmutation"), lint.OptMutationAnalyzer)
 }
 
+func TestNoRawGoFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "norawgo"), lint.NoRawGoAnalyzer)
+}
+
 // TestAnalyzerScoping pins the directory scoping the driver applies: each
 // analyzer names the row-path/planner directories it guards.
 func TestAnalyzerScoping(t *testing.T) {
@@ -67,6 +71,7 @@ func TestAnalyzerScoping(t *testing.T) {
 		{lint.AtomicCounterAnalyzer, "internal/exec", "internal/sql"},
 		{lint.AccMergeAnalyzer, "internal/expr", "internal/exec"},
 		{lint.OptMutationAnalyzer, "internal/exec", ""},
+		{lint.NoRawGoAnalyzer, "internal/exec", "internal/fault"},
 	}
 	for _, c := range cases {
 		if !c.a.AppliesTo(c.in) {

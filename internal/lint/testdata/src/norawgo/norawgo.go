@@ -1,0 +1,51 @@
+// Fixture for the norawgo analyzer.
+package norawgo
+
+import "sync"
+
+// A raw go statement anywhere in executor code is a finding…
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range work {
+		wg.Add(1)
+		go func() { // want "raw go statement in executor code"
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+// …including inside nested function literals and methods.
+type pool struct{}
+
+func (pool) drain(fn func()) {
+	run := func() {
+		go fn() // want "raw go statement in executor code"
+	}
+	run()
+}
+
+// The sanctioned spawn helper is exempt: its body hosts the one raw go
+// statement in the package.
+func goSafe(wg *sync.WaitGroup, fail func(error), fn func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+}
+
+// Spawning through the helper is clean.
+func governedFanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range work {
+		goSafe(&wg, nil, fn)
+	}
+	wg.Wait()
+}
+
+// An explicitly acknowledged exception is suppressible, as everywhere.
+func sanctioned(fn func()) {
+	go fn() //lint:ignore norawgo fixture for the escape hatch
+}

@@ -97,6 +97,23 @@ type Collector struct {
 	workers int
 	ops     map[any]*OpMetrics
 	order   []any
+	gov     Governance
+}
+
+// Governance is the lifecycle-governance summary of one execution: the
+// configured memory budget, the high-water mark of state bytes the governor
+// accounted against it, and — filled in by the engine layer — whether the
+// run is the lazy fallback of an eager plan that tripped the budget.
+type Governance struct {
+	// BudgetBytes is Options.MemoryBudget; 0 when no budget was set.
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	// UsedBytes is the governor's accounted state high-water mark.
+	UsedBytes int64 `json:"used_bytes,omitempty"`
+	// Fallback is true when this execution is the lazy (group-after-join)
+	// retry of an eager plan that exceeded the budget.
+	Fallback bool `json:"fallback,omitempty"`
+	// FallbackReason holds the budget error of the abandoned eager run.
+	FallbackReason string `json:"fallback_reason,omitempty"`
 }
 
 // NewCollector returns an empty collector sized for serial execution.
@@ -121,6 +138,36 @@ func (c *Collector) Workers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.workers
+}
+
+// SetBudget records the configured memory budget.
+func (c *Collector) SetBudget(bytes int64) {
+	c.mu.Lock()
+	c.gov.BudgetBytes = bytes
+	c.mu.Unlock()
+}
+
+// SetBudgetUsed records the governor's accounted state high-water mark.
+func (c *Collector) SetBudgetUsed(bytes int64) {
+	c.mu.Lock()
+	c.gov.UsedBytes = bytes
+	c.mu.Unlock()
+}
+
+// SetFallback marks this execution as the lazy retry of an eager plan that
+// exceeded the memory budget, with the eager run's error as the reason.
+func (c *Collector) SetFallback(reason string) {
+	c.mu.Lock()
+	c.gov.Fallback = true
+	c.gov.FallbackReason = reason
+	c.mu.Unlock()
+}
+
+// Gov returns the governance summary recorded so far.
+func (c *Collector) Gov() Governance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gov
 }
 
 // Node returns the metrics for id, creating them on first use.

@@ -1,6 +1,7 @@
 package gbj
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,23 +12,40 @@ import (
 // results and EXPLAIN output to w. DDL and INSERT statements run silently;
 // the first error stops execution.
 func (e *Engine) RunScript(text string, w io.Writer) error {
+	return e.RunScriptContext(context.Background(), text, w)
+}
+
+// RunScriptContext is RunScript under a context: cancellation aborts the
+// in-flight statement (queries stop within one scheduling quantum) and
+// stops the script. Queries run under the engine's memory budget with the
+// same eager-to-lazy degradation as Query.
+func (e *Engine) RunScriptContext(ctx context.Context, text string, w io.Writer) error {
 	stmts, err := sql.Parse(text)
 	if err != nil {
 		return err
 	}
 	for _, stmt := range stmts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		switch s := stmt.(type) {
 		case *sql.SelectStmt:
 			e.mu.RLock()
-			plan, err := e.choosePlan(s)
+			pc, err := e.chooseForExec(s)
+			if err != nil {
+				e.mu.RUnlock()
+				return err
+			}
+			eres, err := e.governedRun(ctx, pc.plan, nil, nil, nil)
+			if re := fallbackError(err, pc); re != nil {
+				e.fallbacks.Add(1)
+				eres, err = e.governedRun(ctx, pc.fallback, nil, nil, nil)
+			}
 			e.mu.RUnlock()
 			if err != nil {
 				return err
 			}
-			res, err := e.runPlan(plan)
-			if err != nil {
-				return err
-			}
+			res := convertResult(eres)
 			fmt.Fprint(w, res.String())
 			fmt.Fprintf(w, "(%d rows)\n", len(res.Rows))
 		case *sql.ExplainStmt:
