@@ -7,9 +7,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint plancheck build test race chaos fuzz bench bench-json
+.PHONY: check vet lint plancheck build test race chaos dist-oracle fuzz bench bench-json
 
-check: vet lint build race plancheck chaos bench-json fuzz
+check: vet lint build race plancheck chaos dist-oracle bench-json fuzz
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,16 @@ race:
 # error, with no goroutine leaks (internal/exec/chaos_oracle_test.go).
 chaos:
 	$(GO) test -race ./internal/exec -run TestChaosOracle
+
+# The distributed oracle under the race detector: hundreds of randomized
+# queries executed locally and on simulated clusters of 1/2/4/8 nodes
+# (serial and parallel, all shipping strategies), byte-identical rows
+# required; plus the distributed chaos runs with link-fault injection and
+# the Section 7 regression that the eager plan ships strictly fewer bytes
+# (internal/dist, dist_engine_test.go).
+dist-oracle:
+	$(GO) test -race ./internal/dist -run 'TestLocalVsDistributedOracle|TestDistributedChaosOracle|TestEagerNeverShipsMoreBytes'
+	$(GO) test -race . -run TestEngineDistributed
 
 # Each fuzz target needs its own invocation (go test allows one -fuzz
 # pattern per package run). -run=^$ skips the regular tests.

@@ -9,10 +9,16 @@
 //	gbj-bench -exp E1,E5       # run a subset
 //	gbj-bench -reps 5          # repetitions per measurement (fastest wins)
 //	gbj-bench -parallelism -1  # parallel execution, one worker per CPU
+//	gbj-bench -nodes 4         # cluster size for the distributed experiment (E12)
+//	gbj-bench -shards 8        # hash shards per table (power of two; 0 = one per node)
 //	gbj-bench -timeout 30s     # per-measurement deadline
 //	gbj-bench -mem-budget 1048576  # per-execution state-byte cap; an
 //	                               # over-budget eager plan degrades to the
 //	                               # lazy plan (recorded as a fallback)
+//
+// Flag values are validated up front: -parallelism below -1, -nodes below
+// 1, and non-power-of-two -shards are rejected with an error (exit 2)
+// instead of being clamped silently.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -39,6 +46,13 @@ var parallelism int
 var (
 	timeout   time.Duration
 	memBudget int64
+)
+
+// nodes and shards configure the simulated cluster of the distributed
+// experiment (E12): cluster size and hash shards per table.
+var (
+	nodes  int
+	shards int
 )
 
 // measureCtx returns the context one measurement runs under.
@@ -80,16 +94,28 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	jsonPath := flag.String("json", "", "also write machine-readable run records (per-operator metrics included) to this file")
 	flag.IntVar(&parallelism, "parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
+	flag.IntVar(&nodes, "nodes", 4, "simulated cluster size for the distributed experiment (E12)")
+	flag.IntVar(&shards, "shards", 0, "hash shards per table, a power of two (0 = one per node)")
 	flag.DurationVar(&timeout, "timeout", 0, "per-measurement deadline (0 = none)")
 	flag.Int64Var(&memBudget, "mem-budget", 0, "per-execution operator-state byte cap (0 = unlimited); over-budget eager plans degrade to the lazy plan")
 	flag.Parse()
+	for _, err := range []error{
+		cliutil.ValidateParallelism(parallelism),
+		cliutil.ValidateNodes(nodes),
+		cliutil.ValidateShards(shards),
+	} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gbj-bench:", err)
+			os.Exit(2)
+		}
+	}
 	if *jsonPath != "" {
 		record = &bench.File{Tool: "gbj-bench"}
 	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12"} {
 			want[id] = true
 		}
 	} else {
@@ -110,6 +136,7 @@ func main() {
 		{"E6", "Section 7 — group count sweep", runE6},
 		{"E7", "Section 7 — distributed communication cost", runE7},
 		{"E8", "Section 7 — optimizer decision accuracy over a parameter grid", runE8},
+		{"E12", "Section 7 — eager vs lazy shipping on a simulated cluster (measured bytes)", runE12},
 	}
 	failed := false
 	for _, r := range runners {
@@ -346,4 +373,47 @@ func runE8(reps int) error {
 	}
 	fmt.Printf("\ndecision accuracy: %d/%d grid points\n", agree, total)
 	return nil
+}
+
+// runE12 measures what E7 estimates: both shipping strategies execute on a
+// simulated cluster with byte-accounted links, sweeping the group count at
+// a fixed fact-table size. With few groups the eager strategy ships one
+// partial row per node-local group — a fraction of the lazy strategy's
+// per-detail-row shipping — and as groups approach the row count the
+// advantage collapses toward parity, the communication-cost twin of the
+// Figure 8 crossover.
+func runE12(reps int) error {
+	if nodes < 2 {
+		return fmt.Errorf("E12 needs a cluster: pass -nodes 2 or more (got %d)", nodes)
+	}
+	fmt.Printf("cluster: %d nodes, %s; fact table: 50000 rows\n\n", nodes, shardDesc())
+	fmt.Printf("%-10s  %12s  %12s  %10s  %s\n",
+		"groups", "lazy_bytes", "eager_bytes", "reduction", "result rows")
+	for _, groups := range []int{10, 100, 1000, 10000, 50000} {
+		store, err := workload.Sweep(workload.SweepParams{
+			FactRows: 50000, DimRows: groups, Groups: groups, MatchFraction: 1.0, Seed: 42,
+		})
+		if err != nil {
+			return err
+		}
+		ctx, cancel := measureCtx()
+		c, err := bench.CompareDistributed(ctx, store, workload.SweepQueryGroupByDim, reps, nodes, shards, parallelism)
+		cancel()
+		if err != nil {
+			return err
+		}
+		lazy, eager := c.Standard.CommBytes(), c.Transformed.CommBytes()
+		fmt.Printf("%-10d  %12d  %12d  %9.2fx  %d\n",
+			groups, lazy, eager, float64(lazy)/float64(eager), c.Standard.OutRows)
+		addRecord("E12", fmt.Sprintf("groups=%d nodes=%d", groups, nodes), c)
+	}
+	return nil
+}
+
+// shardDesc names the shard configuration for the E12 banner.
+func shardDesc() string {
+	if shards == 0 {
+		return "one shard per node"
+	}
+	return fmt.Sprintf("%d shards per table", shards)
 }

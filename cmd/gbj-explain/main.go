@@ -15,6 +15,11 @@
 // With -analyze, -timeout bounds the execution and -mem-budget caps its
 // operator state; an over-budget eager plan degrades to the lazy plan and
 // the analysis reports the fallback.
+//
+// With -nodes above 1 the query runs on a simulated cluster — base tables
+// hash-partitioned across the nodes (into -shards power-of-two shards) —
+// and -analyze reports the exchange bytes each plan shipped. Bad flag
+// values are rejected at startup (exit 2), never clamped.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 const demoSchema = `
@@ -56,11 +62,33 @@ func main() {
 	trace := flag.Bool("trace", false, "with -analyze output, also print the hierarchical operator span trace as JSON")
 	timeout := flag.Duration("timeout", 0, "deadline for -analyze execution (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "operator-state byte cap for -analyze execution (0 = unlimited); an over-budget eager plan degrades to the lazy plan and the output says so")
+	parallelism := flag.Int("parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
+	nodes := flag.Int("nodes", 1, "simulated cluster size (1 = single-site)")
+	shards := flag.Int("shards", 0, "hash shards per table, a power of two (0 = one per node)")
 	flag.Parse()
+	for _, err := range []error{
+		cliutil.ValidateParallelism(*parallelism),
+		cliutil.ValidateNodes(*nodes),
+		cliutil.ValidateShards(*shards),
+	} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gbj-explain:", err)
+			os.Exit(2)
+		}
+	}
 
 	engine := gbj.New()
 	engine.SetPlanCheck(*check)
 	engine.SetMemoryBudget(*memBudget)
+	engine.SetParallelism(*parallelism)
+	if err := engine.SetNodes(*nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "gbj-explain:", err)
+		os.Exit(2)
+	}
+	if err := engine.SetShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "gbj-explain:", err)
+		os.Exit(2)
+	}
 	var query string
 	switch {
 	case *demo:

@@ -2,7 +2,14 @@
 //
 // Usage:
 //
-//	gbj-shell [-f script.sql] [-parallelism n]
+//	gbj-shell [-f script.sql] [-parallelism n] [-nodes n] [-shards n]
+//
+// With -nodes above 1 the engine runs every query on a simulated cluster:
+// base tables are hash-partitioned across the nodes (into -shards
+// power-of-two shards, one per node by default) and plans ship rows
+// through byte-accounted exchange operators. Bad flag values — a
+// parallelism below -1, a node count below 1, a non-power-of-two shard
+// count — are rejected at startup (exit 2), never clamped.
 //
 // Statements end with ';'. SELECTs print result tables; EXPLAIN SELECT
 // prints the optimizer's full decision (normalization, TestFD trace, both
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 // timing reports whether \timing is on: queries print their elapsed time.
@@ -70,10 +78,30 @@ func queryContext() (context.Context, func()) {
 func main() {
 	file := flag.String("f", "", "run statements from a file, then exit")
 	parallelism := flag.Int("parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
+	nodes := flag.Int("nodes", 1, "simulated cluster size (1 = single-site)")
+	shards := flag.Int("shards", 0, "hash shards per table, a power of two (0 = one per node)")
 	flag.Parse()
+	for _, err := range []error{
+		cliutil.ValidateParallelism(*parallelism),
+		cliutil.ValidateNodes(*nodes),
+		cliutil.ValidateShards(*shards),
+	} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gbj-shell:", err)
+			os.Exit(2)
+		}
+	}
 
 	engine := gbj.New()
 	engine.SetParallelism(*parallelism)
+	if err := engine.SetNodes(*nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "gbj-shell:", err)
+		os.Exit(2)
+	}
+	if err := engine.SetShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "gbj-shell:", err)
+		os.Exit(2)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)

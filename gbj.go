@@ -37,6 +37,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/obs"
+	"repro/internal/plancheck"
 	"repro/internal/schema"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -77,6 +78,16 @@ type Engine struct {
 	memBudget   int64
 	clock       obs.Clock
 	fallbacks   atomic.Int64
+
+	// Distributed execution state (gbj_dist.go). distMu guards the lazily
+	// built cluster so concurrent queries (read-locked on mu) can share a
+	// rebuild.
+	nodes        int
+	shards       int
+	distStrategy DistStrategy
+	distMu       sync.Mutex
+	cluster      *distCluster
+	clusterDirty bool
 }
 
 // New returns an empty engine.
@@ -245,6 +256,7 @@ func (e *Engine) Exec(text string) error {
 			return err
 		}
 	}
+	e.invalidateCluster()
 	return nil
 }
 
@@ -406,6 +418,13 @@ func (e *Engine) QueryParamsContext(ctx context.Context, text string, params map
 	if err != nil {
 		return nil, err
 	}
+	if e.nodes > 1 {
+		res, err := e.distExecute(ctx, pc, p, nil)
+		if err != nil {
+			return nil, err
+		}
+		return convertResult(res), nil
+	}
 	res, err := e.governedRun(ctx, pc.plan, p, nil, nil)
 	if re := fallbackError(err, pc); re != nil {
 		e.fallbacks.Add(1)
@@ -494,6 +513,10 @@ type planChoice struct {
 	// conservative shape.
 	fallback    algebra.Node
 	fallbackAnn algebra.Annotations
+	// certs are the TestFD certificates covering the chosen plan's eager
+	// aggregations, kept so distributed compilations of the plan can be
+	// re-verified with translated certificates.
+	certs []*plancheck.Certificate
 }
 
 // choosePlan runs the optimizer, including the Section 8 reverse analysis
@@ -536,6 +559,7 @@ func (e *Engine) chooseForExec(q *sql.SelectStmt) (planChoice, error) {
 		return planChoice{
 			plan: r.Alternative, ann: r.TransformedCost.Ann,
 			fallback: r.Standard, fallbackAnn: r.StandardCost.Ann,
+			certs: r.Certificates(),
 		}, nil
 	}
 	return planChoice{plan: r.Standard, ann: r.StandardCost.Ann}, nil
@@ -627,6 +651,9 @@ func (e *Engine) QueryAnalyzedContext(ctx context.Context, text string) (*Analys
 	if err != nil {
 		return nil, err
 	}
+	if e.nodes > 1 {
+		return e.distAnalyze(ctx, pc)
+	}
 	plan, est := pc.plan, pc.ann
 	col := obs.NewCollector()
 	tracer := obs.NewTracer(e.clock)
@@ -670,6 +697,9 @@ func (a *Analysis) String() string {
 	fmt.Fprintf(&sb, "(%d rows)\n", len(a.Result.Rows))
 	fmt.Fprintf(&sb, "join input rows: %d\n", a.Calibration.JoinInputRows)
 	fmt.Fprintf(&sb, "max q-error: %.2f\n", a.Calibration.MaxQError)
+	if cb := a.Calibration.CommBytes(); cb > 0 {
+		fmt.Fprintf(&sb, "exchange bytes shipped: %d\n", cb)
+	}
 	if a.Duration > 0 {
 		fmt.Fprintf(&sb, "total time: %v\n", a.Duration)
 	}

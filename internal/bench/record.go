@@ -38,6 +38,9 @@ type PlanRecord struct {
 	JoinInputRows int64 `json:"join_input_rows"`
 	// DurationNs is the fastest repetition's wall time.
 	DurationNs int64 `json:"duration_ns"`
+	// CommBytes totals the bytes shipped across cluster links by the
+	// plan's exchange operators; 0 for single-site plans.
+	CommBytes int64 `json:"comm_bytes"`
 	// Ops lists every operator in plan pre-order.
 	Ops []OpRecord `json:"ops,omitempty"`
 }
@@ -60,6 +63,7 @@ func (r *PlanRun) Record() *PlanRecord {
 		if m := r.Metrics.Lookup(n); m != nil {
 			op.Metrics = m.Snapshot()
 		}
+		rec.CommBytes += op.Metrics.CommBytes
 		switch n.(type) {
 		case *algebra.Join, *algebra.Product:
 			rec.JoinInputRows += op.Metrics.RowsIn
@@ -120,8 +124,13 @@ func (f *File) Add(experiment, note string, parallelism int, c *Comparison) {
 	f.Runs = append(f.Runs, rec)
 }
 
-// WriteFile writes the document as indented JSON.
+// WriteFile writes the document as indented JSON. An empty run set still
+// produces a valid record with "runs": [] — downstream consumers always
+// get a document, never null.
 func (f *File) WriteFile(path string) error {
+	if f.Runs == nil {
+		f.Runs = []RunRecord{}
+	}
 	b, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err

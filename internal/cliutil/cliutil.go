@@ -1,0 +1,39 @@
+// Package cliutil validates the flag values shared by the gbj command-line
+// tools (gbj-shell, gbj-explain, gbj-bench). The tools reject bad
+// topology and worker counts up front with a clear message instead of
+// clamping silently — a typo like -nodes 0 or -shards 6 would otherwise
+// run a subtly different experiment than the one asked for.
+package cliutil
+
+import "fmt"
+
+// ValidateParallelism checks an executor worker count: 0 runs serial, a
+// positive count runs that many workers, and -1 is the documented "one
+// worker per CPU" sentinel. Any other negative value is rejected.
+func ValidateParallelism(n int) error {
+	if n < -1 {
+		return fmt.Errorf("-parallelism must be -1 (one worker per CPU), 0 (serial), or a positive worker count; got %d", n)
+	}
+	return nil
+}
+
+// ValidateNodes checks a simulated cluster size: at least one node.
+func ValidateNodes(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-nodes must be at least 1, got %d", n)
+	}
+	return nil
+}
+
+// ValidateShards checks a per-table hash shard count: 0 means the default
+// (one shard per node); any explicit count must be a power of two, so that
+// doubling the cluster moves whole shards instead of resplitting rows.
+func ValidateShards(s int) error {
+	if s < 0 {
+		return fmt.Errorf("-shards must be at least 1 (or 0 for one shard per node), got %d", s)
+	}
+	if s > 0 && s&(s-1) != 0 {
+		return fmt.Errorf("-shards must be a power of two, got %d", s)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package cliutil
+
+import "testing"
+
+func TestValidateParallelism(t *testing.T) {
+	tests := []struct {
+		n  int
+		ok bool
+	}{
+		{-100, false},
+		{-2, false},
+		{-1, true}, // one worker per CPU
+		{0, true},  // serial
+		{1, true},
+		{8, true},
+		{1024, true},
+	}
+	for _, tt := range tests {
+		err := ValidateParallelism(tt.n)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidateParallelism(%d) = %v, want ok=%v", tt.n, err, tt.ok)
+		}
+	}
+}
+
+func TestValidateNodes(t *testing.T) {
+	tests := []struct {
+		n  int
+		ok bool
+	}{
+		{-1, false},
+		{0, false},
+		{1, true},
+		{2, true},
+		{3, true}, // node counts need not be powers of two
+		{8, true},
+		{64, true},
+	}
+	for _, tt := range tests {
+		err := ValidateNodes(tt.n)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidateNodes(%d) = %v, want ok=%v", tt.n, err, tt.ok)
+		}
+	}
+}
+
+func TestValidateShards(t *testing.T) {
+	tests := []struct {
+		s  int
+		ok bool
+	}{
+		{-4, false},
+		{-1, false},
+		{0, true}, // default: one shard per node
+		{1, true},
+		{2, true},
+		{3, false},
+		{4, true},
+		{6, false},
+		{7, false},
+		{12, false},
+		{64, true},
+	}
+	for _, tt := range tests {
+		err := ValidateShards(tt.s)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidateShards(%d) = %v, want ok=%v", tt.s, err, tt.ok)
+		}
+	}
+}

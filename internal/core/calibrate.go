@@ -111,9 +111,22 @@ func (c *Calibration) Annotations() algebra.Annotations {
 		if nc.Metrics.Batches > 0 {
 			fmt.Fprintf(&note, " morsels=%d", nc.Metrics.Batches)
 		}
+		if nc.Metrics.CommBytes > 0 {
+			fmt.Fprintf(&note, " ship=%dB", nc.Metrics.CommBytes)
+		}
 		ann[nc.Node] = algebra.Annotation{Rows: nc.Actual, Note: note.String()}
 	}
 	return ann
+}
+
+// CommBytes sums the bytes the plan's exchange operators shipped across
+// node links — zero for single-site executions.
+func (c *Calibration) CommBytes() int64 {
+	var total int64
+	for _, nc := range c.Nodes {
+		total += nc.Metrics.CommBytes
+	}
+	return total
 }
 
 // String renders the annotated plan tree followed by the summary lines the

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/algebra"
+	"repro/internal/dist"
 	"repro/internal/expr"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -85,6 +86,14 @@ type CostModel struct {
 	// count (the Figure 8 pathology grows worse, not better, with
 	// parallelism).
 	Parallelism int
+	// Nodes is the simulated cluster size plans will run on. With more
+	// than one node, Estimate compiles each plan for the cluster (via the
+	// distributed compiler's own eager/lazy byte estimation) and charges a
+	// per-byte communication term for every exchange — the Section 7
+	// extension where shipping cost dominates and the group-before-join
+	// plan wins by moving one row per group instead of every detail row.
+	// 0 or 1 costs plans as single-site.
+	Nodes int
 	// aliasTable maps a query alias to its base-table name.
 	aliasTable map[string]string
 }
@@ -106,6 +115,9 @@ type PlanCost struct {
 	Total float64
 	// Rows is the estimated output cardinality of the root.
 	Rows float64
+	// CommBytes is the estimated bytes the plan ships across node links
+	// when compiled for a multi-node cluster; 0 for single-site models.
+	CommBytes float64
 	// Ann holds per-node estimated cardinalities for EXPLAIN display.
 	Ann algebra.Annotations
 }
@@ -118,7 +130,33 @@ func (m *CostModel) Estimate(plan algebra.Node) PlanCost {
 	m.collectAliases(plan)
 	ann := make(algebra.Annotations)
 	total, rows := m.estimate(plan, ann)
-	return PlanCost{Total: total, Rows: rows, Ann: ann}
+	pc := PlanCost{Total: total, Rows: rows, Ann: ann}
+	if m.Nodes > 1 {
+		pc.CommBytes = m.commBytes(plan, ann)
+		pc.Total += pc.CommBytes * costCommByte
+	}
+	return pc
+}
+
+// commBytes estimates the bytes the plan ships when compiled for the
+// model's cluster size. The distributed compiler does the placement
+// reasoning (where exchanges land, eager vs lazy grouping by bytes); this
+// model supplies the per-node cardinalities it prices rows with. Plans
+// containing operators with no distributed compilation charge nothing.
+func (m *CostModel) commBytes(plan algebra.Node, ann algebra.Annotations) float64 {
+	p, err := dist.Compile(plan, dist.Config{
+		Nodes: m.Nodes,
+		Rows: func(n algebra.Node) float64 {
+			if a, ok := ann[n]; ok {
+				return float64(a.Rows)
+			}
+			return -1
+		},
+	})
+	if err != nil {
+		return 0
+	}
+	return p.EstBytes
 }
 
 // collectAliases maps every scan's alias to its base table.
@@ -150,6 +188,11 @@ const (
 	// costMergePartial is the per-group, per-extra-worker cost of
 	// merging thread-local partial aggregates after parallel grouping.
 	costMergePartial = 1.0
+	// costCommByte is the cost of shipping one byte across a node link.
+	// At one row-touch per byte a shipped row (~30 encoded bytes) costs an
+	// order of magnitude more than processing it locally, making
+	// communication the dominant term — the Section 7 regime.
+	costCommByte = 1.0
 )
 
 // workers resolves the model's parallelism to an effective worker count.

@@ -50,6 +50,12 @@ type Optimizer struct {
 	// cost model uses it to divide partitionable work and charge
 	// partial-aggregate merge costs. 0 or 1 costs plans serially.
 	Parallelism int
+	// Nodes is the simulated cluster size plans will run on; with more
+	// than one node the cost model adds a per-byte communication term for
+	// the exchanges distributed compilation will insert, so the
+	// standard-vs-transformed choice accounts for what each plan ships.
+	// 0 or 1 costs plans as single-site.
+	Nodes int
 	// DisablePredicateExpansion turns off the Section 6.3 predicate
 	// expansion (deriving constant predicates for R1's join columns from
 	// equality chains); on by default, off only for ablation studies.
@@ -195,6 +201,7 @@ func (o *Optimizer) optimizeBound(b *BoundQuery) (*Report, error) {
 	r := &Report{Standard: standard}
 	model := NewCostModel(o.stats, b)
 	model.Parallelism = o.Parallelism
+	model.Nodes = o.Nodes
 	r.StandardCost = model.Estimate(standard)
 
 	if o.Mode == ModeNever {

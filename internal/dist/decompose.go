@@ -1,0 +1,108 @@
+// Aggregate decomposition: the algebra-level partial/final split behind
+// eager distributed aggregation. Each node computes decomposed aggregates
+// over its local rows, ships one row per local group, and the coordinator
+// re-aggregates the partials with merge functions — the same combine
+// algebra expr.Accumulator.Merge implements for parallel grouping, here
+// spelled out as plan operators so the wire carries partial-aggregate rows:
+//
+//	COUNT(x)   → local COUNT(x),          merged by SUM
+//	COUNT(*)   → local COUNT(*),          merged by SUM
+//	SUM(x)     → local SUM(x),            merged by SUM (NULL partials skip)
+//	MIN(x)     → local MIN(x),            merged by MIN
+//	MAX(x)     → local MAX(x),            merged by MAX
+//	AVG(x)     → local SUM(x), COUNT(x),  merged as SUM(s) / SUM(c)
+//
+// AVG's merge is exact SQL: division always yields a float, and a zero
+// divisor (no non-NULL inputs anywhere) yields NULL — precisely when AVG
+// of the whole group is NULL. DISTINCT aggregates are not decomposable
+// (per-node duplicate elimination cannot be merged), so plans containing
+// them fall back to shuffled or gathered complete grouping.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+)
+
+// Decomposable reports whether every aggregate in the item list has a
+// partial/final split: known function, no DISTINCT.
+func Decomposable(items []algebra.AggItem) bool {
+	for _, item := range items {
+		for _, a := range expr.Aggregates(item.E) {
+			if a.Distinct {
+				return false
+			}
+			switch a.Func {
+			case expr.AggCount, expr.AggCountStar, expr.AggSum, expr.AggAvg, expr.AggMin, expr.AggMax:
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hasDistinct reports whether any aggregate in the item list is DISTINCT.
+func hasDistinct(items []algebra.AggItem) bool {
+	for _, item := range items {
+		for _, a := range expr.Aggregates(item.E) {
+			if a.Distinct {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// decompose splits a GroupBy's aggregate items into per-node partial items
+// (evaluated against the group-by's input schema) and coordinator merge
+// items (evaluated against the partial aggregation's output schema). The
+// merge items are the original item expressions with each aggregate node
+// substituted — by pointer identity, via RewritePre — for its merge
+// expression over the partial column. ok is false when any aggregate is
+// not decomposable.
+func decompose(g *algebra.GroupBy) (partial, final []algebra.AggItem, ok bool) {
+	if !Decomposable(g.Aggs) {
+		return nil, nil, false
+	}
+	next := 0
+	newCol := func() expr.ColumnID {
+		id := expr.ColumnID{Name: fmt.Sprintf("__part%d", next)}
+		next++
+		return id
+	}
+	for _, item := range g.Aggs {
+		subst := make(map[expr.Expr]expr.Expr)
+		for _, a := range expr.Aggregates(item.E) {
+			switch a.Func {
+			case expr.AggAvg:
+				sumCol, cntCol := newCol(), newCol()
+				partial = append(partial,
+					algebra.AggItem{E: &expr.Aggregate{Func: expr.AggSum, Arg: a.Arg}, As: sumCol},
+					algebra.AggItem{E: &expr.Aggregate{Func: expr.AggCount, Arg: a.Arg}, As: cntCol},
+				)
+				subst[a] = &expr.Binary{
+					Op: expr.OpDiv,
+					L:  &expr.Aggregate{Func: expr.AggSum, Arg: &expr.ColumnRef{ID: sumCol}},
+					R:  &expr.Aggregate{Func: expr.AggSum, Arg: &expr.ColumnRef{ID: cntCol}},
+				}
+			default:
+				pcol := newCol()
+				partial = append(partial, algebra.AggItem{E: a, As: pcol})
+				merge := expr.AggSum
+				switch a.Func {
+				case expr.AggMin:
+					merge = expr.AggMin
+				case expr.AggMax:
+					merge = expr.AggMax
+				}
+				subst[a] = &expr.Aggregate{Func: merge, Arg: &expr.ColumnRef{ID: pcol}}
+			}
+		}
+		merged := expr.RewritePre(item.E, func(e expr.Expr) expr.Expr { return subst[e] })
+		final = append(final, algebra.AggItem{E: merged, As: item.As})
+	}
+	return partial, final, true
+}

@@ -1,0 +1,303 @@
+// Distributed execution. The runner walks the compiled plan bottom-up,
+// evaluating each exchange's input fragment and moving its rows through
+// the cluster's links, then executing the consuming fragment through the
+// ordinary executor — one governed exec.Run per (fragment, node), with the
+// fragment's Leaf and Exchange endpoints materialized as row sources. The
+// node loop is serial and deterministic: gathered output concatenates in
+// node order, shuffled output receives senders in node order, so a given
+// cluster size always produces the same rows in the same order.
+package dist
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/algebra"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// placed is a fragment result with its placement.
+type placed struct {
+	part  bool          // true: one row set per node
+	repl  bool          // true: parts are the same full set on every node
+	parts [][]value.Row // when part
+	rows  []value.Row   // when !part (coordinator-resident)
+}
+
+// Run executes a compiled plan on the cluster. opts carries the session's
+// execution settings — parallelism, params, context, memory budget, fault
+// injector, metrics collector — and is passed to every fragment run; the
+// memory budget therefore governs each fragment execution individually
+// (per node), which mirrors a real cluster where every site has its own
+// memory. A panic anywhere in the distributed runtime is contained into a
+// typed *exec.ExecPanicError, same as the single-node executor.
+func (c *Cluster) Run(p *Plan, opts *exec.Options) (res *exec.Result, err error) {
+	if opts == nil {
+		opts = &exec.Options{}
+	}
+	if p.Nodes != len(c.nodes) {
+		return nil, fmt.Errorf("dist: plan compiled for %d nodes, cluster has %d", p.Nodes, len(c.nodes))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &exec.ExecPanicError{
+				Op:     "dist: " + p.Root.Describe(),
+				Worker: -1,
+				Value:  r,
+				Stack:  debug.Stack(),
+			}
+		}
+	}()
+	r := &runner{cl: c, opts: opts}
+	out, err := r.eval(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	if out.part {
+		return nil, fmt.Errorf("dist: plan root %s is partitioned; compile must gather it", p.Root.Describe())
+	}
+	return &exec.Result{Schema: p.Root.Schema(), Rows: out.rows}, nil
+}
+
+type runner struct {
+	cl   *Cluster
+	opts *exec.Options
+}
+
+// metrics returns the collector metrics for a plan node, or nil when
+// metrics are off.
+func (r *runner) metrics(n algebra.Node) *obs.OpMetrics {
+	if r.opts.Metrics == nil {
+		return nil
+	}
+	return r.opts.Metrics.Node(n)
+}
+
+// cancelled surfaces a context abort between fragment and link steps.
+func (r *runner) cancelled() error {
+	if r.opts.Context == nil {
+		return nil
+	}
+	return r.opts.Context.Err()
+}
+
+// eval evaluates a distributed subtree rooted at n.
+func (r *runner) eval(n algebra.Node) (placed, error) {
+	if x, ok := n.(*Exchange); ok {
+		return r.evalExchange(x)
+	}
+	return r.evalFragment(n)
+}
+
+// evalFragment executes one fragment: the maximal subtree below n whose
+// interior is ordinary algebra, bounded by Leaf shards and child
+// exchanges. Child exchanges are evaluated (and their rows moved) first;
+// then the fragment runs once at the coordinator, or once per node when
+// any of its sources is partitioned.
+func (r *runner) evalFragment(n algebra.Node) (placed, error) {
+	var leaves []*Leaf
+	var exchanges []*Exchange
+	var walk func(m algebra.Node)
+	walk = func(m algebra.Node) {
+		switch t := m.(type) {
+		case *Leaf:
+			leaves = append(leaves, t)
+		case *Exchange:
+			exchanges = append(exchanges, t)
+		default:
+			for _, child := range m.Children() {
+				walk(child)
+			}
+		}
+	}
+	walk(n)
+
+	delivered := make([]placed, len(exchanges))
+	part := len(leaves) > 0
+	for i, x := range exchanges {
+		d, err := r.evalExchange(x)
+		if err != nil {
+			return placed{}, err
+		}
+		delivered[i] = d
+		if d.part {
+			part = true
+		}
+	}
+
+	if !part {
+		for i, x := range exchanges {
+			x.delivered = delivered[i].rows
+		}
+		rows, err := r.runExec(n)
+		if err != nil {
+			return placed{}, err
+		}
+		return placed{rows: rows}, nil
+	}
+
+	parts := make([][]value.Row, len(r.cl.nodes))
+	for i := range r.cl.nodes {
+		if err := r.cancelled(); err != nil {
+			return placed{}, err
+		}
+		for _, leaf := range leaves {
+			leaf.rows = r.cl.nodes[i].TableRows(leaf.Table)
+		}
+		for j, x := range exchanges {
+			d := delivered[j]
+			switch {
+			case d.part:
+				x.delivered = d.parts[i]
+			default:
+				// A coordinator-resident source feeding a partitioned
+				// fragment would mean data reached the nodes outside a
+				// link; the compiler never produces this shape.
+				return placed{}, fmt.Errorf("dist: %s delivers coordinator rows into a partitioned fragment", x.Describe())
+			}
+		}
+		rows, err := r.runExec(n)
+		if err != nil {
+			return placed{}, err
+		}
+		parts[i] = rows
+	}
+	return placed{part: true, parts: parts}, nil
+}
+
+
+// runExec executes a fragment tree through the ordinary executor. The
+// store argument is nil: fragments contain no Scan nodes (compilation
+// replaced them with shard Leafs), so the executor never touches it.
+func (r *runner) runExec(n algebra.Node) ([]value.Row, error) {
+	res, err := exec.Run(n, nil, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// evalExchange evaluates an exchange's input and applies its movement,
+// charging links and recording per-exchange rows/bytes metrics.
+func (r *runner) evalExchange(x *Exchange) (placed, error) {
+	in, err := r.eval(x.Input)
+	if err != nil {
+		return placed{}, err
+	}
+	if err := r.cancelled(); err != nil {
+		return placed{}, err
+	}
+	m := r.metrics(x)
+	addComm := func(bytes int64) {
+		if m != nil && bytes > 0 {
+			m.CommBytes.Add(bytes)
+		}
+	}
+
+	switch x.Kind {
+	case Gather:
+		if !in.part {
+			return placed{rows: in.rows}, nil
+		}
+		var out []value.Row
+		for src, rows := range in.parts {
+			if in.repl && src != 0 {
+				break // replicated input: the coordinator already has it all
+			}
+			shipped, bytes, err := r.ship(src, 0, rows)
+			if err != nil {
+				return placed{}, err
+			}
+			addComm(bytes)
+			out = append(out, shipped...)
+		}
+		return placed{rows: out}, nil
+
+	case Broadcast:
+		full := in.rows
+		if in.part {
+			if in.repl {
+				full = in.parts[0]
+			} else {
+				for _, rows := range in.parts {
+					full = append(full, rows...)
+				}
+			}
+		}
+		// Account the replication: every row must reach every node that
+		// does not already hold it.
+		n := len(r.cl.nodes)
+		parts := make([][]value.Row, n)
+		if in.part && !in.repl {
+			// Each source node ships its slice to every other node.
+			for dst := 0; dst < n; dst++ {
+				for src, rows := range in.parts {
+					if src == dst {
+						continue
+					}
+					_, bytes, err := r.ship(src, dst, rows)
+					if err != nil {
+						return placed{}, err
+					}
+					addComm(bytes)
+				}
+				parts[dst] = full
+			}
+		} else {
+			// Coordinator-resident (or already replicated) input: node 0
+			// ships the full set to every other node.
+			for dst := 0; dst < n; dst++ {
+				if dst != 0 {
+					_, bytes, err := r.ship(0, dst, full)
+					if err != nil {
+						return placed{}, err
+					}
+					addComm(bytes)
+				}
+				parts[dst] = full
+			}
+		}
+		return placed{part: true, repl: true, parts: parts}, nil
+
+	case Shuffle:
+		n := len(r.cl.nodes)
+		srcs := in.parts
+		if !in.part {
+			srcs = [][]value.Row{in.rows}
+		}
+		buckets := make([][]value.Row, n)
+		for src, rows := range srcs {
+			bySrc := make([][]value.Row, n)
+			for _, row := range rows {
+				dst := Partition(row, x.Keys, n)
+				bySrc[dst] = append(bySrc[dst], row)
+			}
+			for dst := 0; dst < n; dst++ {
+				if len(bySrc[dst]) == 0 {
+					continue
+				}
+				shipped, bytes, err := r.ship(src, dst, bySrc[dst])
+				if err != nil {
+					return placed{}, err
+				}
+				addComm(bytes)
+				buckets[dst] = append(buckets[dst], shipped...)
+			}
+		}
+		return placed{part: true, parts: buckets}, nil
+
+	default:
+		return placed{}, fmt.Errorf("dist: unknown exchange kind %v", x.Kind)
+	}
+}
+
+// ship moves rows from src to dst over the cluster's link. Same-site
+// movement is free: no accounting, no fault ticks.
+func (r *runner) ship(src, dst int, rows []value.Row) ([]value.Row, int64, error) {
+	if src == dst || len(rows) == 0 {
+		return rows, 0, nil
+	}
+	return r.cl.links[src][dst].Ship(rows, r.opts.Faults)
+}

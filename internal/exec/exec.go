@@ -143,6 +143,16 @@ type Result struct {
 	Rows   []value.Row
 }
 
+// RowSource is a plan leaf whose rows are materialized by the caller before
+// execution — the seam the distributed runtime (package dist) uses to run
+// one plan fragment per node: shard leaves and exchange endpoints implement
+// it, and the compiler lowers them like a Values literal. SourceRows is
+// read once at compile time of each Run.
+type RowSource interface {
+	algebra.Node
+	SourceRows() []value.Row
+}
+
 // Run executes a logical plan to completion. A panic anywhere in the
 // serial operator stack is recovered here into a typed *ExecPanicError
 // (worker-pool panics are recovered closer to the worker, with the worker
@@ -319,6 +329,12 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		return compiled{op: &scanOp{table: tab}}, nil
 	case *algebra.Values:
 		return compiled{op: &valuesOp{rows: node.Rows}}, nil
+	case RowSource:
+		// Materialized leaves outside the core algebra — the distributed
+		// runtime's shard and exchange endpoints (package dist) — plug in
+		// here: the fragment runner materializes their rows before Run and
+		// the executor treats them exactly like a Values literal.
+		return compiled{op: &valuesOp{rows: node.SourceRows()}}, nil
 	case *algebra.Select:
 		in, err := c.compile(node.Input)
 		if err != nil {

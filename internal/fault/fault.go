@@ -32,12 +32,24 @@ import (
 // Kind is a fault category.
 type Kind uint8
 
-// The fault kinds.
+// The fault kinds. The first four fire on the executor's row path (Step);
+// LinkDelay and LinkDrop model a slow or failing network link and fire only
+// on the distributed runtime's link path (LinkStep), so a row-path schedule
+// never perturbs a single-node run with link faults and vice versa.
 const (
 	AllocFail Kind = iota
 	Panic
 	Delay
 	Cancel
+	LinkDelay
+	LinkDrop
+)
+
+// numRowKinds bounds the kinds NewSeeded draws from; numKinds bounds
+// NewSeededLinks, which mixes row and link faults.
+const (
+	numRowKinds = 4
+	numKinds    = 6
 )
 
 // String names the kind.
@@ -51,6 +63,10 @@ func (k Kind) String() string {
 		return "delay"
 	case Cancel:
 		return "cancel"
+	case LinkDelay:
+		return "link-delay"
+	case LinkDrop:
+		return "link-drop"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -160,7 +176,30 @@ func NewSeeded(seed int64, horizon int64, maxEvents int) *Injector {
 	for k := int64(0); k < n; k++ {
 		events = append(events, Event{
 			Tick: 1 + r.intn(horizon),
-			Kind: Kind(r.intn(4)),
+			Kind: Kind(r.intn(numRowKinds)),
+		})
+	}
+	return New(events)
+}
+
+// NewSeededLinks derives a deterministic random schedule that mixes all six
+// fault kinds, including the link-level LinkDelay/LinkDrop faults the
+// distributed chaos oracle exercises. The same (seed, horizon, maxEvents)
+// always yields the same schedule.
+func NewSeededLinks(seed int64, horizon int64, maxEvents int) *Injector {
+	if horizon < 1 {
+		horizon = 1
+	}
+	if maxEvents < 1 {
+		maxEvents = 1
+	}
+	r := &rng{state: uint64(seed)}
+	n := 1 + r.intn(int64(maxEvents))
+	events := make([]Event, 0, n)
+	for k := int64(0); k < n; k++ {
+		events = append(events, Event{
+			Tick: 1 + r.intn(horizon),
+			Kind: Kind(r.intn(numKinds)),
 		})
 	}
 	return New(events)
@@ -185,7 +224,10 @@ func (i *Injector) Ticks() int64 {
 // Step advances the tick counter by one and fires the event scheduled at
 // the new tick, if any: AllocFail returns a typed *Error, Panic panics
 // with a *PanicValue, Delay sleeps, Cancel invokes the cancel function.
-// A nil injector does nothing.
+// Link-kind events scheduled on a tick that the row path consumes are
+// skipped (each tick is observed by exactly one caller, so an event fires
+// at most once, on the path that owns its tick). A nil injector does
+// nothing.
 func (i *Injector) Step() error {
 	if i == nil {
 		return nil
@@ -206,6 +248,38 @@ func (i *Injector) Step() error {
 		if i.cancel != nil {
 			i.cancel()
 		}
+	}
+	return nil
+}
+
+// LinkStep advances the tick counter by one from the distributed runtime's
+// link path and fires the event scheduled at the new tick, if any. All six
+// kinds fire here: a link is just another place an allocation can fail or
+// a panic can surface, and LinkDelay/LinkDrop model the network itself —
+// LinkDrop returns a typed *Error (the shipment is lost and the query must
+// fail cleanly), LinkDelay sleeps. A nil injector does nothing.
+func (i *Injector) LinkStep() error {
+	if i == nil {
+		return nil
+	}
+	t := i.tick.Add(1)
+	k, ok := i.at[t]
+	if !ok {
+		return nil
+	}
+	switch k {
+	case AllocFail:
+		return &Error{Kind: AllocFail, Tick: t}
+	case Panic:
+		panic(&PanicValue{Tick: t})
+	case Delay, LinkDelay:
+		time.Sleep(i.delay)
+	case Cancel:
+		if i.cancel != nil {
+			i.cancel()
+		}
+	case LinkDrop:
+		return &Error{Kind: LinkDrop, Tick: t}
 	}
 	return nil
 }

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DistLinkAnalyzer guards the distributed subsystem's accounting
+// invariant: every row that moves between nodes crosses a dist.Link, whose
+// Ship method is where bytes are counted and link-level faults are
+// injected. Code that reaches into a Node's shard storage directly —
+// outside the methods of Node and Cluster themselves — can copy rows from
+// one node to another without the link seeing them, silently breaking the
+// communication-cost measurements (E12, the eager-vs-lazy byte regression)
+// and bypassing fault injection. Readers use Node.TableRows; movement uses
+// Link.Ship.
+var DistLinkAnalyzer = &Analyzer{
+	Name: "distlink",
+	Doc:  "forbid direct Node shard access in the distributed runtime (read via Node.TableRows, move rows via Link.Ship)",
+	Dirs: []string{"internal/dist"},
+	Run:  runDistLink,
+}
+
+func runDistLink(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				switch receiverTypeName(fd.Recv.List[0].Type) {
+				case "Node", "Cluster":
+					// The storage owners: Node manages its shard map and
+					// Cluster populates it during partitioning.
+					continue
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "shards" {
+					return true
+				}
+				t := pass.TypeOf(sel.X)
+				if t == nil {
+					return true
+				}
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				named, ok := t.(*types.Named)
+				if !ok || named.Obj().Name() != "Node" {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "direct access to %s.shards moves rows outside the Link abstraction: read via Node.TableRows and ship across nodes via Link.Ship, which accounts bytes and injects link faults", types.ExprString(sel.X))
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -32,6 +32,11 @@
 //     recovery converts panics into typed *ExecPanicError values and whose
 //     WaitGroup registration guarantees the goroutine is joined before the
 //     query returns. goSafe itself hosts the one sanctioned `go`.
+//   - distlink: no direct access to a Node's shard storage in the
+//     distributed runtime (internal/dist) outside Node and Cluster methods;
+//     rows move between nodes only through Link.Ship, where bytes are
+//     accounted and link faults injected. Anything else silently corrupts
+//     the communication-cost measurements.
 //
 // A finding can be suppressed with a directive comment on the same line or
 // the line immediately above it:
@@ -207,5 +212,6 @@ func DefaultAnalyzers() []*Analyzer {
 		AccMergeAnalyzer,
 		OptMutationAnalyzer,
 		NoRawGoAnalyzer,
+		DistLinkAnalyzer,
 	}
 }

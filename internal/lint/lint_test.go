@@ -56,6 +56,10 @@ func TestNoRawGoFixture(t *testing.T) {
 	linttest.Run(t, loader, fixture(t, "norawgo"), lint.NoRawGoAnalyzer)
 }
 
+func TestDistLinkFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "distlink"), lint.DistLinkAnalyzer)
+}
+
 // TestAnalyzerScoping pins the directory scoping the driver applies: each
 // analyzer names the row-path/planner directories it guards.
 func TestAnalyzerScoping(t *testing.T) {
@@ -72,6 +76,7 @@ func TestAnalyzerScoping(t *testing.T) {
 		{lint.AccMergeAnalyzer, "internal/expr", "internal/exec"},
 		{lint.OptMutationAnalyzer, "internal/exec", ""},
 		{lint.NoRawGoAnalyzer, "internal/exec", "internal/fault"},
+		{lint.DistLinkAnalyzer, "internal/dist", "internal/exec"},
 	}
 	for _, c := range cases {
 		if !c.a.AppliesTo(c.in) {

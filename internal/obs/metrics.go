@@ -33,6 +33,10 @@ type OpMetrics struct {
 	// StateBytes approximates the bytes of operator-owned state (hash-table
 	// keys and row references, group accumulators).
 	StateBytes atomic.Int64
+	// CommBytes counts the bytes an exchange operator shipped across
+	// node-to-node links (canonical row encoding, local loopback excluded);
+	// 0 for non-exchange operators. The distributed runtime fills it in.
+	CommBytes atomic.Int64
 
 	// workerMorsels[w] counts the morsels executed by worker w.
 	workerMorsels []atomic.Int64
@@ -64,6 +68,7 @@ type Snapshot struct {
 	BuildEntries  int64   `json:"build_entries,omitempty"`
 	ProbeHits     int64   `json:"probe_hits,omitempty"`
 	StateBytes    int64   `json:"state_bytes,omitempty"`
+	CommBytes     int64   `json:"comm_bytes,omitempty"`
 	WorkerMorsels []int64 `json:"worker_morsels,omitempty"`
 }
 
@@ -77,6 +82,7 @@ func (m *OpMetrics) Snapshot() Snapshot {
 		BuildEntries: m.BuildEntries.Load(),
 		ProbeHits:    m.ProbeHits.Load(),
 		StateBytes:   m.StateBytes.Load(),
+		CommBytes:    m.CommBytes.Load(),
 	}
 	if s.Batches > 0 && len(m.workerMorsels) > 0 {
 		s.WorkerMorsels = m.WorkerMorsels()

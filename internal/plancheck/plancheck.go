@@ -88,6 +88,7 @@ func Check(root algebra.Node, opts *Options) []Violation {
 	}
 	c.walk(root)
 	c.checkCertificates(root)
+	c.checkDistributed(root)
 	return c.violations
 }
 
@@ -194,6 +195,18 @@ func (c *checker) checkNode(n algebra.Node) {
 			if _, err := in.IndexOf(k.Col); err != nil {
 				c.report("order", node, "sort key %s does not resolve against the input: %v", k.Col, err)
 			}
+		}
+	case ExchangeNode:
+		// Distributed rules run in checkDistributed; here only shape: an
+		// exchange moves rows, it must not change their schema.
+		if in := node.Children(); len(in) != 1 {
+			c.report("shape", node, "exchange has %d inputs, want 1", len(in))
+		} else if len(node.Schema()) != len(in[0].Schema()) {
+			c.report("shape", node, "exchange output schema %s differs in width from its input %s", node.Schema(), in[0].Schema())
+		}
+	case ShardSource:
+		if len(node.Schema()) == 0 {
+			c.report("shape", node, "shard of %s exposes no columns", node.ShardTable())
 		}
 	default:
 		c.report("shape", n, "unknown operator %T", n)
