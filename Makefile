@@ -1,15 +1,15 @@
 # Development entry points. `make check` is the full gate: vet, the custom
 # static analyzers (gbj-lint), build, race-enabled tests (which include the
-# serial-vs-parallel oracle, the concurrent-execution smoke tests and the
-# plan-verifier suite), the chaos oracle, and a short run of every fuzz
-# target.
+# row-vs-vectorized differential oracles, the concurrent-execution smoke
+# tests and the plan-verifier suite), the chaos oracle, the vectorization
+# perf gate (bench-compare), and a short run of every fuzz target.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint plancheck build test race chaos dist-oracle fuzz bench bench-json
+.PHONY: check vet lint plancheck build test race chaos dist-oracle fuzz bench bench-json bench-compare
 
-check: vet lint build race plancheck chaos dist-oracle bench-json fuzz
+check: vet lint build race plancheck chaos dist-oracle bench-json bench-compare fuzz
 
 vet:
 	$(GO) vet ./...
@@ -61,12 +61,22 @@ fuzz:
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzLex -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/expr -run '^$$' -fuzz FuzzLikeMatch -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/vec -run '^$$' -fuzz FuzzGroupKeyVector -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Machine-readable experiment records: one quick pass over the paper's two
-# headline experiments (Figure 1 and Figure 8), with per-operator metrics,
-# written to BENCH_gbj.json.
+# headline experiments (Figure 1 and Figure 8) plus the row-vs-vectorized
+# throughput comparison, with per-operator metrics, written to
+# BENCH_gbj.json. E13 doubles as a perf gate: gbj-bench exits nonzero if
+# the vectorized engine is slower than the row engine on the Figure 1
+# workload.
 bench-json:
-	$(GO) run ./cmd/gbj-bench -exp E1,E2 -reps 1 -json BENCH_gbj.json > /dev/null
+	$(GO) run ./cmd/gbj-bench -exp E1,E2,E13 -reps 3 -json BENCH_gbj.json > /dev/null
+
+# The vectorization perf gate alone, verbosely: row vs columnar engine on
+# the Figure 1 workload (10000 x 100) and the group-count sweep. Fails if
+# the vectorized engine is slower than the row engine on Figure 1.
+bench-compare:
+	$(GO) run ./cmd/gbj-bench -exp E13 -reps 5

@@ -74,6 +74,17 @@ func TestExplainAnalyzeGoldenLazy(t *testing.T) {
 	analyzeGolden(t, e, "analyze_lazy", example1Query)
 }
 
+// TestExplainAnalyzeGoldenEagerVectorized pins the analyze output of the
+// eager plan executed by the columnar engine: identical rows, estimates and
+// q-errors to the row run, plus per-operator batch counters (morsels=N) the
+// row path's serial run never shows.
+func TestExplainAnalyzeGoldenEagerVectorized(t *testing.T) {
+	e := newExample1Engine(t)
+	e.SetMode(ModeAlways)
+	e.SetVectorize(true)
+	analyzeGolden(t, e, "analyze_eager_vectorized", example1Query)
+}
+
 // TestExplainAnalyzeGoldenThreeTable pins a three-table plan: the paper's
 // Example 3 printer query, where TestFD pushes the group-by below both
 // joins.

@@ -9,6 +9,7 @@
 //	gbj-bench -exp E1,E5       # run a subset
 //	gbj-bench -reps 5          # repetitions per measurement (fastest wins)
 //	gbj-bench -parallelism -1  # parallel execution, one worker per CPU
+//	gbj-bench -vectorize       # columnar batch execution (identical rows)
 //	gbj-bench -nodes 4         # cluster size for the distributed experiment (E12)
 //	gbj-bench -shards 8        # hash shards per table (power of two; 0 = one per node)
 //	gbj-bench -timeout 30s     # per-measurement deadline
@@ -41,6 +42,11 @@ import (
 // serial, n > 1 that many workers, negative one per CPU.
 var parallelism int
 
+// vectorize switches every experiment onto the columnar batch engine
+// (results are identical to the row engine's); E13 compares the two engines
+// directly and ignores this flag.
+var vectorize bool
+
 // timeout is the per-measurement deadline, 0 for none; memBudget caps
 // operator state bytes per execution, 0 for unlimited.
 var (
@@ -68,14 +74,16 @@ func measureCtx() (context.Context, context.CancelFunc) {
 func compareForward(store *storage.Store, query string, reps int) (*bench.Comparison, error) {
 	ctx, cancel := measureCtx()
 	defer cancel()
-	return bench.CompareForwardGoverned(ctx, store, query, reps, parallelism, memBudget)
+	return bench.CompareForwardWith(store, query, reps, parallelism,
+		bench.Governed{Context: ctx, MemoryBudget: memBudget, Vectorize: vectorize})
 }
 
 // compareReverse is compareForward for the Section 8 reverse experiment.
 func compareReverse(store *storage.Store, query string, reps int) (*bench.Comparison, error) {
 	ctx, cancel := measureCtx()
 	defer cancel()
-	return bench.CompareReverseGoverned(ctx, store, query, reps, parallelism, memBudget)
+	return bench.CompareReverseWith(store, query, reps, parallelism,
+		bench.Governed{Context: ctx, MemoryBudget: memBudget, Vectorize: vectorize})
 }
 
 // record, when non-nil, accumulates every comparison as a machine-readable
@@ -94,6 +102,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	jsonPath := flag.String("json", "", "also write machine-readable run records (per-operator metrics included) to this file")
 	flag.IntVar(&parallelism, "parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
+	flag.BoolVar(&vectorize, "vectorize", false, "columnar batch execution for every experiment (E13 always compares both engines)")
 	flag.IntVar(&nodes, "nodes", 4, "simulated cluster size for the distributed experiment (E12)")
 	flag.IntVar(&shards, "shards", 0, "hash shards per table, a power of two (0 = one per node)")
 	flag.DurationVar(&timeout, "timeout", 0, "per-measurement deadline (0 = none)")
@@ -115,7 +124,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12", "E13"} {
 			want[id] = true
 		}
 	} else {
@@ -137,6 +146,7 @@ func main() {
 		{"E7", "Section 7 — distributed communication cost", runE7},
 		{"E8", "Section 7 — optimizer decision accuracy over a parameter grid", runE8},
 		{"E12", "Section 7 — eager vs lazy shipping on a simulated cluster (measured bytes)", runE12},
+		{"E13", "row-at-a-time vs vectorized execution (throughput)", runE13},
 	}
 	failed := false
 	for _, r := range runners {
@@ -408,6 +418,95 @@ func runE12(reps int) error {
 		addRecord("E12", fmt.Sprintf("groups=%d nodes=%d", groups, nodes), c)
 	}
 	return nil
+}
+
+// runE13 measures the vectorized engine against the row engine on the same
+// plans: the Figure 1 workload (10000 employees, 100 departments — the E9
+// differential-harness workload) plus a group-count sweep. Both engines run
+// the optimizer's standard (lazy) plan so the comparison isolates the data
+// representation; every pair must return identical result multisets, and on
+// the Figure 1 workload the vectorized engine must not be slower — the
+// `make bench-compare` regression gate.
+func runE13(reps int) error {
+	type point struct {
+		note     string
+		query    string
+		store    func() (*storage.Store, error)
+		required bool // vectorized must win here, or the run fails
+	}
+	points := []point{
+		{"figure1 (10000x100)", workload.Example1Query, func() (*storage.Store, error) {
+			return workload.EmployeeDepartment(10000, 100)
+		}, true},
+	}
+	for _, groups := range []int{10, 1000, 10000} {
+		groups := groups
+		points = append(points, point{
+			fmt.Sprintf("sweep groups=%d", groups), workload.SweepQueryGroupByDim,
+			func() (*storage.Store, error) {
+				return workload.Sweep(workload.SweepParams{
+					FactRows: 50000, DimRows: groups, Groups: groups,
+					MatchFraction: 1.0, Seed: 42,
+				})
+			}, false,
+		})
+	}
+	fmt.Printf("%-22s  %-14s  %-14s  %12s  %12s  %s\n",
+		"workload", "row", "vectorized", "row rows/s", "vec rows/s", "speedup")
+	var gateErr error
+	for _, p := range points {
+		store, err := p.store()
+		if err != nil {
+			return err
+		}
+		q, err := sql.ParseQuery(p.query)
+		if err != nil {
+			return err
+		}
+		report, err := core.NewOptimizer(store).Optimize(q)
+		if err != nil {
+			return err
+		}
+		plan := report.Standard
+		ctx, cancel := measureCtx()
+		rowRun, err := bench.RunPlanGoverned("row engine", plan, store, reps, parallelism,
+			bench.Governed{Context: ctx, MemoryBudget: memBudget})
+		if err == nil {
+			var vecRun *bench.PlanRun
+			vecRun, err = bench.RunPlanGoverned("vectorized engine", plan, store, reps, parallelism,
+				bench.Governed{Context: ctx, MemoryBudget: memBudget, Vectorize: true})
+			if err == nil {
+				if !rowRun.SameRows(vecRun) {
+					cancel()
+					return fmt.Errorf("E13 %s: vectorized rows differ from the row engine", p.note)
+				}
+				speedup := float64(rowRun.Duration) / float64(vecRun.Duration)
+				fmt.Printf("%-22s  %-14v  %-14v  %12.0f  %12.0f  %.2fx\n",
+					p.note, rowRun.Duration, vecRun.Duration,
+					rowThroughput(rowRun), rowThroughput(vecRun), speedup)
+				if p.required && vecRun.Duration > rowRun.Duration {
+					gateErr = fmt.Errorf("E13 %s: vectorized run (%v) slower than row run (%v)",
+						p.note, vecRun.Duration, rowRun.Duration)
+				}
+				addRecord("E13", p.note, &bench.Comparison{
+					Query: p.query, Standard: rowRun, Transformed: vecRun,
+				})
+			}
+		}
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+	return gateErr
+}
+
+// rowThroughput is a run's leaf-row throughput in rows per second.
+func rowThroughput(r *bench.PlanRun) float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.InputRows) / r.Duration.Seconds()
 }
 
 // shardDesc names the shard configuration for the E12 banner.

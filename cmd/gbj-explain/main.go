@@ -63,6 +63,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "deadline for -analyze execution (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "operator-state byte cap for -analyze execution (0 = unlimited); an over-budget eager plan degrades to the lazy plan and the output says so")
 	parallelism := flag.Int("parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
+	vectorize := flag.Bool("vectorize", false, "execute on the columnar batch engine; -analyze shows per-operator batch counts (morsels)")
 	nodes := flag.Int("nodes", 1, "simulated cluster size (1 = single-site)")
 	shards := flag.Int("shards", 0, "hash shards per table, a power of two (0 = one per node)")
 	flag.Parse()
@@ -81,6 +82,7 @@ func main() {
 	engine.SetPlanCheck(*check)
 	engine.SetMemoryBudget(*memBudget)
 	engine.SetParallelism(*parallelism)
+	engine.SetVectorize(*vectorize)
 	if err := engine.SetNodes(*nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "gbj-explain:", err)
 		os.Exit(2)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	gbj-shell [-f script.sql] [-parallelism n] [-nodes n] [-shards n]
+//	gbj-shell [-f script.sql] [-parallelism n] [-vectorize] [-nodes n] [-shards n]
 //
 // With -nodes above 1 the engine runs every query on a simulated cluster:
 // base tables are hash-partitioned across the nodes (into -shards
@@ -78,6 +78,7 @@ func queryContext() (context.Context, func()) {
 func main() {
 	file := flag.String("f", "", "run statements from a file, then exit")
 	parallelism := flag.Int("parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
+	vectorize := flag.Bool("vectorize", false, "execute on the columnar batch engine (same rows, same order)")
 	nodes := flag.Int("nodes", 1, "simulated cluster size (1 = single-site)")
 	shards := flag.Int("shards", 0, "hash shards per table, a power of two (0 = one per node)")
 	flag.Parse()
@@ -94,6 +95,7 @@ func main() {
 
 	engine := gbj.New()
 	engine.SetParallelism(*parallelism)
+	engine.SetVectorize(*vectorize)
 	if err := engine.SetNodes(*nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "gbj-shell:", err)
 		os.Exit(2)

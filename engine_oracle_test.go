@@ -11,30 +11,51 @@ import (
 // Main Theorem oracle: over randomized schemas, data and queries, the
 // engine must return the same multiset under ModeAlways (transform
 // whenever valid), ModeNever (never transform) and ModeCost (the default),
-// exercising the full stack — parser, binder, subquery materialization,
-// substitution rescue, predicate expansion, HAVING splitting, physical
-// strategy selection and ORDER BY handling.
+// crossed with the executor's data representation (row-at-a-time vs
+// vectorized batches) and worker count (serial vs parallel) — twelve runs
+// per query, all byte-identical after canonical sorting. This exercises
+// the full stack: parser, binder, subquery materialization, substitution
+// rescue, predicate expansion, HAVING splitting, physical strategy
+// selection, ORDER BY handling, and the vectorized kernels.
 func TestEngineModeOracle(t *testing.T) {
 	iterations := 400
 	if testing.Short() {
 		iterations = 50
 	}
+	engineConfigs := []struct {
+		name        string
+		vectorize   bool
+		parallelism int
+	}{
+		{"row/serial", false, 0},
+		{"vec/serial", true, 0},
+		{"row/parallel", false, 3},
+		{"vec/parallel", true, 3},
+	}
 	r := rand.New(rand.NewSource(1994))
 	for i := 0; i < iterations; i++ {
 		e, query := buildEngineInstance(t, r)
-		var results [][]string
+		var ref []string
+		refLabel := ""
 		for _, mode := range []Mode{ModeAlways, ModeNever, ModeCost} {
 			e.SetMode(mode)
-			res, err := e.Query(query)
-			if err != nil {
-				t.Fatalf("iteration %d (mode %v): %v\nquery: %s", i, mode, err, query)
-			}
-			results = append(results, canonicalRows(res))
-		}
-		for m := 1; m < len(results); m++ {
-			if !equalStrings(results[0], results[m]) {
-				t.Fatalf("iteration %d: modes disagree\nquery: %s\nalways: %v\nother:  %v",
-					i, query, results[0], results[m])
+			for _, cfg := range engineConfigs {
+				e.SetVectorize(cfg.vectorize)
+				e.SetParallelism(cfg.parallelism)
+				res, err := e.Query(query)
+				if err != nil {
+					t.Fatalf("iteration %d (mode %v, %s): %v\nquery: %s", i, mode, cfg.name, err, query)
+				}
+				rows := canonicalRows(res)
+				if ref == nil {
+					ref = rows
+					refLabel = fmt.Sprintf("mode %v, %s", mode, cfg.name)
+					continue
+				}
+				if !equalStrings(ref, rows) {
+					t.Fatalf("iteration %d: mode %v, %s disagrees with %s\nquery: %s\nreference: %v\ngot:       %v",
+						i, mode, cfg.name, refLabel, query, ref, rows)
+				}
 			}
 		}
 	}

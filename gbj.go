@@ -75,6 +75,7 @@ type Engine struct {
 	store       *storage.Store
 	opt         *core.Optimizer
 	parallelism int
+	vectorize   bool
 	memBudget   int64
 	clock       obs.Clock
 	fallbacks   atomic.Int64
@@ -126,6 +127,27 @@ func (e *Engine) Parallelism() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.parallelism
+}
+
+// SetVectorize selects the executor's data representation: off (the
+// default) pulls one row at a time through the operator tree; on streams
+// columnar batches of up to 1024 rows through vectorized scan, filter,
+// projection, hash-join and hash-aggregation kernels. Vectorized execution
+// is deterministic — it returns exactly the rows, in exactly the order, of
+// the row-at-a-time engine — and composes with SetParallelism,
+// SetMemoryBudget and distributed execution.
+func (e *Engine) SetVectorize(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.vectorize = on
+	e.opt.Vectorize = on
+}
+
+// Vectorize reports whether vectorized execution is enabled.
+func (e *Engine) Vectorize() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.vectorize
 }
 
 // SetMemoryBudget caps the bytes of operator state (hash tables, group
@@ -443,6 +465,7 @@ func (e *Engine) governedRun(ctx context.Context, plan algebra.Node, params expr
 		Params:       params,
 		Group:        groupStrategyFor(plan),
 		Parallelism:  e.parallelism,
+		Vectorize:    e.vectorize,
 		Context:      ctx,
 		MemoryBudget: e.memBudget,
 		Metrics:      col,

@@ -48,6 +48,12 @@ type PlanRun struct {
 	GroupInput, GroupOutput int64
 	// Duration is the wall time of the fastest repetition.
 	Duration time.Duration
+	// Vectorize records whether the run used the columnar batch engine.
+	Vectorize bool
+	// InputRows totals the rows produced by the plan's leaves (scans and
+	// values) — the work volume behind the rows-per-second throughput the
+	// run records report.
+	InputRows int64
 	// Ann carries the measured per-node cardinalities for plan display.
 	Ann algebra.Annotations
 	// Metrics is the per-operator collector of the last repetition: rows
@@ -90,6 +96,9 @@ type Governed struct {
 	// Fallback, when non-nil, is executed instead after a budget abort; the
 	// run's Fallbacks counter records the switch.
 	Fallback algebra.Node
+	// Vectorize runs the plan through the columnar batch engine instead of
+	// the row-at-a-time engine; results are identical either way.
+	Vectorize bool
 }
 
 func (g Governed) ctx() context.Context {
@@ -109,7 +118,7 @@ func RunPlanGoverned(label string, plan algebra.Node, store *storage.Store, reps
 	if reps < 1 {
 		reps = 1
 	}
-	run := &PlanRun{Label: label, Plan: plan}
+	run := &PlanRun{Label: label, Plan: plan, Vectorize: g.Vectorize}
 	var rows []value.Row
 	for i := 0; i < reps; i++ {
 		ann := make(algebra.Annotations)
@@ -117,7 +126,8 @@ func RunPlanGoverned(label string, plan algebra.Node, store *storage.Store, reps
 		start := time.Now()
 		res, err := exec.Run(plan, store, &exec.Options{
 			Stats: ann, Metrics: col, Parallelism: parallelism,
-			Context: g.ctx(), MemoryBudget: g.MemoryBudget,
+			Vectorize: g.Vectorize,
+			Context:   g.ctx(), MemoryBudget: g.MemoryBudget,
 		})
 		elapsed := time.Since(start)
 		var re *exec.ResourceError
@@ -151,6 +161,9 @@ func RunPlanGoverned(label string, plan algebra.Node, store *storage.Store, reps
 // measured annotations.
 func extractStats(plan algebra.Node, run *PlanRun) {
 	algebra.Walk(plan, func(n algebra.Node) {
+		if len(n.Children()) == 0 {
+			run.InputRows += run.Ann[n].Rows
+		}
 		switch node := n.(type) {
 		case *algebra.Join:
 			run.Joins = append(run.Joins, JoinStat{
@@ -179,6 +192,10 @@ func canonical(rows []value.Row) []string {
 	sort.Strings(keys)
 	return keys
 }
+
+// SameRows reports whether two runs returned identical result multisets —
+// the differential check behind the E13 row-vs-vectorized comparison.
+func (r *PlanRun) SameRows(o *PlanRun) bool { return sameChecksum(r.checksum, o.checksum) }
 
 func sameChecksum(a, b []string) bool {
 	if len(a) != len(b) {
@@ -240,17 +257,25 @@ func CompareForwardParallel(store *storage.Store, query string, reps, parallelis
 // lazy shape is never fallback-eligible, since it has nothing cheaper to
 // degrade to.
 func CompareForwardGoverned(ctx context.Context, store *storage.Store, query string, reps, parallelism int, budget int64) (*Comparison, error) {
+	return CompareForwardWith(store, query, reps, parallelism, Governed{Context: ctx, MemoryBudget: budget})
+}
+
+// CompareForwardWith is CompareForwardGoverned with the full Governed
+// bundle — in particular the vectorized-engine toggle, which is also passed
+// to the optimizer's cost model so plan selection prices the engine that
+// will run the plans.
+func CompareForwardWith(store *storage.Store, query string, reps, parallelism int, gov Governed) (*Comparison, error) {
 	q, err := sql.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
 	opt := core.NewOptimizer(store)
 	opt.Parallelism = parallelism
+	opt.Vectorize = gov.Vectorize
 	report, err := opt.Optimize(q)
 	if err != nil {
 		return nil, err
 	}
-	gov := Governed{Context: ctx, MemoryBudget: budget}
 	c := &Comparison{Query: query, Report: report}
 	if c.Standard, err = RunPlanGoverned("standard (group after join)", report.Standard, store, reps, parallelism, gov); err != nil {
 		return nil, err
@@ -284,17 +309,23 @@ func CompareReverseParallel(store *storage.Store, query string, reps, parallelis
 // group-before-join — so when the reverse transformation is valid it
 // degrades to the flat join-first plan on a budget abort.
 func CompareReverseGoverned(ctx context.Context, store *storage.Store, query string, reps, parallelism int, budget int64) (*Comparison, error) {
+	return CompareReverseWith(store, query, reps, parallelism, Governed{Context: ctx, MemoryBudget: budget})
+}
+
+// CompareReverseWith is CompareReverseGoverned with the full Governed
+// bundle, including the vectorized-engine toggle.
+func CompareReverseWith(store *storage.Store, query string, reps, parallelism int, gov Governed) (*Comparison, error) {
 	q, err := sql.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
 	opt := core.NewOptimizer(store)
 	opt.Parallelism = parallelism
+	opt.Vectorize = gov.Vectorize
 	rr, err := opt.TryReverse(q)
 	if err != nil {
 		return nil, err
 	}
-	gov := Governed{Context: ctx, MemoryBudget: budget}
 	if rr.Applicable && rr.Decision.OK {
 		gov.Fallback = rr.FlatPlan
 	}

@@ -38,6 +38,15 @@ type PlanRecord struct {
 	JoinInputRows int64 `json:"join_input_rows"`
 	// DurationNs is the fastest repetition's wall time.
 	DurationNs int64 `json:"duration_ns"`
+	// Vectorize records whether the run used the columnar batch engine.
+	Vectorize bool `json:"vectorize"`
+	// InputRows totals the rows produced by the plan's leaves — the work
+	// volume behind RowsPerSec.
+	InputRows int64 `json:"input_rows"`
+	// RowsPerSec is leaf-row throughput: InputRows over the fastest wall
+	// time. The row-vs-vectorized trajectory in BENCH_gbj.json tracks this
+	// number across engine versions.
+	RowsPerSec float64 `json:"rows_per_sec"`
 	// CommBytes totals the bytes shipped across cluster links by the
 	// plan's exchange operators; 0 for single-site plans.
 	CommBytes int64 `json:"comm_bytes"`
@@ -53,6 +62,11 @@ func (r *PlanRun) Record() *PlanRecord {
 		GroupInput:  r.GroupInput,
 		GroupOutput: r.GroupOutput,
 		DurationNs:  r.Duration.Nanoseconds(),
+		Vectorize:   r.Vectorize,
+		InputRows:   r.InputRows,
+	}
+	if r.Duration > 0 {
+		rec.RowsPerSec = float64(r.InputRows) / r.Duration.Seconds()
 	}
 	if r.Metrics == nil {
 		return rec
@@ -91,6 +105,10 @@ type RunRecord struct {
 	// each one is an execution whose eager plan blew the budget and was
 	// re-run as the lazy plan.
 	Fallbacks   int         `json:"fallbacks,omitempty"`
+	// Vectorize records whether the point's runs used the columnar batch
+	// engine (E13's row-engine baselines within a vectorized invocation
+	// keep their own per-plan Vectorize flags).
+	Vectorize   bool        `json:"vectorize,omitempty"`
 	Standard    *PlanRecord `json:"standard,omitempty"`
 	Transformed *PlanRecord `json:"transformed,omitempty"`
 }
@@ -108,6 +126,7 @@ func (f *File) Add(experiment, note string, parallelism int, c *Comparison) {
 		Note:        note,
 		Query:       c.Query,
 		Parallelism: parallelism,
+		Vectorize:   c.Standard.Vectorize,
 		Speedup:     c.Speedup(),
 		Fallbacks:   c.FallbackCount(),
 		Standard:    c.Standard.Record(),

@@ -86,6 +86,12 @@ type CostModel struct {
 	// count (the Figure 8 pathology grows worse, not better, with
 	// parallelism).
 	Parallelism int
+	// Vectorize reflects the executor's columnar batch mode. Vectorized
+	// kernels amortize interpretation over 1024-row batches, shrinking the
+	// perfectly partitionable per-row work by a uniform factor; cardinalities
+	// are untouched, so the eager-vs-lazy decision (driven by row counts)
+	// only flips where the two plans were already near-tied on work terms.
+	Vectorize bool
 	// Nodes is the simulated cluster size plans will run on. With more
 	// than one node, Estimate compiles each plan for the cluster (via the
 	// distributed compiler's own eager/lazy byte estimation) and charges a
@@ -188,6 +194,12 @@ const (
 	// costMergePartial is the per-group, per-extra-worker cost of
 	// merging thread-local partial aggregates after parallel grouping.
 	costMergePartial = 1.0
+	// costVectorWork scales per-row work under vectorized execution:
+	// batch loops amortize dispatch and evaluate predicates and group keys
+	// column-at-a-time, so each row costs a fraction of its interpreted
+	// price. Fixed overheads (fan-out startup, partial-aggregate merges,
+	// communication) are unchanged — batches do not shrink those.
+	costVectorWork = 0.4
 	// costCommByte is the cost of shipping one byte across a node link.
 	// At one row-touch per byte a shipped row (~30 encoded bytes) costs an
 	// order of magnitude more than processing it locally, making
@@ -207,6 +219,9 @@ func (m *CostModel) workers() float64 {
 // work w: divided across the workers, plus the fan-out overhead. Serial
 // models (workers == 1) return w unchanged.
 func (m *CostModel) parallelWork(w float64) float64 {
+	if m.Vectorize {
+		w *= costVectorWork
+	}
 	p := m.workers()
 	if p <= 1 {
 		return w

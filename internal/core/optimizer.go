@@ -50,6 +50,9 @@ type Optimizer struct {
 	// cost model uses it to divide partitionable work and charge
 	// partial-aggregate merge costs. 0 or 1 costs plans serially.
 	Parallelism int
+	// Vectorize is the executor's columnar batch mode; the cost model
+	// scales partitionable per-row work down by a uniform factor for it.
+	Vectorize bool
 	// Nodes is the simulated cluster size plans will run on; with more
 	// than one node the cost model adds a per-byte communication term for
 	// the exchanges distributed compilation will insert, so the
@@ -201,6 +204,7 @@ func (o *Optimizer) optimizeBound(b *BoundQuery) (*Report, error) {
 	r := &Report{Standard: standard}
 	model := NewCostModel(o.stats, b)
 	model.Parallelism = o.Parallelism
+	model.Vectorize = o.Vectorize
 	model.Nodes = o.Nodes
 	r.StandardCost = model.Estimate(standard)
 

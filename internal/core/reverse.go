@@ -87,6 +87,7 @@ func (o *Optimizer) tryReverse(q *sql.SelectStmt) (*ReverseReport, error) {
 	r := &ReverseReport{Nested: nested}
 	model := NewCostModel(o.stats, b)
 	model.Parallelism = o.Parallelism
+	model.Vectorize = o.Vectorize
 	r.NestedCost = model.Estimate(nested)
 
 	merged, why, err := o.mergeAggregatedView(b)

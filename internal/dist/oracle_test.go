@@ -173,6 +173,7 @@ func TestLocalVsDistributedOracle(t *testing.T) {
 
 		strategy := distStrategies[r.Intn(len(distStrategies))]
 		par := 1 + 3*r.Intn(2) // 1 or 4
+		vecMode := r.Intn(2) == 1
 		for _, nodes := range []int{1, 2, 4, 8} {
 			cl, err := dist.NewCluster(store, nodes, 0)
 			if err != nil {
@@ -183,14 +184,14 @@ func TestLocalVsDistributedOracle(t *testing.T) {
 				t.Fatalf("compiling %q for %d nodes: %v", query, nodes, err)
 			}
 			assertDistPlanChecks(t, dp, query)
-			res, err := cl.Run(dp, &exec.Options{Parallelism: par})
+			res, err := cl.Run(dp, &exec.Options{Parallelism: par, Vectorize: vecMode})
 			if err != nil {
-				t.Fatalf("distributed run for %q on %d nodes (strategy %v): %v", query, nodes, strategy, err)
+				t.Fatalf("distributed run for %q on %d nodes (strategy %v, vec=%v): %v", query, nodes, strategy, vecMode, err)
 			}
 			got := canonRows(res.Rows)
 			if !equalCanon(want, got) {
-				t.Fatalf("distributed result diverged\nquery: %s\nnodes=%d strategy=%v par=%d\nlocal (%d rows): %v\ndistributed (%d rows): %v",
-					query, nodes, strategy, par, len(want), want, len(got), got)
+				t.Fatalf("distributed result diverged\nquery: %s\nnodes=%d strategy=%v par=%d vec=%v\nlocal (%d rows): %v\ndistributed (%d rows): %v",
+					query, nodes, strategy, par, vecMode, len(want), want, len(got), got)
 			}
 			runs++
 		}
@@ -257,6 +258,7 @@ func TestDistributedChaosOracle(t *testing.T) {
 				WithDelay(20 * time.Microsecond)
 			opts := &exec.Options{
 				Parallelism: 1 + 3*r.Intn(2),
+				Vectorize:   r.Intn(2) == 1,
 				Context:     ctx,
 				Faults:      inj,
 			}

@@ -135,6 +135,17 @@ type Options struct {
 	// fault) advanced once per governed row event. Testing only: the chaos
 	// oracle drives it. Nil keeps the row path fault-free and unchecked.
 	Faults *fault.Injector
+	// Vectorize switches the hot operators — scan, filter, bare-column
+	// projection, hash join, hash grouping — to columnar batch execution
+	// (package vec): typed column vectors with null bitmaps, selection
+	// vectors instead of row copies, and group/join keys encoded
+	// column-at-a-time in the value.GroupKey canonical byte format.
+	// Results are row-identical to the row path for any plan and any
+	// Parallelism setting (the differential oracles compare all
+	// combinations); governance ticks and fault-injector steps advance per
+	// batch rather than per row. Off by default: the row path is the
+	// reference semantics and stays byte-for-byte untouched.
+	Vectorize bool
 }
 
 // Result is a fully materialized query result.
@@ -185,7 +196,14 @@ func Run(root algebra.Node, store *storage.Store, opts *Options) (res *Result, e
 	if err != nil {
 		return nil, err
 	}
-	rows, err := drain(out.op)
+	var rows []value.Row
+	if b := batchSource(out.op); b != nil {
+		// Vectorized root: drain batches and materialize rows once at the
+		// boundary (wrapper row counts are batch-granular and identical).
+		rows, err = drainBatches(b)
+	} else {
+		rows, err = drain(out.op)
+	}
 	if opts.Metrics != nil && c.gov != nil {
 		opts.Metrics.SetBudgetUsed(c.gov.usedBytes())
 	}
@@ -302,8 +320,11 @@ func (c *compiler) compile(n algebra.Node) (compiled, error) {
 	if err != nil {
 		return compiled{}, err
 	}
+	// Each wrapper captures the wrapped operator's batch face at compile
+	// time, so batch pulls flow through the same instrumentation chain as
+	// row pulls (one tick / one row-count update per batch).
 	if c.gov != nil {
-		out.op = &governOp{inner: out.op, gov: c.gov}
+		out.op = &governOp{inner: out.op, gov: c.gov, batch: batchSource(out.op)}
 	}
 	if c.opts.Stats != nil || c.opts.Metrics != nil || span != nil {
 		out.op = &metricOp{
@@ -314,6 +335,7 @@ func (c *compiler) compile(n algebra.Node) (compiled, error) {
 			mu:      &c.sinkMu,
 			clock:   c.clock,
 			span:    span,
+			batch:   batchSource(out.op),
 		}
 	}
 	return out, nil
@@ -326,14 +348,23 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		if err != nil {
 			return compiled{}, err
 		}
+		if c.opts.Vectorize {
+			return compiled{op: &vecScanOp{table: tab, metrics: c.nodeMetrics(n)}}, nil
+		}
 		return compiled{op: &scanOp{table: tab}}, nil
 	case *algebra.Values:
+		if c.opts.Vectorize {
+			return compiled{op: &vecValuesOp{rows: node.Rows, width: len(n.Schema()), metrics: c.nodeMetrics(n)}}, nil
+		}
 		return compiled{op: &valuesOp{rows: node.Rows}}, nil
 	case RowSource:
 		// Materialized leaves outside the core algebra — the distributed
 		// runtime's shard and exchange endpoints (package dist) — plug in
 		// here: the fragment runner materializes their rows before Run and
 		// the executor treats them exactly like a Values literal.
+		if c.opts.Vectorize {
+			return compiled{op: &vecValuesOp{rows: node.SourceRows(), width: len(n.Schema()), metrics: c.nodeMetrics(n)}}, nil
+		}
 		return compiled{op: &valuesOp{rows: node.SourceRows()}}, nil
 	case *algebra.Select:
 		in, err := c.compile(node.Input)
@@ -346,6 +377,18 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		}
 		// Filtering preserves order (the parallel filter concatenates
 		// morsels in input order, so it preserves it too).
+		if c.opts.Vectorize {
+			// The vectorized filter streams selection views at any
+			// parallelism level; output order is input order either way.
+			return compiled{
+				op: &vecFilterOp{
+					input: in.op, src: c.batchFeedFor(in.op, len(node.Input.Schema())),
+					cond: cond, pred: compileVecPred(cond),
+					params: c.opts.Params, metrics: c.nodeMetrics(n),
+				},
+				order: in.order,
+			}, nil
+		}
 		if c.par > 1 {
 			return compiled{
 				op:    &parallelFilterOp{input: in.op, cond: cond, params: c.opts.Params, par: c.par, metrics: c.nodeMetrics(n), gov: c.gov, where: n.Describe()},
@@ -385,6 +428,18 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 				break
 			}
 			order = append(order, mapped)
+		}
+		if c.opts.Vectorize && !node.Distinct {
+			// Bare-column projections are zero-copy column permutations;
+			// any other shape (expressions, DISTINCT) keeps the row
+			// operators, consuming vectorized children through the
+			// batch-to-row adapter.
+			if cols, ok := bareColumns(items); ok {
+				return compiled{
+					op:    &vecProjectOp{input: in.op, src: c.batchFeedFor(in.op, len(node.Input.Schema())), cols: cols, metrics: c.nodeMetrics(n)},
+					order: order,
+				}, nil
+			}
 		}
 		if c.par > 1 {
 			return compiled{

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/value"
+	"repro/internal/vec"
 )
 
 // cancelStride is how many governed row events pass between context polls.
@@ -118,6 +119,10 @@ func (g *governor) usedBytes() int64 {
 type governOp struct {
 	inner Operator
 	gov   *governor
+	// batch is inner's batch face, captured at wrap time; nil when inner
+	// cannot produce batches. On the vectorized path the governance tick
+	// runs once per batch instead of once per row.
+	batch BatchOperator
 }
 
 func (o *governOp) Open() error {
@@ -133,6 +138,17 @@ func (o *governOp) Next() (value.Row, bool, error) {
 	}
 	return o.inner.Next()
 }
+
+func (o *governOp) NextBatch() (*vec.Batch, bool, error) {
+	if err := o.gov.tick(); err != nil {
+		return nil, false, err
+	}
+	return o.batch.NextBatch()
+}
+
+func (o *governOp) batchOK() bool { return o.batch != nil }
+
+func (o *governOp) stableBatches() bool { return stableFeed(o.batch) }
 
 func (o *governOp) Close() error { return o.inner.Close() }
 

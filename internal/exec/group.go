@@ -95,6 +95,11 @@ func (c *compiler) compileGroupBy(node *algebra.GroupBy) (compiled, error) {
 			order: outOrder,
 		}, nil
 	}
+	if c.opts.Vectorize {
+		op := &vecHashGroupOp{groupCore: base, src: c.batchFeedFor(in.op, len(inSchema)), par: c.par}
+		op.initAggCols()
+		return compiled{op: op}, nil
+	}
 	if c.par > 1 {
 		return compiled{op: &parallelHashGroupOp{groupCore: base, par: c.par}}, nil
 	}

@@ -79,6 +79,19 @@ func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, 
 		// Probe order follows the left input; left columns keep their
 		// positions in the concatenated schema. The partitioned parallel
 		// hash join reproduces the same output order.
+		if c.opts.Vectorize {
+			return compiled{
+				op: &vecHashJoinOp{
+					left: left.op, right: right.op,
+					lsrc: c.batchFeedFor(left.op, len(lSchema)),
+					rsrc: c.batchFeedFor(right.op, len(rSchema)),
+					keys: keys, residual: boundResidual, params: c.opts.Params,
+					par: c.par, metrics: metrics, gov: c.gov, where: where,
+					lwidth: len(lSchema), rwidth: len(rSchema),
+				},
+				order: left.order,
+			}, nil
+		}
 		if c.par > 1 {
 			return compiled{
 				op: &parallelHashJoinOp{

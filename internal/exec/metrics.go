@@ -8,6 +8,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/obs"
 	"repro/internal/value"
+	"repro/internal/vec"
 )
 
 // metricOp is the single instrumentation wrapper the compiler inserts
@@ -36,6 +37,13 @@ type metricOp struct {
 	clock   obs.Clock
 	span    *obs.Span // nil unless Options.Trace is set
 
+	// batch is inner's batch face, captured at wrap time; nil when inner
+	// cannot produce batches. On the vectorized path the row counter
+	// advances by whole batches (one atomic add per batch); operators
+	// record their batch counts themselves via OpMetrics.Morsel, exactly
+	// like the morsel-parallel row operators.
+	batch BatchOperator
+
 	count atomic.Int64
 	start time.Time
 }
@@ -58,6 +66,18 @@ func (s *metricOp) Next() (value.Row, bool, error) {
 	}
 	return row, ok, err
 }
+
+func (s *metricOp) NextBatch() (*vec.Batch, bool, error) {
+	b, ok, err := s.batch.NextBatch()
+	if ok && err == nil {
+		s.count.Add(int64(b.Len()))
+	}
+	return b, ok, err
+}
+
+func (s *metricOp) batchOK() bool { return s.batch != nil }
+
+func (s *metricOp) stableBatches() bool { return stableFeed(s.batch) }
 
 func (s *metricOp) Close() error {
 	n := s.count.Load()

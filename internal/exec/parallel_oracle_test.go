@@ -96,45 +96,61 @@ func joinInputRows(plan algebra.Node, col *obs.Collector) int64 {
 	return total
 }
 
-// checkSerialVsParallel runs one plan under one strategy combination both
-// serially and in parallel and asserts identical output and identical
-// per-operator cardinalities.
+// checkSerialVsParallel runs one plan under one strategy combination in all
+// four execution modes — {row, vectorized} × {serial, parallel} — and
+// asserts that every mode returns exactly the serial row path's rows in its
+// order with identical per-operator cardinalities (RowsOut and RowsIn;
+// Batches is intentionally excluded — it is a mode-specific scheduling
+// statistic). The serial row path is the reference semantics; the other
+// three modes are the three-way differential the vectorized engine is held
+// to.
 func checkSerialVsParallel(t *testing.T, label, query string, plan algebra.Node, store *storage.Store, js exec.JoinStrategy, gs exec.GroupStrategy) []string {
 	t.Helper()
 	serialRows, serialAnn, serialCol := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs})
-	parRows, parAnn, parCol := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs, Parallelism: oracleParallelism})
-	s, p := rowStrings(serialRows), rowStrings(parRows)
-	if !sameRowOrder(s, p) {
-		t.Fatalf("%s plan, join=%v group=%v: parallel output differs from serial\nquery: %s\nserial   (%d rows): %v\nparallel (%d rows): %v",
-			label, js, gs, query, len(s), s, len(p), p)
+	s := rowStrings(serialRows)
+	modes := []struct {
+		mode string
+		opts exec.Options
+	}{
+		{"row/parallel", exec.Options{Join: js, Group: gs, Parallelism: oracleParallelism}},
+		{"vec/serial", exec.Options{Join: js, Group: gs, Vectorize: true}},
+		{"vec/parallel", exec.Options{Join: js, Group: gs, Parallelism: oracleParallelism, Vectorize: true}},
 	}
-	algebra.Walk(plan, func(n algebra.Node) {
-		if serialAnn[n].Rows != parAnn[n].Rows {
-			t.Fatalf("%s plan, join=%v group=%v: node %T output cardinality %d serial vs %d parallel\nquery: %s",
-				label, js, gs, n, serialAnn[n].Rows, parAnn[n].Rows, query)
+	for _, m := range modes {
+		parRows, parAnn, parCol := runWithStats(t, plan, store, m.opts)
+		p := rowStrings(parRows)
+		if !sameRowOrder(s, p) {
+			t.Fatalf("%s plan, join=%v group=%v: %s output differs from row/serial\nquery: %s\nrow/serial (%d rows): %v\n%s (%d rows): %v",
+				label, js, gs, m.mode, query, len(s), s, m.mode, len(p), p)
 		}
-		sm, pm := serialCol.Lookup(n), parCol.Lookup(n)
-		if sm == nil || pm == nil {
-			t.Fatalf("%s plan, join=%v group=%v: node %T missing from metrics collector (serial=%v parallel=%v)",
-				label, js, gs, n, sm != nil, pm != nil)
-		}
-		// The metrics collector must agree with the parallel run and with
-		// the legacy Stats sink (the compat shim shares one counter).
-		if sm.RowsOut.Load() != pm.RowsOut.Load() {
-			t.Fatalf("%s plan, join=%v group=%v: node %T RowsOut %d serial vs %d parallel\nquery: %s",
-				label, js, gs, n, sm.RowsOut.Load(), pm.RowsOut.Load(), query)
-		}
-		if sm.RowsOut.Load() != serialAnn[n].Rows {
-			t.Fatalf("%s plan, join=%v group=%v: node %T metrics RowsOut %d disagrees with Stats %d\nquery: %s",
-				label, js, gs, n, sm.RowsOut.Load(), serialAnn[n].Rows, query)
-		}
-		// RowsIn is a structural invariant (sum of children's outputs), so
-		// it must match between runs too.
-		if sm.RowsIn.Load() != pm.RowsIn.Load() {
-			t.Fatalf("%s plan, join=%v group=%v: node %T RowsIn %d serial vs %d parallel\nquery: %s",
-				label, js, gs, n, sm.RowsIn.Load(), pm.RowsIn.Load(), query)
-		}
-	})
+		algebra.Walk(plan, func(n algebra.Node) {
+			if serialAnn[n].Rows != parAnn[n].Rows {
+				t.Fatalf("%s plan, join=%v group=%v: node %T output cardinality %d row/serial vs %d %s\nquery: %s",
+					label, js, gs, n, serialAnn[n].Rows, parAnn[n].Rows, m.mode, query)
+			}
+			sm, pm := serialCol.Lookup(n), parCol.Lookup(n)
+			if sm == nil || pm == nil {
+				t.Fatalf("%s plan, join=%v group=%v: node %T missing from metrics collector (row/serial=%v %s=%v)",
+					label, js, gs, n, sm != nil, m.mode, pm != nil)
+			}
+			// The metrics collector must agree across modes and with the
+			// legacy Stats sink (the compat shim shares one counter).
+			if sm.RowsOut.Load() != pm.RowsOut.Load() {
+				t.Fatalf("%s plan, join=%v group=%v: node %T RowsOut %d row/serial vs %d %s\nquery: %s",
+					label, js, gs, n, sm.RowsOut.Load(), pm.RowsOut.Load(), m.mode, query)
+			}
+			if sm.RowsOut.Load() != serialAnn[n].Rows {
+				t.Fatalf("%s plan, join=%v group=%v: node %T metrics RowsOut %d disagrees with Stats %d\nquery: %s",
+					label, js, gs, n, sm.RowsOut.Load(), serialAnn[n].Rows, query)
+			}
+			// RowsIn is a structural invariant (sum of children's outputs), so
+			// it must match between modes too.
+			if sm.RowsIn.Load() != pm.RowsIn.Load() {
+				t.Fatalf("%s plan, join=%v group=%v: node %T RowsIn %d row/serial vs %d %s\nquery: %s",
+					label, js, gs, n, sm.RowsIn.Load(), pm.RowsIn.Load(), m.mode, query)
+			}
+		})
+	}
 	return s
 }
 

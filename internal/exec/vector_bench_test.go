@@ -1,0 +1,54 @@
+package exec_test
+
+// Benchmarks for the row-vs-vectorized engine comparison on the paper's
+// Figure 1 workload (Employee 10000 x Department 100, standard plan:
+// join first, group once at the top). These back the E13 experiment and
+// give `go test -bench . -cpuprofile` a stable harness for hunting
+// regressions in the columnar path.
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func figure1Plan(b *testing.B) (algebra.Node, *storage.Store) {
+	b.Helper()
+	store, err := workload.EmployeeDepartment(10000, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sql.ParseQuery(workload.Example1Query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	report, err := core.NewOptimizer(store).Optimize(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return report.Standard, store
+}
+
+func benchFigure1(b *testing.B, opts *exec.Options) {
+	plan, store := figure1Plan(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(plan, store, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Row(b *testing.B) {
+	benchFigure1(b, &exec.Options{})
+}
+
+func BenchmarkFigure1Vec(b *testing.B) {
+	benchFigure1(b, &exec.Options{Vectorize: true})
+}

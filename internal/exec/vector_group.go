@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"repro/internal/expr"
+	"repro/internal/value"
+	"repro/internal/vec"
+)
+
+// aggColRef is one aggregate argument resolved against the input columns:
+// star marks COUNT(*); col >= 0 is a bare column reference read straight
+// from the vector; col < 0 falls back to evaluating the bound argument
+// expression over a scratch row.
+type aggColRef struct {
+	col  int
+	star bool
+}
+
+// vecHashGroupOp is vectorized hash aggregation. Group keys are encoded
+// column-at-a-time per batch through vec.KeyEncoder (byte-identical to
+// value.GroupKey, so partitions equal the row engine's), and aggregate
+// arguments that are bare columns feed straight from the vectors; anything
+// else evaluates over a per-batch scratch row. Group output order is first
+// appearance, and the accumulator fold visits rows in input order — both
+// identical to the serial row hashGroupOp.
+//
+// With par > 1 the input batches are materialized and fanned out in
+// contiguous chunks, one thread-local partial table per chunk, merged in
+// chunk order through the accumulators' Merge step — the same discipline
+// (and therefore the same results) as parallelHashGroupOp.
+type vecHashGroupOp struct {
+	groupCore
+	src     batchFeed
+	par     int
+	aggCols []aggColRef
+}
+
+// initAggCols resolves every aggregate argument once at compile time.
+func (g *vecHashGroupOp) initAggCols() {
+	for _, spec := range g.specs {
+		for _, agg := range spec.aggs {
+			ref := aggColRef{col: -1}
+			if agg.Func == expr.AggCountStar {
+				ref.star = true
+			} else if cr, ok := agg.Arg.(*expr.ColumnRef); ok && cr.Index >= 0 {
+				ref.col = cr.Index
+			}
+			g.aggCols = append(g.aggCols, ref)
+		}
+	}
+}
+
+// feedVec folds logical row i of b into a group's accumulators, reading
+// bare-column arguments from the vectors and materializing the scratch row
+// only when some argument needs expression evaluation. The fold order over
+// (spec, agg) pairs matches groupCore.feed exactly.
+func (g *vecHashGroupOp) feedVec(st *groupState, b *vec.Batch, i int, scratch *value.Row) error {
+	phys := b.Index(i)
+	loaded := false
+	ac := 0
+	for si := range g.specs {
+		for k, agg := range g.specs[si].aggs {
+			ref := g.aggCols[ac]
+			ac++
+			var v value.Value
+			switch {
+			case ref.star:
+				v = value.Null // ignored by the COUNT(*) accumulator
+			case ref.col >= 0:
+				v = b.Cols[ref.col].Value(phys)
+			default:
+				if !loaded {
+					*scratch = b.ReadRow(i, *scratch)
+					loaded = true
+				}
+				var err error
+				v, err = expr.Eval(agg.Arg, *scratch, g.params)
+				if err != nil {
+					return err
+				}
+			}
+			if err := st.accs[si][k].Add(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *vecHashGroupOp) Open() error {
+	if err := g.input.Open(); err != nil {
+		return err
+	}
+	resetFeed(g.src)
+	if g.scalarGroup() {
+		return g.openScalar()
+	}
+	if g.par > 1 {
+		return g.openParallel()
+	}
+	index := make(map[string]*groupState)
+	var order []*groupState
+	var keyBytes int64
+	var enc vec.KeyEncoder
+	var scratch value.Row
+	for {
+		b, ok, err := g.src.NextBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if g.metrics != nil {
+			g.metrics.Morsel(0)
+		}
+		keys := enc.Encode(b, g.groupCols)
+		for i, n := 0, b.Len(); i < n; i++ {
+			st, ok := index[string(keys[i])]
+			if !ok {
+				var err error
+				st, err = g.newState(b.MaterializeRow(i))
+				if err != nil {
+					return err
+				}
+				key := string(keys[i])
+				index[key] = st
+				order = append(order, st)
+				keyBytes += int64(len(key))
+				if err := g.gov.charge(g.where, g.groupStateBytes(len(key))); err != nil {
+					return err
+				}
+			}
+			if err := g.feedVec(st, b, i, &scratch); err != nil {
+				return err
+			}
+		}
+	}
+	g.recordBuild(len(order), keyBytes)
+	return g.emit(order)
+}
+
+// openScalar aggregates the whole input as one group in a single streaming
+// pass (one row out even for empty input, per SQL2).
+func (g *vecHashGroupOp) openScalar() error {
+	st, err := g.newState(nil)
+	if err != nil {
+		return err
+	}
+	var scratch value.Row
+	for {
+		b, ok, err := g.src.NextBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if g.metrics != nil {
+			g.metrics.Morsel(0)
+		}
+		for i, n := 0, b.Len(); i < n; i++ {
+			if err := g.feedVec(st, b, i, &scratch); err != nil {
+				return err
+			}
+		}
+	}
+	g.recordBuild(1, 0)
+	return g.emit([]*groupState{st})
+}
+
+// openParallel materializes the input batches and aggregates contiguous
+// batch chunks into thread-local partial tables, merged in chunk order. A
+// group's adopted state comes from the earliest chunk containing it, so its
+// representative row is the globally first row of the group and the global
+// first-appearance order equals serial execution's.
+func (g *vecHashGroupOp) openParallel() error {
+	batches, err := drainFeed(g.src)
+	if err != nil {
+		return err
+	}
+	size := chunkSizeFor(len(batches), g.par)
+	locals := make([]localGroups, numChunks(len(batches), size))
+	err = forEachChunk(g.where, g.par, len(batches), size, func(w, c, lo, hi int) error {
+		if err := g.gov.cancelled(); err != nil {
+			return err
+		}
+		if g.metrics != nil {
+			g.metrics.Morsel(w)
+		}
+		local := localGroups{index: make(map[string]*groupState)}
+		var keyBytes int64
+		var enc vec.KeyEncoder
+		var scratch value.Row
+		for _, b := range batches[lo:hi] {
+			if err := g.gov.tick(); err != nil {
+				return err
+			}
+			keys := enc.Encode(b, g.groupCols)
+			for i, n := 0, b.Len(); i < n; i++ {
+				st, ok := local.index[string(keys[i])]
+				if !ok {
+					var err error
+					st, err = g.newState(b.MaterializeRow(i))
+					if err != nil {
+						return err
+					}
+					key := string(keys[i])
+					local.index[key] = st
+					local.order = append(local.order, st)
+					local.keys = append(local.keys, key)
+					keyBytes += int64(len(key))
+					if err := g.gov.charge(g.where, g.groupStateBytes(len(key))); err != nil {
+						return err
+					}
+				}
+				if err := g.feedVec(st, b, i, &scratch); err != nil {
+					return err
+				}
+			}
+		}
+		locals[c] = local
+		g.recordBuild(len(local.order), keyBytes)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	global := make(map[string]*groupState)
+	var order []*groupState
+	for _, local := range locals {
+		for i, st := range local.order {
+			key := local.keys[i]
+			if dst, ok := global[key]; ok {
+				if err := g.mergeStates(dst, st); err != nil {
+					return err
+				}
+			} else {
+				global[key] = st
+				order = append(order, st)
+			}
+		}
+	}
+	return g.emit(order)
+}
+
+func (g *vecHashGroupOp) Next() (value.Row, bool, error) { return g.next() }
+func (g *vecHashGroupOp) Close() error                   { return g.input.Close() }

@@ -9,10 +9,12 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/schema"
 	"repro/internal/value"
+	"repro/internal/vec"
 )
 
 // Table holds the rows of one base table along with the uniqueness indexes
@@ -28,6 +30,13 @@ type Table struct {
 	// boundChecks are the table's CHECK constraints (column-level and
 	// table-level), bound to row positions at table-creation time.
 	boundChecks []expr.Expr
+
+	// colMu guards the lazily built columnar projection; concurrent
+	// queries may race to build it for the same row snapshot.
+	colMu sync.Mutex
+	// colBatches is the cached columnar form of rows[:colRows].
+	colBatches []*vec.Batch
+	colRows    int
 }
 
 // Len returns the number of rows.
@@ -39,6 +48,22 @@ func (t *Table) Rows() []value.Row { return t.rows }
 
 // Row returns the row with the given RowID (its insertion ordinal).
 func (t *Table) Row(id int) value.Row { return t.rows[id] }
+
+// Columnar returns the table's rows as columnar batches of vec.BatchSize
+// rows, built on first use and cached until the table grows. The batches
+// are shared and read-only, exactly like Rows(); the vectorized scan
+// iterates them with no per-query conversion work. Stored columns are
+// kind-uniform by construction (Insert coerces to the declared type), so
+// every vector gets its typed representation.
+func (t *Table) Columnar() []*vec.Batch {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if t.colRows != len(t.rows) {
+		t.colBatches = vec.Columnarize(t.rows, len(t.Def.Columns), vec.BatchSize)
+		t.colRows = len(t.rows)
+	}
+	return t.colBatches
+}
 
 // Store is the collection of all table instances, backed by a catalog.
 type Store struct {

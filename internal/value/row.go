@@ -73,47 +73,61 @@ func (r Row) String() string {
 // The encoding is self-delimiting (kind tag + fixed width or length prefix)
 // so distinct value sequences can never collide.
 func GroupKey(r Row, cols []int) string {
-	var sb strings.Builder
-	var buf [8]byte
+	var arr [64]byte
+	buf := arr[:0]
 	for _, c := range cols {
-		v := r[c]
-		switch v.kind {
-		case KindNull:
-			sb.WriteByte(0)
-		case KindBool:
-			sb.WriteByte(1)
-			if v.b {
-				sb.WriteByte(1)
-			} else {
-				sb.WriteByte(0)
-			}
-		case KindInt:
-			sb.WriteByte(2)
-			binary.BigEndian.PutUint64(buf[:], uint64(v.i))
-			sb.Write(buf[:])
-		case KindFloat:
-			// A float that holds an exact int64 value (including -0.0,
-			// which compares equal to 0) encodes as that integer so
-			// that 1 and 1.0 group together, matching Compare. All
-			// other floats keep a distinct float encoding; they can
-			// never compare equal to an int64.
-			if i, exact := exactInt(v.f); exact {
-				sb.WriteByte(2)
-				binary.BigEndian.PutUint64(buf[:], uint64(i))
-			} else {
-				sb.WriteByte(4)
-				binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
-			}
-			sb.Write(buf[:])
-		case KindString:
-			sb.WriteByte(3)
-			binary.BigEndian.PutUint64(buf[:], uint64(len(v.s)))
-			sb.Write(buf[:])
-			sb.WriteString(v.s)
-		}
+		buf = AppendGroupKey(buf, r[c])
 	}
-	return sb.String()
+	return string(buf)
 }
+
+// AppendGroupKey appends the canonical GroupKey encoding of one value to
+// dst and returns the extended slice. The bytes written are exactly those
+// GroupKey contributes for the value, so column-at-a-time encoders (the
+// vectorized executor) can assemble multi-column keys that match the
+// row-at-a-time encoding byte for byte.
+func AppendGroupKey(dst []byte, v Value) []byte {
+	var buf [8]byte
+	switch v.kind {
+	case KindNull:
+		return append(dst, 0)
+	case KindBool:
+		if v.b {
+			return append(dst, 1, 1)
+		}
+		return append(dst, 1, 0)
+	case KindInt:
+		binary.BigEndian.PutUint64(buf[:], uint64(v.i))
+		dst = append(dst, 2)
+		return append(dst, buf[:]...)
+	case KindFloat:
+		// A float that holds an exact int64 value (including -0.0,
+		// which compares equal to 0) encodes as that integer so
+		// that 1 and 1.0 group together, matching Compare. All
+		// other floats keep a distinct float encoding; they can
+		// never compare equal to an int64.
+		if i, exact := exactInt(v.f); exact {
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			dst = append(dst, 2)
+		} else {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
+			dst = append(dst, 4)
+		}
+		return append(dst, buf[:]...)
+	case KindString:
+		binary.BigEndian.PutUint64(buf[:], uint64(len(v.s)))
+		dst = append(dst, 3)
+		dst = append(dst, buf[:]...)
+		return append(dst, v.s...)
+	default:
+		return dst
+	}
+}
+
+// ExactInt reports whether f holds an exact int64 value, returning it. It
+// is the public face of the GroupKey float-vs-int collapsing rule, for
+// encoders that process float columns a vector at a time.
+func ExactInt(f float64) (int64, bool) { return exactInt(f) }
 
 // exactInt reports whether f holds an exact int64 value, returning it.
 func exactInt(f float64) (int64, bool) {

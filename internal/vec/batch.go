@@ -1,0 +1,215 @@
+package vec
+
+import (
+	"repro/internal/value"
+)
+
+// Batch is a horizontal slice of a relation in columnar form: one Vector
+// per column, all the same physical length, plus an optional selection
+// vector. When Sel is non-nil the batch's logical rows are exactly the
+// physical indices listed in Sel, in that order — a filter emits its
+// input's vectors untouched and narrows Sel instead of copying survivors.
+//
+// Unless a producer documents otherwise, a batch returned from a
+// NextBatch-style iterator (and its buffers) is valid only until the next
+// call; Clone detaches it.
+type Batch struct {
+	Cols []*Vector
+	Sel  []int32
+	n    int
+}
+
+// NewBatch wraps column vectors (all the same length) into a batch.
+func NewBatch(cols []*Vector) *Batch {
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	return &Batch{Cols: cols, n: n}
+}
+
+// Len returns the logical row count (len(Sel) when a selection is active).
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// PhysLen returns the physical row count of the underlying vectors.
+func (b *Batch) PhysLen() int { return b.n }
+
+// Width returns the column count.
+func (b *Batch) Width() int { return len(b.Cols) }
+
+// Index maps logical row i to its physical index.
+func (b *Batch) Index(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
+
+// ReadRow fills scratch with logical row i and returns it, growing scratch
+// as needed. The returned row aliases scratch and is overwritten by the
+// next call — the zero-allocation escape hatch for per-row fallbacks
+// (residual predicates, complex aggregate arguments).
+func (b *Batch) ReadRow(i int, scratch value.Row) value.Row {
+	if cap(scratch) < len(b.Cols) {
+		scratch = make(value.Row, len(b.Cols))
+	}
+	scratch = scratch[:len(b.Cols)]
+	phys := b.Index(i)
+	for c, col := range b.Cols {
+		scratch[c] = col.Value(phys)
+	}
+	return scratch
+}
+
+// MaterializeRow returns logical row i as a fresh row safe to retain.
+func (b *Batch) MaterializeRow(i int) value.Row {
+	return b.ReadRow(i, nil)
+}
+
+// AppendRows materializes every logical row onto dst in order.
+func (b *Batch) AppendRows(dst []value.Row) []value.Row {
+	for i, n := 0, b.Len(); i < n; i++ {
+		dst = append(dst, b.MaterializeRow(i))
+	}
+	return dst
+}
+
+// View makes out a selection view over b's vectors: same columns, logical
+// rows given by sel (physical indices into b). out's previous contents are
+// discarded; sel is aliased, not copied.
+func (b *Batch) View(sel []int32, out *Batch) {
+	out.Cols = b.Cols
+	out.Sel = sel
+	out.n = b.n
+}
+
+// Project makes out a column-permutation view of b: out's column i aliases
+// b's column cols[i], and the selection carries over. out's column slice is
+// reused; no vector data is copied.
+func (b *Batch) Project(cols []int, out *Batch) {
+	if cap(out.Cols) < len(cols) {
+		out.Cols = make([]*Vector, len(cols))
+	}
+	out.Cols = out.Cols[:len(cols)]
+	for i, c := range cols {
+		out.Cols[i] = b.Cols[c]
+	}
+	out.Sel = b.Sel
+	out.n = b.n
+}
+
+// Clone returns a deep copy whose buffers are independent of the producer
+// (dictionaries stay shared; they are append-only).
+func (b *Batch) Clone() *Batch {
+	out := &Batch{n: b.n}
+	out.Cols = make([]*Vector, len(b.Cols))
+	for i, c := range b.Cols {
+		out.Cols[i] = c.clone()
+	}
+	if b.Sel != nil {
+		out.Sel = append([]int32(nil), b.Sel...)
+	}
+	return out
+}
+
+// SizeBytes approximates the heap bytes of the batch's vectors and
+// selection.
+func (b *Batch) SizeBytes() int64 {
+	var total int64
+	for _, c := range b.Cols {
+		total += c.SizeBytes()
+	}
+	return total + int64(len(b.Sel))*4
+}
+
+// FromRows builds one batch from rows (column-major copy). width names the
+// column count, which rows cannot supply when empty.
+func FromRows(rows []value.Row, width int) *Batch {
+	cols := make([]*Vector, width)
+	for c := range cols {
+		cols[c] = &Vector{}
+		for _, r := range rows {
+			cols[c].Append(r[c])
+		}
+	}
+	return &Batch{Cols: cols, n: len(rows)}
+}
+
+// Columnarize splits rows into column-major batches of up to size rows
+// each. String columns share one dictionary per column across all batches,
+// so join and group keys over the same column compare by code.
+func Columnarize(rows []value.Row, width, size int) []*Batch {
+	if size <= 0 {
+		size = BatchSize
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	dicts := make([]*Dict, width)
+	var out []*Batch
+	for lo := 0; lo < len(rows); lo += size {
+		hi := lo + size
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		cols := make([]*Vector, width)
+		for c := range cols {
+			cols[c] = &Vector{dict: dicts[c]}
+			for _, r := range rows[lo:hi] {
+				cols[c].Append(r[c])
+			}
+			if d := cols[c].StrDict(); d != nil {
+				dicts[c] = d
+			}
+		}
+		out = append(out, &Batch{Cols: cols, n: hi - lo})
+	}
+	return out
+}
+
+// Table is an unbounded columnar row store — the build side of the
+// vectorized hash join accumulates probe targets here so output columns
+// can be gathered by index.
+type Table struct {
+	cols []*Vector
+	n    int
+}
+
+// NewTable returns an empty table with the given width.
+func NewTable(width int) *Table {
+	t := &Table{cols: make([]*Vector, width)}
+	for i := range t.cols {
+		t.cols[i] = &Vector{}
+	}
+	return t
+}
+
+// Len returns the stored row count.
+func (t *Table) Len() int { return t.n }
+
+// Col returns column c.
+func (t *Table) Col(c int) *Vector { return t.cols[c] }
+
+// AppendRow copies logical row i of b into the table and returns the bytes
+// the copy grew the table by (the governor's per-allocation charge).
+func (t *Table) AppendRow(b *Batch, i int) int64 {
+	var before int64
+	for _, c := range t.cols {
+		before += c.SizeBytes()
+	}
+	phys := b.Index(i)
+	for c, col := range t.cols {
+		col.AppendFrom(b.Cols[c], phys)
+	}
+	t.n++
+	var after int64
+	for _, c := range t.cols {
+		after += c.SizeBytes()
+	}
+	return after - before
+}

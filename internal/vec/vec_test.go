@@ -1,0 +1,212 @@
+package vec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// intRows builds rows of the form (i, i*2, "s<i%k>") with NULLs where
+// nullEvery divides i.
+func intRows(n, nullEvery int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := 0; i < n; i++ {
+		r := value.Row{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i * 2)),
+			value.NewString(fmt.Sprintf("s%d", i%7)),
+		}
+		if nullEvery > 0 && i%nullEvery == 0 {
+			r[1] = value.Null
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// TestColumnarizeRoundTrip checks that rows survive the columnar round
+// trip at batch boundaries around powers of two — exactly BatchSize,
+// one under, one over, and a multiple.
+func TestColumnarizeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, BatchSize - 1, BatchSize, BatchSize + 1, 2 * BatchSize, 2*BatchSize + 3} {
+		rows := intRows(n, 5)
+		batches := Columnarize(rows, 3, BatchSize)
+		var got []value.Row
+		for _, b := range batches {
+			if b.Len() > BatchSize {
+				t.Fatalf("n=%d: batch of %d rows exceeds BatchSize", n, b.Len())
+			}
+			got = b.AppendRows(got)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: round trip produced %d rows", n, len(got))
+		}
+		for i := range got {
+			if !value.NullEqRows(got[i], rows[i]) {
+				t.Fatalf("n=%d: row %d: got %s want %s", n, i, got[i], rows[i])
+			}
+		}
+	}
+}
+
+// TestAllNullColumn checks that a column that never sees a non-null value
+// reads back as NULL everywhere, keeps Kind KindNull, and encodes every
+// row's key as the NULL tag.
+func TestAllNullColumn(t *testing.T) {
+	n := BatchSize + 17
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.Null, value.NewInt(int64(i))}
+	}
+	for _, b := range Columnarize(rows, 2, BatchSize) {
+		col := b.Cols[0]
+		if col.Kind() != value.KindNull {
+			t.Fatalf("all-null column has kind %v", col.Kind())
+		}
+		if !col.HasNulls() && col.Len() > 0 {
+			t.Fatalf("all-null column reports no nulls")
+		}
+		for i := 0; i < col.Len(); i++ {
+			if !col.IsNull(i) {
+				t.Fatalf("element %d of all-null column not null", i)
+			}
+		}
+		var enc KeyEncoder
+		for i, key := range enc.Encode(b, []int{0}) {
+			if len(key) != 1 || key[0] != 0 {
+				t.Fatalf("row %d: all-null key = %v, want single NULL tag", i, key)
+			}
+		}
+	}
+}
+
+// TestLeadingNullsEstablishKindLate checks payload backfill when a column
+// starts with NULLs and only later reveals its kind.
+func TestLeadingNullsEstablishKindLate(t *testing.T) {
+	var v Vector
+	v.Append(value.Null)
+	v.Append(value.Null)
+	v.Append(value.NewInt(42))
+	v.Append(value.Null)
+	v.Append(value.NewInt(7))
+	want := []value.Value{value.Null, value.Null, value.NewInt(42), value.Null, value.NewInt(7)}
+	for i, w := range want {
+		if got := v.Value(i); !value.NullEq(got, w) {
+			t.Fatalf("element %d = %s, want %s", i, got, w)
+		}
+	}
+	if v.Kind() != value.KindInt {
+		t.Fatalf("kind = %v, want INTEGER", v.Kind())
+	}
+}
+
+// TestMixedKindColumnFallsBack checks that a heterogeneous column demotes
+// to the boxed representation without losing values.
+func TestMixedKindColumnFallsBack(t *testing.T) {
+	var v Vector
+	vals := []value.Value{
+		value.NewInt(1), value.NewFloat(2.5), value.Null,
+		value.NewString("x"), value.NewBool(true),
+	}
+	for _, val := range vals {
+		v.Append(val)
+	}
+	if !v.Mixed() {
+		t.Fatalf("mixed-kind column did not demote")
+	}
+	for i, w := range vals {
+		if got := v.Value(i); !value.NullEq(got, w) {
+			t.Fatalf("element %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+// TestSelectionVector checks that a selection narrows the batch's logical
+// rows without touching the vectors, and that key encoding and row reads
+// follow the selection.
+func TestSelectionVector(t *testing.T) {
+	rows := intRows(100, 0)
+	b := FromRows(rows, 3)
+	var sel []int32
+	for i := 0; i < 100; i += 3 {
+		sel = append(sel, int32(i))
+	}
+	var view Batch
+	b.View(sel, &view)
+	if view.Len() != len(sel) {
+		t.Fatalf("view has %d logical rows, want %d", view.Len(), len(sel))
+	}
+	if view.PhysLen() != 100 {
+		t.Fatalf("view physical length %d, want 100", view.PhysLen())
+	}
+	var enc KeyEncoder
+	keys := enc.Encode(&view, []int{0, 2})
+	for i, phys := range sel {
+		want := value.GroupKey(rows[phys], []int{0, 2})
+		if string(keys[i]) != want {
+			t.Fatalf("selected row %d: key %q, want %q", i, keys[i], want)
+		}
+		if got := view.MaterializeRow(i); !value.NullEqRows(got, rows[phys]) {
+			t.Fatalf("selected row %d reads %s, want %s", i, got, rows[phys])
+		}
+	}
+}
+
+// TestKeyEncoderMatchesScalarWithNulls spot-checks the vectorized encoding
+// against value.GroupKey across null patterns and the int/float collapse.
+func TestKeyEncoderMatchesScalarWithNulls(t *testing.T) {
+	rows := []value.Row{
+		{value.NewInt(1), value.NewFloat(1.0), value.NewString("")},
+		{value.Null, value.NewFloat(1.5), value.NewString("a")},
+		{value.NewInt(-1), value.Null, value.Null},
+		{value.NewInt(0), value.NewFloat(-0.0), value.NewString("a")},
+	}
+	b := FromRows(rows, 3)
+	cols := []int{0, 1, 2}
+	var enc KeyEncoder
+	keys := enc.Encode(b, cols)
+	for i, r := range rows {
+		if want := value.GroupKey(r, cols); string(keys[i]) != want {
+			t.Fatalf("row %d: vectorized key %q != scalar %q", i, keys[i], want)
+		}
+	}
+	// 1 and 1.0 must land in the same group; 1.5 must not.
+	if string(keys[0][:9]) != string(keys[0][9:18]) {
+		t.Fatalf("1 and 1.0 encode differently: %v", keys[0])
+	}
+}
+
+// TestTableGather checks the join build store: appended rows read back
+// identically and cloned batches detach from producer buffers.
+func TestTableGather(t *testing.T) {
+	rows := intRows(50, 7)
+	b := FromRows(rows, 3)
+	tab := NewTable(3)
+	var charged int64
+	for i := 0; i < b.Len(); i++ {
+		charged += tab.AppendRow(b, i)
+	}
+	if charged <= 0 {
+		t.Fatalf("appending %d rows charged %d bytes", b.Len(), charged)
+	}
+	if tab.Len() != 50 {
+		t.Fatalf("table has %d rows, want 50", tab.Len())
+	}
+	var out Vector
+	for i := 0; i < tab.Len(); i++ {
+		out.Reset()
+		for c := 0; c < 3; c++ {
+			out.AppendFrom(tab.Col(c), i)
+		}
+		got := value.Row{out.Value(0), out.Value(1), out.Value(2)}
+		if !value.NullEqRows(got, rows[i]) {
+			t.Fatalf("row %d reads %s, want %s", i, got, rows[i])
+		}
+	}
+	clone := b.Clone()
+	b.Cols[0].ints[0] = 999
+	if clone.Cols[0].Int(0) == 999 {
+		t.Fatalf("clone shares int buffer with source")
+	}
+}
