@@ -1,24 +1,48 @@
 # Development entry points. `make check` is the full gate: vet, the custom
 # static analyzers (gbj-lint), build, race-enabled tests (which include the
 # row-vs-vectorized differential oracles, the concurrent-execution smoke
-# tests and the plan-verifier suite), the chaos oracle, the vectorization
-# perf gate (bench-compare), and a short run of every fuzz target.
+# tests and the plan-verifier suite), the bounded-exhaustive plan-equivalence
+# model checker, the independent certificate re-derivation gate
+# (verify-certs), the chaos oracle, the vectorization perf gate
+# (bench-compare), and a short run of every fuzz target.
 
 GO ?= go
 FUZZTIME ?= 10s
+MODELCHECK_K ?= 3
 
-.PHONY: check vet lint plancheck build test race chaos dist-oracle fuzz bench bench-json bench-compare
+.PHONY: check vet lint plancheck modelcheck verify-certs build test race chaos dist-oracle fuzz bench bench-json bench-compare
 
-check: vet lint build race plancheck chaos dist-oracle bench-json bench-compare fuzz
+check: vet lint build race plancheck modelcheck verify-certs chaos dist-oracle bench-json bench-compare fuzz
 
 vet:
 	$(GO) vet ./...
 
 # The repository's own multichecker (internal/lint): map-iteration
 # determinism in row paths, cost-model purity, atomic shared counters,
-# the accumulator Merge contract, exec.Options immutability.
+# the accumulator Merge contract, exec.Options immutability, the
+# copy-on-write dictionary protocol, governed row loops, memory-budget
+# accounting, %w error wrapping and selection-vector access.
 lint:
 	$(GO) run ./cmd/gbj-lint ./...
+
+# Bounded-exhaustive plan-equivalence model checking: every tiny database
+# up to MODELCHECK_K rows per table (NULLs and int/float key mixing
+# included), every claimed-equivalent plan pair (lazy vs eager, row vs
+# vectorized, serial vs parallel, local vs distributed) executed by brute
+# force and compared. Any mismatch prints a minimized counterexample. The
+# gate runs through the gbj-lint CLI (exercising the -modelcheck wiring);
+# the single tiny package argument keeps the lint half of the run trivial
+# since `make lint` already covers the whole module. The unit suite around
+# the checker (gauntlet, minimizer, bound validation) runs as well.
+modelcheck:
+	$(GO) run ./cmd/gbj-lint -modelcheck -k $(MODELCHECK_K) ./internal/cliutil
+	$(GO) test ./internal/plancheck/modelcheck
+
+# Independent certificate re-derivation over the randomized oracle corpus:
+# the certifier recomputes FD1/FD2 from the catalog alone and cross-checks
+# the optimizer's claimed certificates on every transformed plan.
+verify-certs:
+	$(GO) test ./internal/core -run TestCertifierOracleCorpus -v
 
 # Static plan verification (internal/plancheck): the verifier's unit suite
 # plus the oracle runs that audit every optimizer-emitted plan — including
@@ -62,6 +86,7 @@ fuzz:
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzLex -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/expr -run '^$$' -fuzz FuzzLikeMatch -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/vec -run '^$$' -fuzz FuzzGroupKeyVector -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzEagerCert -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -1,33 +1,87 @@
 // Command gbj-lint runs the repository's custom static analyzers (package
-// internal/lint) over the module: map-iteration determinism in row paths,
+// internal/lint) over the module — map-iteration determinism in row paths,
 // cost-model purity, atomic counters in parallel code, the accumulator
-// Merge contract, and exec.Options immutability.
+// Merge contract, exec.Options immutability, the copy-on-write dictionary
+// protocol, governed row loops, memory-budget accounting, %w error
+// wrapping and selection-vector access — and, on request, the bounded-
+// exhaustive plan-equivalence model checker (internal/plancheck/modelcheck).
 //
 // Usage:
 //
-//	gbj-lint            # analyze the whole module (equivalent to ./...)
-//	gbj-lint ./...      # same
+//	gbj-lint                  # analyze the whole module (equivalent to ./...)
+//	gbj-lint ./...            # same
 //	gbj-lint ./internal/exec ./internal/core
-//	gbj-lint -list      # print the analyzer catalog
+//	gbj-lint -list            # print the analyzer catalog
+//	gbj-lint -json            # machine-readable findings report
+//	gbj-lint -modelcheck      # also brute-force plan pairs on tiny databases
+//	gbj-lint -modelcheck -k 4 # ... up to 4 rows per table
 //
 // Findings print as "file:line:col: message (analyzer)" and make the
-// command exit 1; a clean tree exits 0. Suppress an individual finding with
-// a "//lint:ignore <analyzer> <reason>" comment on or above its line.
+// command exit 1; a clean tree exits 0. With -json the report is a single
+// JSON object with the findings, per-analyzer counts and (with
+// -modelcheck) the model-checking summary — the exit-code contract is the
+// same. Suppress an individual finding with a "//lint:ignore <analyzer>
+// <reason>" comment on or above its line; the analyzer name and reason are
+// mandatory, and there is no blanket form.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/lint"
+	"repro/internal/plancheck/modelcheck"
 )
+
+// report is the -json output schema.
+type report struct {
+	Findings []finding      `json:"findings"`
+	Counts   map[string]int `json:"counts"`
+	Total    int            `json:"total"`
+	// ModelCheck is present only when -modelcheck ran.
+	ModelCheck *modelReport `json:"modelcheck,omitempty"`
+}
+
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type modelReport struct {
+	K               int      `json:"k"`
+	Scenarios       int      `json:"scenarios"`
+	Databases       int      `json:"databases"`
+	PlanPairs       int      `json:"plan_pairs"`
+	Counterexamples []string `json:"counterexamples"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	runModel := flag.Bool("modelcheck", false, "also run the bounded-exhaustive plan-equivalence model checker")
+	k := flag.Int("k", 3, "model-checker bound: maximum rows per table (requires -modelcheck)")
 	flag.Parse()
+
+	kSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "k" {
+			kSet = true
+		}
+	})
+	if err := cliutil.ValidateLintOutput(*jsonOut, *list); err != nil {
+		fail(err)
+	}
+	if err := cliutil.ValidateModelCheck(*runModel, kSet, *k); err != nil {
+		fail(err)
+	}
 
 	analyzers := lint.DefaultAnalyzers()
 	if *list {
@@ -43,36 +97,85 @@ func main() {
 
 	loader, err := lint.NewLoader(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gbj-lint:", err)
-		os.Exit(2)
+		fail(err)
 	}
 	dirs, err := targetDirs(loader.ModuleRoot, flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gbj-lint:", err)
-		os.Exit(2)
+		fail(err)
 	}
 
-	findings := 0
+	rep := report{Counts: make(map[string]int)}
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gbj-lint:", err)
-			os.Exit(2)
+			fail(err)
 		}
 		diags, err := lint.RunAnalyzers(pkg, analyzers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gbj-lint:", err)
-			os.Exit(2)
+			fail(err)
 		}
 		for _, d := range diags {
-			fmt.Println(rel(loader.ModuleRoot, d))
-			findings++
+			rep.Findings = append(rep.Findings, finding{
+				File:     relPath(loader.ModuleRoot, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			rep.Counts[d.Analyzer]++
+			rep.Total++
+			if !*jsonOut {
+				fmt.Println(rel(loader.ModuleRoot, d))
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "gbj-lint: %d finding(s)\n", findings)
+
+	failures := rep.Total
+	if *runModel {
+		res, err := modelcheck.Run(modelcheck.Config{K: *k})
+		if err != nil {
+			fail(err)
+		}
+		mr := &modelReport{
+			K:               *k,
+			Scenarios:       res.Scenarios,
+			Databases:       res.Databases,
+			PlanPairs:       res.PlanPairs,
+			Counterexamples: []string{},
+		}
+		for _, c := range res.Counterexamples {
+			mr.Counterexamples = append(mr.Counterexamples, c.String())
+		}
+		rep.ModelCheck = mr
+		failures += len(res.Counterexamples)
+		if !*jsonOut {
+			fmt.Printf("modelcheck: %d scenarios, %d databases, %d plan pairs (k=%d)\n",
+				res.Scenarios, res.Databases, res.PlanPairs, *k)
+			for _, c := range res.Counterexamples {
+				fmt.Printf("modelcheck counterexample:\n%s\n", c)
+			}
+		}
+	}
+
+	if *jsonOut {
+		if rep.Findings == nil {
+			rep.Findings = []finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "gbj-lint: %d finding(s)\n", failures)
 		os.Exit(1)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gbj-lint:", err)
+	os.Exit(2)
 }
 
 // targetDirs expands the command-line patterns into package directories.
@@ -112,11 +215,15 @@ func targetDirs(moduleRoot string, args []string) ([]string, error) {
 	return dirs, nil
 }
 
-// rel shortens a diagnostic's file path to be module-relative.
-func rel(moduleRoot string, d lint.Diagnostic) string {
-	s := d.String()
-	if r, err := filepath.Rel(moduleRoot, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-		s = fmt.Sprintf("%s:%d:%d: %s (%s)", r, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+// relPath shortens a file path to be module-relative when possible.
+func relPath(moduleRoot, file string) string {
+	if r, err := filepath.Rel(moduleRoot, file); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
 	}
-	return s
+	return file
+}
+
+// rel renders a diagnostic with a module-relative file path.
+func rel(moduleRoot string, d lint.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", relPath(moduleRoot, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }

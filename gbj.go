@@ -307,7 +307,7 @@ func (e *Engine) execStmt(stmt sql.Stmt) error {
 	case *sql.CreateViewStmt:
 		// Validate the definition by binding it now.
 		if _, err := core.NewPlanner(e.store).Bind(s.Query); err != nil {
-			return fmt.Errorf("gbj: invalid view %s: %v", s.Name, err)
+			return fmt.Errorf("gbj: invalid view %s: %w", s.Name, err)
 		}
 		return e.store.Catalog().AddView(&schema.View{
 			Name:    s.Name,
@@ -393,7 +393,7 @@ func (e *Engine) execInsert(s *sql.InsertStmt) error {
 		for i, ex := range exprRow {
 			v, err := expr.Eval(expr.FoldConstants(ex, nil), nil, nil)
 			if err != nil {
-				return fmt.Errorf("gbj: INSERT value %s: %v", ex, err)
+				return fmt.Errorf("gbj: INSERT value %s: %w", ex, err)
 			}
 			row[positions[i]] = v
 		}

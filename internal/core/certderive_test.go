@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/plancheck"
+	"repro/internal/schema"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// TestCertifierOracleCorpus is the verify-certs gate: over the full
+// randomized oracle corpus, every transformation the optimizer certifies
+// must also be independently derivable by plancheck.DeriveCertificates from
+// the catalog and the plan pair alone, and CrossCheck must agree with the
+// claimed certificates. A divergence in either direction means the prover
+// (TestFD) and the certifier no longer implement the same theorem.
+func TestCertifierOracleCorpus(t *testing.T) {
+	const seeds = 500
+	derived := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		inst, err := buildOracleInstance(r)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := sql.ParseQuery(inst.query)
+		if err != nil {
+			t.Fatalf("seed %d: parse %q: %v", seed, inst.query, err)
+		}
+		o := NewOptimizer(inst.store)
+		o.Mode = ModeAlways
+		rep, err := o.Optimize(q)
+		if err != nil {
+			t.Fatalf("seed %d: optimize %q: %v", seed, inst.query, err)
+		}
+		if rep.Alternative == nil {
+			continue
+		}
+		cat := plancheck.Catalog(inst.store.Catalog())
+		derivs, err := plancheck.DeriveCertificates(rep.Standard, rep.Alternative, cat)
+		if err != nil {
+			t.Fatalf("seed %d: derive %q: %v", seed, inst.query, err)
+		}
+		if len(derivs) == 0 {
+			t.Fatalf("seed %d: transformed plan for %q has no derivable eager aggregation", seed, inst.query)
+		}
+		for _, d := range derivs {
+			if !d.FD1 {
+				t.Fatalf("seed %d: %q: TestFD certified FD1 but the independent derivation refutes it: %s\ntrace:\n  %s",
+					seed, inst.query, d.FD1Why, strings.Join(d.Trace, "\n  "))
+			}
+			if !d.FD2 {
+				t.Fatalf("seed %d: %q: TestFD certified FD2 but the independent derivation refutes it: %s\ntrace:\n  %s",
+					seed, inst.query, d.FD2Why, strings.Join(d.Trace, "\n  "))
+			}
+		}
+		if vs := plancheck.CrossCheck(rep.Standard, rep.Alternative, cat, rep.Certificates()); len(vs) > 0 {
+			t.Fatalf("seed %d: %q: cross-check violations on a genuine certificate: %v", seed, inst.query, vs)
+		}
+		derived++
+	}
+	if derived == 0 {
+		t.Fatal("corpus produced no transformed plans; the certifier gate is vacuous")
+	}
+	t.Logf("independently re-derived certificates for %d/%d corpus instances", derived, seeds)
+}
+
+// gauntletStore builds the keyless-R2 schema the seeded-bug tests share:
+// FD1 holds trivially (grouping on the R1 join column) but FD2 cannot hold
+// — R2 has no key, so an aggregated R1 row may join many R2 rows per group.
+func gauntletStore(t *testing.T) *storage.Store {
+	t.Helper()
+	s := storage.NewStore(schema.NewCatalog())
+	must(t, s.CreateTable(&schema.Table{
+		Name: "R1",
+		Columns: []schema.Column{
+			{Name: "a", Type: value.KindInt},
+			{Name: "c", Type: value.KindInt},
+		},
+	}))
+	must(t, s.CreateTable(&schema.Table{
+		Name: "R2",
+		Columns: []schema.Column{
+			{Name: "d", Type: value.KindInt},
+			{Name: "e", Type: value.KindInt},
+		},
+	}))
+	s.MustInsert("R1", value.Row{value.NewInt(1), value.NewInt(10)})
+	s.MustInsert("R2", value.Row{value.NewInt(1), value.NewInt(1)})
+	s.MustInsert("R2", value.Row{value.NewInt(1), value.NewInt(2)})
+	return s
+}
+
+const gauntletQuery = `SELECT R1.a, SUM(R1.c) FROM R1, R2 WHERE R1.a = R2.d GROUP BY R1.a`
+
+// TestGauntletSkipFD2CaughtByCertifier seeds bug 1 — the prover silently
+// drops its FD2 check — and demands the independent certifier reject the
+// resulting plan with a diagnostic naming the refuted theorem condition.
+func TestGauntletSkipFD2CaughtByCertifier(t *testing.T) {
+	TestHooks.SkipFD2 = true
+	defer func() { TestHooks.SkipFD2 = false }()
+
+	s := gauntletStore(t)
+	o := NewOptimizer(s)
+	o.Mode = ModeAlways
+	o.CheckPlans = true
+	q := parse(t, gauntletQuery)
+	_, err := o.Optimize(q)
+	if err == nil {
+		t.Fatal("optimizer with a broken FD2 check shipped an illegal eager aggregation undetected")
+	}
+	for _, want := range []string{"cert-derive", "FD2", "RowID(R2)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("cross-check diagnostic must contain %q, got: %v", want, err)
+		}
+	}
+}
+
+// TestGauntletForceTransformCaughtByCertifier seeds bug 2 — the optimizer
+// applies the transformation although TestFD answered NO — and demands the
+// cross-check catch it before the plan is returned.
+func TestGauntletForceTransformCaughtByCertifier(t *testing.T) {
+	TestHooks.ForceTransform = true
+	defer func() { TestHooks.ForceTransform = false }()
+
+	s := gauntletStore(t)
+	o := NewOptimizer(s)
+	o.Mode = ModeAlways
+	o.CheckPlans = true
+	q := parse(t, gauntletQuery)
+	_, err := o.Optimize(q)
+	if err == nil {
+		t.Fatal("optimizer forced an unproven transformation and no verifier objected")
+	}
+	if !strings.Contains(err.Error(), "cert-derive") {
+		t.Fatalf("expected a cert-derive violation, got: %v", err)
+	}
+}
+
+// TestGauntletTamperedCertColsCaught seeds bug 3 — the emitted certificate
+// certifies the wrong GA1+ — and demands plan verification reject the
+// mismatch between the certificate and the plan's actual grouping.
+func TestGauntletTamperedCertColsCaught(t *testing.T) {
+	TestHooks.TamperCertCols = true
+	defer func() { TestHooks.TamperCertCols = false }()
+
+	s := storage.NewStore(schema.NewCatalog())
+	must(t, s.CreateTable(&schema.Table{
+		Name: "R1",
+		Columns: []schema.Column{
+			{Name: "a", Type: value.KindInt},
+			{Name: "c", Type: value.KindInt},
+		},
+	}))
+	must(t, s.CreateTable(&schema.Table{
+		Name: "R2",
+		Columns: []schema.Column{
+			{Name: "id", Type: value.KindInt},
+			{Name: "e", Type: value.KindInt},
+		},
+		Keys: []schema.Key{{Columns: []string{"id"}, Primary: true}},
+	}))
+	o := NewOptimizer(s)
+	o.Mode = ModeAlways
+	o.CheckPlans = true
+	q := parse(t, `SELECT R2.id, SUM(R1.c) FROM R1, R2 WHERE R1.a = R2.id GROUP BY R2.id`)
+	_, err := o.Optimize(q)
+	if err == nil {
+		t.Fatal("a certificate certifying the wrong GA1+ passed plan verification")
+	}
+	if !strings.Contains(err.Error(), "does not license this grouping") &&
+		!strings.Contains(err.Error(), "differs from the plan's eager grouping columns") {
+		t.Fatalf("expected a grouping-column mismatch diagnostic, got: %v", err)
+	}
+}
+
+// TestGauntletHooksOffPlansVerify pins the baseline: with every seeded bug
+// off, the same schemas and queries either verify cleanly or are refused by
+// TestFD — the gauntlet failures above are caused by the seeded bugs alone.
+func TestGauntletHooksOffPlansVerify(t *testing.T) {
+	s := gauntletStore(t)
+	o := NewOptimizer(s)
+	o.Mode = ModeAlways
+	o.CheckPlans = true
+	q := parse(t, gauntletQuery)
+	rep, err := o.Optimize(q)
+	must(t, err)
+	if rep.Alternative != nil {
+		t.Fatal("keyless R2 must not admit the transformation")
+	}
+	if !strings.Contains(rep.WhyNot, "TestFD") {
+		t.Fatalf("expected a TestFD refusal, got %q", rep.WhyNot)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/plancheck"
+	"repro/internal/sql"
+)
+
+// FuzzEagerCert round-trips derived-vs-claimed certificates over randomized
+// oracle instances: whenever the optimizer certifies a transformation, the
+// independent derivation must agree (no false claims slip through), the
+// cross-check must be clean, and tampering with the claim in either
+// direction — refuting FD2, or certifying the wrong grouping columns — must
+// produce the specific diagnostic.
+func FuzzEagerCert(f *testing.F) {
+	for seed := int64(0); seed < 32; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		inst, err := buildOracleInstance(r)
+		if err != nil {
+			t.Skip()
+		}
+		q, err := sql.ParseQuery(inst.query)
+		if err != nil {
+			t.Fatalf("parse %q: %v", inst.query, err)
+		}
+		o := NewOptimizer(inst.store)
+		o.Mode = ModeAlways
+		rep, err := o.Optimize(q)
+		if err != nil {
+			t.Fatalf("optimize %q: %v", inst.query, err)
+		}
+		if rep.Alternative == nil {
+			t.Skip()
+		}
+		cat := plancheck.Catalog(inst.store.Catalog())
+		certs := rep.Certificates()
+
+		// Round-trip 1: the genuine certificates cross-check clean.
+		if vs := plancheck.CrossCheck(rep.Standard, rep.Alternative, cat, certs); len(vs) > 0 {
+			t.Fatalf("%q: genuine certificates rejected by the independent derivation: %v", inst.query, vs)
+		}
+
+		// Round-trip 2: a certificate claiming FD1/FD2 while the plan's
+		// grouping columns are tampered must be caught.
+		tampered := make([]*plancheck.Certificate, len(certs))
+		for i, c := range certs {
+			cp := *c
+			cp.GroupCols = append(cp.GroupCols[:0:0], cp.GroupCols...)
+			cp.GroupCols = append(cp.GroupCols, cp.GroupCols[0]) // wrong arity
+			tampered[i] = &cp
+		}
+		vs := plancheck.CrossCheck(rep.Standard, rep.Alternative, cat, tampered)
+		if len(vs) == 0 {
+			t.Fatalf("%q: cross-check accepted a certificate with tampered GA1+", inst.query)
+		}
+		foundCols := false
+		for _, v := range vs {
+			if strings.Contains(v.Msg, "eager grouping columns") {
+				foundCols = true
+			}
+		}
+		if !foundCols {
+			t.Fatalf("%q: tampered-GA1+ diagnostic missing, got %v", inst.query, vs)
+		}
+
+		// Round-trip 3: refuting FD2 on the claim must still fail the
+		// certificate rule (plancheck.Verify), naming the condition.
+		refuted := make([]*plancheck.Certificate, len(certs))
+		for i, c := range certs {
+			cp := *c
+			cp.FD2 = false
+			refuted[i] = &cp
+		}
+		err = plancheck.Verify(rep.Alternative, &plancheck.Options{Certificates: refuted, RequireEagerCert: true})
+		if err == nil {
+			t.Fatalf("%q: plancheck accepted a certificate refuting FD2", inst.query)
+		}
+		if !strings.Contains(err.Error(), "FD2") || !strings.Contains(err.Error(), "RowID(R2)") {
+			t.Fatalf("%q: FD2 refutation diagnostic must name the condition, got: %v", inst.query, err)
+		}
+	})
+}

@@ -1,0 +1,22 @@
+package core
+
+// TestHooks are deliberate fault-injection seams for the verification
+// suites: each one, when set, reintroduces a specific optimizer bug class
+// so the regression tests can prove that the independent certifier
+// (plancheck.CrossCheck), the bounded-exhaustive model checker
+// (plancheck/modelcheck) or a static analyzer catches it. All fields are
+// zero in production; nothing outside tests may set them.
+var TestHooks struct {
+	// SkipFD2 drops Algorithm TestFD's FD2 check (the R2 key coverage),
+	// making the prover claim validity for transformations where an
+	// aggregated R1 row can join multiple R2 rows per group.
+	SkipFD2 bool
+	// ForceTransform makes the optimizer build and certify the
+	// transformed plan even when TestFD answered NO — an eager push past
+	// a join whose functional dependencies do not hold.
+	ForceTransform bool
+	// TamperCertCols truncates the certified GA1+ column list, so the
+	// emitted certificate no longer licenses the grouping the plan
+	// performs.
+	TamperCertCols bool
+}

@@ -134,13 +134,17 @@ func (r *Report) Certificates() []*plancheck.Certificate {
 	if r.Alternative == nil || r.Shape == nil {
 		return nil
 	}
+	cols := r.Shape.GA1Plus
+	if TestHooks.TamperCertCols && len(cols) > 0 {
+		cols = cols[:len(cols)-1] // seeded bug: certificate licenses the wrong GA1+
+	}
 	var certs []*plancheck.Certificate
 	for _, g := range plancheck.EagerGroups(r.Alternative) {
 		certs = append(certs, &plancheck.Certificate{
 			Group:     g,
 			FD1:       r.Decision.OK,
 			FD2:       r.Decision.OK,
-			GroupCols: r.Shape.GA1Plus,
+			GroupCols: cols,
 			R2Tables:  r.Shape.R2,
 			Origin:    "TestFD",
 		})
@@ -160,12 +164,25 @@ func (o *Optimizer) verifyReport(r *Report) error {
 		return fmt.Errorf("core: standard plan failed verification: %w", err)
 	}
 	if r.Alternative != nil {
+		certs := r.Certificates()
 		opts := &plancheck.Options{
-			Certificates:     r.Certificates(),
+			Certificates:     certs,
 			RequireEagerCert: true,
 		}
 		if err := plancheck.Verify(r.Alternative, opts); err != nil {
 			return fmt.Errorf("core: transformed plan failed verification: %w", err)
+		}
+		// Independent cross-check: re-derive the Main Theorem conditions
+		// from the catalog and the plan pair alone, and compare against
+		// the claims the prover just attached. A refuted claim means the
+		// prover and the certifier disagree — never ship that plan.
+		cat := plancheck.Catalog(o.planner.store.Catalog())
+		if vs := plancheck.CrossCheck(r.Standard, r.Alternative, cat, certs); len(vs) > 0 {
+			msgs := make([]string, len(vs))
+			for i, v := range vs {
+				msgs[i] = v.Error()
+			}
+			return fmt.Errorf("core: certificate cross-check failed:\n  %s", strings.Join(msgs, "\n  "))
 		}
 	}
 	return nil
@@ -221,6 +238,12 @@ func (o *Optimizer) optimizeBound(b *BoundQuery) (*Report, error) {
 		r.Shape = shape
 		r.Applicable = true
 		r.Decision = TestFD(shape)
+		if TestHooks.ForceTransform && !r.Decision.OK {
+			// Seeded bug: push the group-by past a join whose functional
+			// dependencies were NOT proven.
+			r.Decision.OK = true
+			r.Decision.Reason = ""
+		}
 		if !r.Decision.OK {
 			r.WhyNot = "TestFD: " + r.Decision.Reason
 		}

@@ -164,7 +164,7 @@ func (p *Planner) Bind(q *sql.SelectStmt) (*BoundQuery, error) {
 		if !resolvedOut {
 			resolved, err := p.resolveColumn(b, oi.Col)
 			if err != nil {
-				return nil, fmt.Errorf("core: ORDER BY: %v", err)
+				return nil, fmt.Errorf("core: ORDER BY: %w", err)
 			}
 			item.Col = resolved
 		}
@@ -252,11 +252,11 @@ func (p *Planner) materializeSubqueries(e expr.Expr) (expr.Expr, error) {
 func (p *Planner) runSubquery(q *sql.SelectStmt) ([]value.Row, int, error) {
 	plan, err := p.PlanQuery(q)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: planning subquery: %v (correlated subqueries are not supported)", err)
+		return nil, 0, fmt.Errorf("core: planning subquery: %w (correlated subqueries are not supported)", err)
 	}
 	res, err := exec.Run(plan, p.store, nil)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: executing subquery: %v", err)
+		return nil, 0, fmt.Errorf("core: executing subquery: %w", err)
 	}
 	return res.Rows, len(res.Schema), nil
 }
@@ -305,11 +305,11 @@ func (p *Planner) bindTable(ref sql.TableRef) (boundTable, error) {
 func (p *Planner) bindDerived(ref sql.TableRef, alias string, def *sql.SelectStmt, columns []string, what string) (boundTable, error) {
 	vb, err := p.Bind(def)
 	if err != nil {
-		return boundTable{}, fmt.Errorf("core: binding %s: %v", what, err)
+		return boundTable{}, fmt.Errorf("core: binding %s: %w", what, err)
 	}
 	sub, err := p.PlanStandard(vb)
 	if err != nil {
-		return boundTable{}, fmt.Errorf("core: planning %s: %v", what, err)
+		return boundTable{}, fmt.Errorf("core: planning %s: %w", what, err)
 	}
 	inner := sub.Schema()
 	if len(columns) != 0 && len(columns) != len(inner) {

@@ -107,7 +107,7 @@ func (o *Optimizer) tryReverse(q *sql.SelectStmt) (*ReverseReport, error) {
 	// what makes it coincide with the nested evaluation.
 	fb, err := o.planner.Bind(merged.flat)
 	if err != nil {
-		return nil, fmt.Errorf("core: binding merged query: %v", err)
+		return nil, fmt.Errorf("core: binding merged query: %w", err)
 	}
 	shape, err := Normalize(fb, merged.viewTables)
 	if err != nil {
@@ -190,7 +190,7 @@ func (o *Optimizer) mergeAggregatedView(b *BoundQuery) (*mergedView, string, err
 	// Bind the view definition to get resolved items and tables.
 	vb, err := o.planner.Bind(v)
 	if err != nil {
-		return nil, "", fmt.Errorf("core: binding view: %v", err)
+		return nil, "", fmt.Errorf("core: binding view: %w", err)
 	}
 	for _, bt := range vb.tables {
 		if bt.def == nil {

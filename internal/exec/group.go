@@ -264,6 +264,9 @@ func (g *hashGroupOp) Open() error {
 		}
 		order = append(order, st)
 		for _, row := range rows {
+			if err := g.gov.tick(); err != nil {
+				return err
+			}
 			if err := g.feed(st, row); err != nil {
 				return err
 			}
@@ -324,6 +327,9 @@ func (g *sortGroupOp) Open() error {
 			return err
 		}
 		for _, row := range rows {
+			if err := g.gov.tick(); err != nil {
+				return err
+			}
 			if err := g.feed(st, row); err != nil {
 				return err
 			}

@@ -399,8 +399,12 @@ func (j *mergeJoinOp) Open() error {
 		lCols[i] = k.left
 		rCols[i] = k.right
 	}
-	lrows = dropNullKeys(lrows, lCols)
-	rrows = dropNullKeys(rrows, rCols)
+	if lrows, err = dropNullKeys(j.gov, lrows, lCols); err != nil {
+		return err
+	}
+	if rrows, err = dropNullKeys(j.gov, rrows, rCols); err != nil {
+		return err
+	}
 	if !j.lSorted {
 		lrows = sortByCols(j.where, lrows, lCols, j.par)
 	}
@@ -471,14 +475,17 @@ func anyNullAt(row value.Row, cols []int) bool {
 	return false
 }
 
-func dropNullKeys(rows []value.Row, cols []int) []value.Row {
+func dropNullKeys(gov *governor, rows []value.Row, cols []int) ([]value.Row, error) {
 	out := rows[:0]
 	for _, r := range rows {
+		if err := gov.tick(); err != nil {
+			return nil, err
+		}
 		if !anyNullAt(r, cols) {
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func sortByCols(where string, rows []value.Row, cols []int, par int) []value.Row {

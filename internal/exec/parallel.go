@@ -334,6 +334,9 @@ func (p *parallelProjectOp) Open() error {
 		seen := make(map[string]bool, len(flat))
 		dedup := flat[:0]
 		for _, row := range flat {
+			if err := p.gov.tick(); err != nil {
+				return err
+			}
 			key := value.GroupKeyAll(row)
 			if seen[key] {
 				continue
@@ -392,6 +395,9 @@ func (j *parallelHashJoinOp) Open() error {
 	nPart := j.par
 	parts := make([][]value.Row, nPart)
 	for _, row := range rrows {
+		if err := j.gov.tick(); err != nil {
+			return err
+		}
 		if anyNullAt(row, rightCols) {
 			continue
 		}
@@ -620,6 +626,7 @@ func (g *parallelHashGroupOp) Open() error {
 					return err
 				}
 			} else {
+				//lint:ignore budgetcharge adopts a partial state already charged when its chunk built it
 				global[key] = st
 				order = append(order, st)
 			}

@@ -235,6 +235,7 @@ func (g *vecHashGroupOp) openParallel() error {
 					return err
 				}
 			} else {
+				//lint:ignore budgetcharge adopts a partial state already charged when its chunk built it
 				global[key] = st
 				order = append(order, st)
 			}

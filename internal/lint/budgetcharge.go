@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BudgetChargeAnalyzer enforces the memory-accounting contract of the
+// stateful operators: hash-join tables and aggregation state grow without
+// bound in the input size, so every function that inserts into such state —
+// a map keyed by group/join key whose values are row lists ([]value.Row),
+// group states (*groupState) or row indexes ([]int32), or a columnar build
+// table (AppendRow) — must charge the governor's memory budget in the same
+// function. A growth site in a function that never calls charge means the
+// query can blow past its MemoryBudget silently; the oracle only catches
+// that dynamically, and only when the budget happens to be crossed under
+// test. Sites that adopt state already charged elsewhere (the parallel
+// merge step) carry an explicit //lint:ignore with the reason.
+var BudgetChargeAnalyzer = &Analyzer{
+	Name: "budgetcharge",
+	Doc:  "operator state growth (hash tables, group states, build tables) must charge the memory budget in the same function",
+	Dirs: []string{"internal/exec"},
+	Run:  runBudgetCharge,
+}
+
+func runBudgetCharge(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkChargeScope(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkChargeScope flags uncharged growth sites within one function body,
+// treating each nested function literal as its own accounting scope (a
+// worker closure must charge for its own insertions; a charge inside some
+// other closure doesn't cover this one's).
+func checkChargeScope(pass *Pass, body *ast.BlockStmt) {
+	charges := scopeCharges(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkChargeScope(pass, n.Body)
+			return false
+		case *ast.AssignStmt:
+			if charges {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				idx, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if stateMapValue(pass, idx.X) {
+					pass.Reportf(idx.Pos(), "insert into operator state %s without charging the memory budget: call gov.charge with the entry size in this function, before the state can grow", types.ExprString(idx.X))
+				}
+			}
+		case *ast.CallExpr:
+			if charges {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AppendRow" {
+				pass.Reportf(n.Pos(), "%s.AppendRow grows the build table without charging the memory budget: call gov.charge with the row size in this function", types.ExprString(sel.X))
+			}
+		}
+		return true
+	})
+}
+
+// scopeCharges reports whether the body calls charge directly (not inside a
+// nested function literal).
+func scopeCharges(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "charge" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stateMapValue reports whether the expression is a map whose value type is
+// operator state: []value.Row (hash-join row lists), *groupState
+// (aggregation state) or []int32 (columnar build indexes).
+func stateMapValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	switch v := m.Elem().(type) {
+	case *types.Slice:
+		if named, ok := v.Elem().(*types.Named); ok && named.Obj().Name() == "Row" {
+			return true
+		}
+		if basic, ok := v.Elem().(*types.Basic); ok && basic.Kind() == types.Int32 {
+			return true
+		}
+	case *types.Pointer:
+		if named, ok := v.Elem().(*types.Named); ok && named.Obj().Name() == "groupState" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CowDictAnalyzer guards the vectorized engine's copy-on-write dictionary
+// protocol. A Vector that adopts another vector's dictionary (AppendFrom's
+// gather fast path, clone) marks it foreign: the owner — a cached storage
+// column or another operator's output — may be read concurrently, so
+// interning into an adopted dictionary is a data race and silently rewrites
+// the owner's string codes. The protocol has two halves, and the analyzer
+// checks both:
+//
+//  1. every dict.Intern call through a struct's dict field must be
+//     preceded, in the same function, by the copy-on-write guard — an if
+//     statement testing the foreign flag whose body re-assigns the dict
+//     (the clone);
+//  2. every adoption — assigning some other object's dict field into this
+//     one's — must set foreign = true in the same block, or the next
+//     Append will intern into it as if it were owned.
+//
+// Composite literals (&Vector{dict: d}) are exempt: that is the sanctioned
+// intra-pass sharing idiom (Columnarize's append-only column dictionaries,
+// clone's read-only adoption, which sets foreign in the same literal).
+var CowDictAnalyzer = &Analyzer{
+	Name: "cowdict",
+	Doc:  "never intern into an adopted (foreign) dictionary without the copy-on-write clone guard",
+	Dirs: []string{"internal/vec"},
+	Run:  runCowDict,
+}
+
+func runCowDict(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCowDict(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkCowDict(pass *Pass, body *ast.BlockStmt) {
+	guards := cowGuardPositions(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// <expr>.dict.Intern(...): the mutation the protocol exists for.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Intern" {
+				return true
+			}
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok || inner.Sel.Name != "dict" {
+				return true
+			}
+			if !guardedBefore(guards, n.Pos()) {
+				pass.Reportf(n.Pos(), "%s.Intern without the copy-on-write guard: if the dictionary is foreign (adopted from another vector), interning races with its owner — clone it first (see Vector.Append)", types.ExprString(sel.X))
+			}
+		case *ast.BlockStmt:
+			checkAdoptions(pass, n)
+		}
+		return true
+	})
+}
+
+// checkAdoptions flags dict-adoption assignments in one block that don't
+// also set the foreign flag in the same block.
+func checkAdoptions(pass *Pass, block *ast.BlockStmt) {
+	var adoptions []*ast.AssignStmt
+	setsForeign := false
+	for _, stmt := range block.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			continue
+		}
+		for i, lhs := range as.Lhs {
+			lsel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			switch lsel.Sel.Name {
+			case "foreign":
+				setsForeign = true
+			case "dict":
+				// Adoption is assigning a *different* object's dict field;
+				// self-assignment (the clone: v.dict = v.dict.clone()) and
+				// fresh dictionaries (NewDict()) are ownership-preserving.
+				rsel, ok := as.Rhs[i].(*ast.SelectorExpr)
+				if ok && rsel.Sel.Name == "dict" &&
+					types.ExprString(rsel.X) != types.ExprString(lsel.X) {
+					adoptions = append(adoptions, as)
+				}
+			}
+		}
+	}
+	for _, as := range adoptions {
+		if !setsForeign {
+			pass.Reportf(as.Pos(), "dictionary adoption %s without setting the foreign flag in the same block: the next Append will intern into the owner's dictionary", types.ExprString(as.Lhs[0]))
+		}
+	}
+}
+
+// cowGuardPositions collects the end positions of copy-on-write guards: if
+// statements whose condition mentions a foreign field and whose body
+// re-assigns a dict field.
+func cowGuardPositions(body *ast.BlockStmt) []token.Pos {
+	var ends []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !mentionsField(ifs.Cond, "foreign") {
+			return true
+		}
+		assignsDict := false
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			if as, ok := m.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "dict" {
+						assignsDict = true
+					}
+				}
+			}
+			return true
+		})
+		if assignsDict {
+			ends = append(ends, ifs.End())
+		}
+		return true
+	})
+	return ends
+}
+
+func mentionsField(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+			found = true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func guardedBefore(guards []token.Pos, pos token.Pos) bool {
+	for _, end := range guards {
+		if end <= pos {
+			return true
+		}
+	}
+	return false
+}

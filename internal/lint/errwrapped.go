@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrappedAnalyzer keeps the engine's typed errors typed. The governance
+// layer communicates through error *types* — *ResourceError carries which
+// resource was exhausted and where, *ExecPanicError carries the recovered
+// panic — and callers dispatch on them with errors.As. An fmt.Errorf that
+// formats an error value with %v or %s flattens it to a string: the type,
+// and everything errors.As would have extracted, is gone. Wrapping with %w
+// produces the identical message while keeping the chain intact. The rule
+// is module-wide and applies to any value whose static type implements
+// error, interface or concrete.
+var ErrWrappedAnalyzer = &Analyzer{
+	Name: "errwrapped",
+	Doc:  "errors passed to fmt.Errorf must be wrapped with %w, never stringified with %v/%s",
+	Run:  runErrWrapped,
+}
+
+func runErrWrapped(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isErrorfCall(call) || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs := formatVerbs(format)
+			for i, arg := range call.Args[1:] {
+				if i >= len(verbs) || verbs[i] == 'w' {
+					continue
+				}
+				if verbs[i] != 'v' && verbs[i] != 's' {
+					continue
+				}
+				if !implementsError(pass, arg) {
+					continue
+				}
+				pass.Reportf(arg.Pos(), "error value %s stringified with %%%c: the error type (and everything errors.As could extract) is lost; wrap with %%w instead — the message is identical", types.ExprString(arg), verbs[i])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorfCall matches fmt.Errorf by selector shape.
+func isErrorfCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "fmt"
+}
+
+// formatVerbs extracts the verb letter consumed by each successive
+// argument, skipping %% and flags/width/precision.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision and index clauses.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}
+
+// implementsError reports whether the expression's static type implements
+// the error interface.
+func implementsError(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GovLoopAnalyzer enforces the executor's responsiveness contract: every
+// loop that walks rows must pass through the query governor, or
+// cancellation, deadlines and memory-budget aborts go unnoticed for the
+// whole loop. Concretely, any `range` over a []value.Row in internal/exec
+// must call the governor (tick, cancelled or charge) or pull from an
+// Operator (Next) somewhere in its body — or be nested inside a loop that
+// does, which bounds the ungoverned stretch to one outer iteration. The
+// governor is nil-safe, so the fix is always just a tick; see governor.go's
+// cancelStride for why per-row ticks are cheap.
+var GovLoopAnalyzer = &Analyzer{
+	Name: "govloop",
+	Doc:  "every row loop in the executor must tick the governor or check cancellation",
+	Dirs: []string{"internal/exec"},
+	Run:  runGovLoop,
+}
+
+// governedCallNames are the method names that count as touching the
+// governor or yielding control: governor.tick/cancelled/charge and the
+// Operator/batchFeed Next/NextBatch pulls (whose implementations tick).
+var governedCallNames = map[string]bool{
+	"tick":      true,
+	"cancelled": true,
+	"charge":    true,
+	"Next":      true,
+	"NextBatch": true,
+}
+
+func runGovLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGovLoops(pass, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// checkGovLoops walks a statement tree; governed records whether an
+// enclosing loop already calls the governor per iteration.
+func checkGovLoops(pass *Pass, n ast.Node, governed bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		rs, ok := node.(*ast.RangeStmt)
+		if !ok {
+			// Descend into everything else (including for-loops and
+			// function literals) with the inherited governed state.
+			return true
+		}
+		inner := governed || bodyTicksGovernor(rs.Body)
+		if isRowSlice(pass, rs.X) && !inner {
+			pass.Reportf(rs.For, "row loop over %s never touches the governor: cancellation, deadlines and budget aborts stall for its whole run; call gov.tick() (nil-safe) per row", types.ExprString(rs.X))
+		}
+		// Recurse manually so nested loops see the updated governed state,
+		// then prune this subtree from the outer Inspect.
+		checkGovLoops(pass, rs.Body, inner)
+		return false
+	})
+}
+
+// bodyTicksGovernor reports whether the loop body contains a governed call
+// anywhere, including in nested loops (a nested tick still runs every
+// iteration of this loop).
+func bodyTicksGovernor(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // a deferred/spawned closure doesn't run per row
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && governedCallNames[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isRowSlice reports whether the expression has type []value.Row.
+func isRowSlice(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Row" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "value"
+}

@@ -37,11 +37,34 @@
 //     rows move between nodes only through Link.Ship, where bytes are
 //     accounted and link faults injected. Anything else silently corrupts
 //     the communication-cost measurements.
+//   - cowdict: never intern into a foreign (adopted) dictionary in the
+//     columnar layer (internal/vec) without the copy-on-write clone guard,
+//     and never adopt another vector's dictionary without marking it
+//     foreign — the owner may be read concurrently.
+//   - govloop: every row loop in the executor (internal/exec) must tick the
+//     governor or check cancellation, directly or via an enclosing governed
+//     loop; an ungoverned loop stalls cancellation, deadlines and budget
+//     aborts for its whole run.
+//   - budgetcharge: every function that grows operator state — hash-join
+//     tables, group states, columnar build tables — must charge the
+//     governor's memory budget in that same function, before the state can
+//     outgrow the limit unobserved.
+//   - errwrapped: errors passed to fmt.Errorf are wrapped with %w, never
+//     stringified with %v/%s — stringifying severs the chain errors.As
+//     dispatches on (*ResourceError, *ExecPanicError).
+//   - selbounds: no direct indexing of a batch's selection vector outside
+//     internal/vec; Sel is an optional representation (nil means identity)
+//     and only the Batch accessors handle both cases.
 //
 // A finding can be suppressed with a directive comment on the same line or
 // the line immediately above it:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// The analyzer name and reason are mandatory and there is no blanket form:
+// a bare directive, a missing reason, or "all" as the analyzer name is
+// itself a finding (analyzer "lintdirective"). Suppressions are scoped to
+// the one named analyzer — other analyzers still report on the same line.
 package lint
 
 import (
@@ -129,12 +152,12 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Info.ObjectOf(id)
 }
 
-// Reportf records a finding unless an ignore directive covers it.
+// Reportf records a finding unless an ignore directive covers it. Only a
+// directive naming this analyzer suppresses — there is no blanket form.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	for _, line := range []int{position.Line, position.Line - 1} {
-		if p.ignores[ignoreKey{position.Filename, line, p.Analyzer.Name}] ||
-			p.ignores[ignoreKey{position.Filename, line, "all"}] {
+		if p.ignores[ignoreKey{position.Filename, line, p.Analyzer.Name}] {
 			return
 		}
 	}
@@ -148,8 +171,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // RunAnalyzers applies every analyzer whose Dirs cover the package and
 // returns the combined findings in file/line order.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	ignores := collectIgnores(pkg)
+	ignores, diags := collectIgnores(pkg)
 	for _, a := range analyzers {
 		if !a.AppliesTo(pkg.Rel) {
 			continue
@@ -181,26 +203,44 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 }
 
 // collectIgnores indexes every //lint:ignore directive by file and line.
-func collectIgnores(pkg *Package) map[ignoreKey]bool {
+// Malformed directives are themselves findings (analyzer "lintdirective"):
+// a suppression must name exactly one analyzer and give a reason —
+// `//lint:ignore <analyzer> <reason>` — and the blanket form "all" does not
+// exist, so a directive can never hide more than the one rule its author
+// consciously weighed.
+func collectIgnores(pkg *Package) (map[ignoreKey]bool, []Diagnostic) {
 	ignores := make(map[ignoreKey]bool)
+	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
-				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore ")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				ignores[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) < 2:
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lintdirective",
+						Message:  "malformed suppression: //lint:ignore requires an analyzer name and a reason (//lint:ignore <analyzer> <reason>)",
+					})
+				case fields[0] == "all":
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lintdirective",
+						Message:  "blanket suppression //lint:ignore all is not allowed: name the single analyzer being suppressed",
+					})
+				default:
+					ignores[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
 			}
 		}
 	}
-	return ignores
+	return ignores, diags
 }
 
 // DefaultAnalyzers is the full catalog, the set gbj-lint runs.
@@ -213,5 +253,10 @@ func DefaultAnalyzers() []*Analyzer {
 		OptMutationAnalyzer,
 		NoRawGoAnalyzer,
 		DistLinkAnalyzer,
+		CowDictAnalyzer,
+		GovLoopAnalyzer,
+		BudgetChargeAnalyzer,
+		ErrWrappedAnalyzer,
+		SelBoundsAnalyzer,
 	}
 }

@@ -60,6 +60,101 @@ func TestDistLinkFixture(t *testing.T) {
 	linttest.Run(t, loader, fixture(t, "distlink"), lint.DistLinkAnalyzer)
 }
 
+func TestCowDictFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "cowdict"), lint.CowDictAnalyzer)
+}
+
+func TestGovLoopFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "govloop"), lint.GovLoopAnalyzer)
+}
+
+func TestBudgetChargeFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "budgetcharge"), lint.BudgetChargeAnalyzer)
+}
+
+func TestErrWrappedFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "errwrapped"), lint.ErrWrappedAnalyzer)
+}
+
+func TestSelBoundsFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "selbounds"), lint.SelBoundsAnalyzer)
+}
+
+// unscoped strips an analyzer's Dirs so it runs on fixtures outside its
+// production scope (the same trick linttest.Run uses internally).
+func unscoped(a *lint.Analyzer) *lint.Analyzer {
+	return &lint.Analyzer{Name: a.Name, Doc: a.Doc, Run: a.Run}
+}
+
+// TestIgnoreScopedToAnalyzer pins the suppression semantics: a directive
+// silences exactly the analyzer it names. The fixture line triggers
+// maprange and nowallclock together; the maprange directive must leave the
+// nowallclock finding standing.
+func TestIgnoreScopedToAnalyzer(t *testing.T) {
+	pkg, err := loader.Load(fixture(t, "ignorescope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{
+		unscoped(lint.MapRangeAnalyzer),
+		unscoped(lint.NoWallClockAnalyzer),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawWallClock := false
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "maprange":
+			t.Errorf("suppressed maprange finding still reported: %s", d)
+		case "nowallclock":
+			sawWallClock = true
+		case "lintdirective":
+			t.Errorf("well-formed directive flagged: %s", d)
+		}
+	}
+	if !sawWallClock {
+		t.Error("nowallclock finding missing: the maprange directive suppressed a foreign analyzer")
+	}
+}
+
+// TestMalformedDirectivesAreFindings pins the directive grammar: a bare
+// //lint:ignore, one without a reason, and the blanket "all" form are each
+// reported as lintdirective findings — and the blanket form is not honored
+// as a suppression.
+func TestMalformedDirectivesAreFindings(t *testing.T) {
+	pkg, err := loader.Load(fixture(t, "lintdirective"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{unscoped(lint.NoWallClockAnalyzer)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed, blanket, wallclock int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "lintdirective" && strings.Contains(d.Message, "malformed"):
+			malformed++
+		case d.Analyzer == "lintdirective" && strings.Contains(d.Message, "blanket"):
+			blanket++
+		case d.Analyzer == "nowallclock":
+			wallclock++
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("want 2 malformed-directive findings (bare, missing reason), got %d:\n%v", malformed, diags)
+	}
+	if blanket != 1 {
+		t.Errorf("want 1 blanket-directive finding, got %d:\n%v", blanket, diags)
+	}
+	// The //lint:ignore all above a time.Now() must not suppress it; the
+	// well-formed nowallclock directive in the same file must.
+	if wallclock != 1 {
+		t.Errorf("want exactly 1 nowallclock finding (the one under //lint:ignore all), got %d:\n%v", wallclock, diags)
+	}
+}
+
 // TestAnalyzerScoping pins the directory scoping the driver applies: each
 // analyzer names the row-path/planner directories it guards.
 func TestAnalyzerScoping(t *testing.T) {
@@ -77,6 +172,11 @@ func TestAnalyzerScoping(t *testing.T) {
 		{lint.OptMutationAnalyzer, "internal/exec", ""},
 		{lint.NoRawGoAnalyzer, "internal/exec", "internal/fault"},
 		{lint.DistLinkAnalyzer, "internal/dist", "internal/exec"},
+		{lint.CowDictAnalyzer, "internal/vec", "internal/exec"},
+		{lint.GovLoopAnalyzer, "internal/exec", "internal/vec"},
+		{lint.BudgetChargeAnalyzer, "internal/exec", "internal/dist"},
+		{lint.SelBoundsAnalyzer, "internal/exec", "internal/vec"},
+		{lint.SelBoundsAnalyzer, "internal/dist", "internal/core"},
 	}
 	for _, c := range cases {
 		if !c.a.AppliesTo(c.in) {

@@ -216,6 +216,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // cleanliness test expand.
 func ModuleDirs(root string) ([]string, error) {
 	var dirs []string
+	seen := make(map[string]bool)
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -230,8 +231,11 @@ func ModuleDirs(root string) ([]string, error) {
 		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
 			return nil
 		}
-		dir := filepath.Dir(path)
-		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+		// Dedup with a set, not just against the previous entry: a root
+		// package whose files sort around its subdirectories (csv.go, cmd/,
+		// gbj.go) would otherwise be listed — and linted — repeatedly.
+		if dir := filepath.Dir(path); !seen[dir] {
+			seen[dir] = true
 			dirs = append(dirs, dir)
 		}
 		return nil

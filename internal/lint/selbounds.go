@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SelBoundsAnalyzer protects consumers of columnar batches from the
+// selection-vector representation. A Batch's Sel field is an optional
+// indirection: when nil, logical row i is physical row i; when set, it is
+// Sel[i]. Code outside internal/vec that indexes or ranges over Sel
+// directly has committed to one of the two representations — it either
+// crashes on a nil Sel or silently reads the wrong rows on a compacted
+// batch. The accessors (Batch.Index, Batch.View, Batch.ReadRow and the
+// vectors' logical getters) handle both. Comparing Sel against nil and
+// assigning a freshly built selection are representation-maintenance, not
+// access, and stay legal.
+var SelBoundsAnalyzer = &Analyzer{
+	Name: "selbounds",
+	Doc:  "no direct indexing of a batch's selection vector outside internal/vec; use Batch.Index/View/ReadRow",
+	Dirs: []string{"internal/exec", "internal/dist"},
+	Run:  runSelBounds,
+}
+
+func runSelBounds(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if isSelField(pass, n.X) {
+					pass.Reportf(n.Pos(), "direct index into selection vector %s: wrong rows when Sel is nil (identity) — go through Batch.Index/View/ReadRow", types.ExprString(n.X))
+				}
+			case *ast.RangeStmt:
+				if isSelField(pass, n.X) {
+					pass.Reportf(n.For, "range over selection vector %s: misses the nil (identity) representation — iterate logical rows and use Batch.Index", types.ExprString(n.X))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSelField matches a selector for the Sel field of a batch: field name
+// Sel with type []int32 on a struct named Batch.
+func isSelField(pass *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sel" {
+		return false
+	}
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().(*types.Basic)
+	if !ok || basic.Kind() != types.Int32 {
+		return false
+	}
+	recv := pass.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Batch"
+}

@@ -1,0 +1,68 @@
+// Fixture for the budgetcharge analyzer: functions that grow operator
+// state (hash-join row lists, group states, columnar build tables) must
+// charge the memory budget in the same function scope.
+package budgetcharge
+
+import "repro/internal/value"
+
+type governor struct{}
+
+func (g *governor) charge(where string, n int64) error { return nil }
+
+type groupState struct {
+	n int
+}
+
+type builder struct{}
+
+func (b *builder) AppendRow(batch, i int) bool { return false }
+
+func unchargedRows(m map[string][]value.Row, key string, row value.Row) {
+	m[key] = append(m[key], row) // want "without charging the memory budget"
+}
+
+func chargedRows(gov *governor, m map[string][]value.Row, key string, row value.Row) error {
+	m[key] = append(m[key], row)
+	return gov.charge("fixture", 1)
+}
+
+func unchargedState(m map[string]*groupState, key string) {
+	m[key] = &groupState{} // want "without charging the memory budget"
+}
+
+func unchargedIndexes(m map[string][]int32, key string, idx int32) {
+	m[key] = append(m[key], idx) // want "without charging the memory budget"
+}
+
+// boolMapExempt: dedup bookkeeping maps hold no rows; they are not
+// operator state in the budget's sense.
+func boolMapExempt(m map[string]bool, key string) {
+	m[key] = true
+}
+
+func unchargedAppendRow(b *builder) {
+	b.AppendRow(0, 1) // want "grows the build table"
+}
+
+func chargedAppendRow(gov *governor, b *builder) error {
+	b.AppendRow(0, 1)
+	return gov.charge("fixture", 8)
+}
+
+// closureIsItsOwnScope: a charge in the enclosing function does not cover
+// a worker closure's insertions — each scope accounts for itself.
+func closureIsItsOwnScope(gov *governor, m map[string]*groupState) func(string) {
+	_ = gov.charge("outer", 1)
+	return func(key string) {
+		m[key] = &groupState{} // want "without charging the memory budget"
+	}
+}
+
+// closureCharges: and a closure that charges is clean even when the outer
+// function never does.
+func closureCharges(gov *governor, m map[string]*groupState) func(string) error {
+	return func(key string) error {
+		m[key] = &groupState{}
+		return gov.charge("worker", 1)
+	}
+}

@@ -1,0 +1,42 @@
+// Fixture for the errwrapped analyzer: fmt.Errorf must wrap error values
+// with %w; stringifying with %v or %s severs the chain errors.As needs.
+package errwrapped
+
+import (
+	"errors"
+	"fmt"
+)
+
+type resourceError struct {
+	op string
+}
+
+func (e *resourceError) Error() string { return e.op }
+
+func stringifyTyped(err *resourceError) error {
+	return fmt.Errorf("query failed: %v", err) // want "stringified with %v"
+}
+
+func stringifyInterface(err error) error {
+	return fmt.Errorf("open: %s", err) // want "stringified with %s"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("open: %w", err)
+}
+
+func nonErrorArgs(name string, n int) error {
+	return fmt.Errorf("table %s has %d rows", name, n)
+}
+
+func mixedVerbs(name string, err error) error {
+	return fmt.Errorf("binding %s: %w", name, err)
+}
+
+var errSentinel = errors.New("sentinel")
+
+// positional: verbs and arguments are matched pairwise, across literal %%
+// and non-error arguments.
+func positional() error {
+	return fmt.Errorf("at %d%% done: %v", 50, errSentinel) // want "stringified with %v"
+}

@@ -1,0 +1,17 @@
+// Package ignorescope proves //lint:ignore directives are scoped to the
+// single analyzer they name. The line below triggers both maprange (range
+// over a map) and nowallclock (time.Now) at the same position; the
+// directive names maprange only, so nowallclock must still report.
+package ignorescope
+
+//lint:ignore nowallclock fixture needs the real time package to arm the rule
+import "time"
+
+var m = map[string]int{}
+
+func scoped() time.Time {
+	var t time.Time
+	//lint:ignore maprange scoped-suppression fixture: nowallclock still fires on this line
+	for range m { t = time.Now() }
+	return t
+}

@@ -1,0 +1,23 @@
+// Package lintdirective exercises the suppression grammar: a directive
+// must name exactly one analyzer and give a reason, and the blanket "all"
+// form is rejected — and, crucially, not honored.
+package lintdirective
+
+//lint:ignore nowallclock fixture needs the time import to arm the rule
+import "time"
+
+//lint:ignore
+var bare = 1
+
+//lint:ignore maprange
+var noReason = 2
+
+func blanket() time.Time {
+	//lint:ignore all blanket suppressions are outlawed and ignored
+	return time.Now()
+}
+
+func wellFormed() time.Time {
+	//lint:ignore nowallclock demonstrates the well-formed directive
+	return time.Now()
+}

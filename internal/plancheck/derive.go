@@ -1,0 +1,613 @@
+// Independent re-derivation of the Main Theorem certificates.
+//
+// The optimizer proves FD1/FD2 with Algorithm TestFD and attaches the
+// verdict to the transformed plan as a Certificate. Until now plancheck
+// took that verdict on faith: the eager-cert rule verifies that a
+// certificate exists and claims both dependencies, but the claim itself
+// came from the same code being checked. This file closes the loop. From
+// nothing but the two emitted plans and the schema catalog it re-derives
+// the two functional dependencies of the Main Theorem —
+//
+//	FD1: (GA1, GA2) → GA1+
+//	FD2: (GA1+, GA2) → RowID(R2)
+//
+// — by collecting the plans' equality predicates, the catalog's key and
+// CHECK constraints, and computing an attribute closure (package fd) seeded
+// with the final grouping columns. CrossCheck then compares the derivation
+// against the optimizer's claims: a claimed dependency the derivation
+// refutes is a verification failure, independent of any bug in TestFD.
+//
+// The derivation deliberately shares no code with core.TestFD: it
+// re-classifies atoms, re-derives range-pinned equalities and re-applies
+// the NULL-safety rules on its own, so a bug dropped into the optimizer's
+// prover does not silently propagate into its auditor.
+package plancheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// CatalogView is the slice of the schema catalog the certifier needs: the
+// declared definition (columns, keys, checks) of each base table.
+type CatalogView interface {
+	TableDef(name string) (*schema.Table, bool)
+}
+
+// CatalogFunc adapts a lookup function to CatalogView.
+type CatalogFunc func(name string) (*schema.Table, bool)
+
+// TableDef implements CatalogView.
+func (f CatalogFunc) TableDef(name string) (*schema.Table, bool) { return f(name) }
+
+// Catalog adapts a *schema.Catalog to CatalogView.
+func Catalog(c *schema.Catalog) CatalogView {
+	return CatalogFunc(func(name string) (*schema.Table, bool) {
+		t, err := c.Table(name)
+		if err != nil {
+			return nil, false
+		}
+		return t, true
+	})
+}
+
+// Derivation is the certifier's independently derived verdict for one eager
+// aggregation of a transformed plan.
+type Derivation struct {
+	// Group is the eager GroupBy the derivation covers.
+	Group *algebra.GroupBy
+	// FD1 and FD2 report whether the derivation established each Main
+	// Theorem dependency from the catalog and plan predicates alone.
+	FD1, FD2 bool
+	// FD1Why / FD2Why explain a refutation.
+	FD1Why, FD2Why string
+	// GroupCols is the eager grouping column list read off the plan (the
+	// GA1+ the certificate must certify).
+	GroupCols []expr.ColumnID
+	// R2Units names the R2-side row sources FD2 ranges over.
+	R2Units []string
+	// Trace records the derivation steps for diagnostics.
+	Trace []string
+}
+
+// r2Unit is one R2-side row source whose row identity FD2 must pin: a base
+// table scan with its catalog keys, or a structural unit (a grouped or
+// DISTINCT derived input) whose output key is null-safe by construction.
+type r2Unit struct {
+	desc string
+	// table/alias are set for base-table scans.
+	table, alias string
+	// structuralKey is the null-safe key of a grouped/DISTINCT unit.
+	structuralKey []expr.ColumnID
+	// allCols is the unit's full output column set.
+	allCols []expr.ColumnID
+	// unknown marks a unit outside the certifier's modeled class.
+	unknown bool
+}
+
+// DeriveCertificates re-derives the Main Theorem conditions for every eager
+// aggregation of the transformed plan, using only the standard plan (for
+// the final grouping columns GA = GA1 ∪ GA2), the transformed plan's own
+// structure and predicates, and the catalog's declared constraints. It
+// never consults the optimizer's Decision or Shape.
+func DeriveCertificates(standard, transformed algebra.Node, cat CatalogView) ([]*Derivation, error) {
+	if transformed == nil {
+		return nil, nil
+	}
+	if cat == nil {
+		return nil, fmt.Errorf("plancheck: no catalog view supplied for certificate derivation")
+	}
+	ga, ok := finalGroupCols(standard)
+	if !ok {
+		return nil, fmt.Errorf("plancheck: standard plan has no grouping; cannot derive eager-aggregation certificates")
+	}
+
+	// Predicates and rename dependencies come from both plans: the pair is
+	// claimed equivalent, so every per-row conjunct of either constrains
+	// the join result both plans compute.
+	var conjuncts []expr.Expr
+	renames := collectRenames(standard)
+	renames = append(renames, collectRenames(transformed)...)
+	conjuncts = append(conjuncts, collectConjuncts(standard)...)
+	conjuncts = append(conjuncts, collectConjuncts(transformed)...)
+
+	// Base-table scans (either plan) contribute their declared CHECK
+	// predicates, qualified by the scan alias, and their keys.
+	scans := collectScans(transformed)
+	for alias, table := range collectScans(standard) {
+		if _, dup := scans[alias]; !dup {
+			scans[alias] = table
+		}
+	}
+	type scanDef struct {
+		alias string
+		def   *schema.Table
+	}
+	var defs []scanDef
+	for alias, table := range scans {
+		def, found := cat.TableDef(table)
+		if !found {
+			return nil, fmt.Errorf("plancheck: scanned table %s (alias %s) is not in the catalog", table, alias)
+		}
+		defs = append(defs, scanDef{alias: alias, def: def})
+		for _, chk := range tableChecks(def, alias) {
+			conjuncts = append(conjuncts, expr.Conjuncts(chk)...)
+		}
+	}
+
+	// Classify the usable equality atoms: declared conjuncts, plus the
+	// equalities range conjuncts pin (a >= c ∧ a <= c, a BETWEEN c AND c,
+	// a IN (c)) — re-derived here, independently of the optimizer.
+	var atoms []expr.EqAtom
+	nonNull := make(map[expr.ColumnID]bool)
+	addAtom := func(ea expr.EqAtom) {
+		atoms = append(atoms, ea)
+		switch ea.Class {
+		case expr.AtomColConst:
+			nonNull[ea.Col] = true
+		case expr.AtomColCol:
+			nonNull[ea.Col] = true
+			nonNull[ea.Col2] = true
+		}
+	}
+	perRow := perRowConjuncts(conjuncts)
+	for _, conj := range perRow {
+		if ea := expr.ClassifyAtom(conj); ea.Class != expr.AtomOther {
+			addAtom(ea)
+		}
+	}
+	for _, eq := range rangeEqualities(perRow) {
+		addAtom(eq)
+	}
+
+	// The dependency set: every classified atom, every rename, and every
+	// NULL-safe candidate key of every scanned base table.
+	set := fd.NewSet()
+	var trace []string
+	for _, ea := range atoms {
+		switch ea.Class {
+		case expr.AtomColConst:
+			set.AddConstant(ea.Col, fmt.Sprintf("%s = const", ea.Col))
+			trace = append(trace, fmt.Sprintf("atom: %s = const", ea.Col))
+		case expr.AtomColCol:
+			set.AddEquality(ea.Col, ea.Col2, fmt.Sprintf("%s = %s", ea.Col, ea.Col2))
+			trace = append(trace, fmt.Sprintf("atom: %s = %s", ea.Col, ea.Col2))
+		}
+	}
+	for _, rn := range renames {
+		set.AddEquality(rn[0], rn[1], fmt.Sprintf("rename %s ↔ %s", rn[0], rn[1]))
+	}
+	keyUsable := func(alias string, def *schema.Table, k schema.Key) bool {
+		for _, name := range k.Columns {
+			col := def.Column(name)
+			declared := col != nil && col.NotNull
+			if !declared && !nonNull[expr.ColumnID{Table: alias, Name: name}] {
+				return false
+			}
+		}
+		return true
+	}
+	qualifyKey := func(alias string, k schema.Key) []expr.ColumnID {
+		cols := make([]expr.ColumnID, len(k.Columns))
+		for i, name := range k.Columns {
+			cols[i] = expr.ColumnID{Table: alias, Name: name}
+		}
+		return cols
+	}
+	for _, sd := range defs {
+		all := make([]expr.ColumnID, len(sd.def.Columns))
+		for i, c := range sd.def.Columns {
+			all[i] = expr.ColumnID{Table: sd.alias, Name: c.Name}
+		}
+		for _, k := range sd.def.Keys {
+			if !keyUsable(sd.alias, sd.def, k) {
+				trace = append(trace, fmt.Sprintf("key %s %s unusable: nullable column without a forcing equality", sd.alias, k))
+				continue
+			}
+			set.AddKey(qualifyKey(sd.alias, k), all, fmt.Sprintf("%s %s", sd.alias, k))
+			trace = append(trace, fmt.Sprintf("key: %s %s", sd.alias, k))
+		}
+	}
+
+	// Seed the closure with GA — the final grouping columns both plans
+	// agree on — and derive each eager aggregation's verdict.
+	seed := fd.NewColSet(ga...)
+	var out []*Derivation
+	for _, g := range EagerGroups(transformed) {
+		d := &Derivation{Group: g, GroupCols: g.GroupCols, Trace: trace}
+		sibling := joinSibling(transformed, g)
+		if sibling == nil {
+			d.FD2Why = "eager GroupBy has no join sibling"
+			out = append(out, d)
+			continue
+		}
+		units := r2UnitsOf(sibling)
+
+		// Structural units (grouped / DISTINCT derived inputs) carry a
+		// null-safe output key by construction; add it before closing.
+		local := fd.NewSet()
+		for _, f := range set.All() {
+			local.Add(f)
+		}
+		for _, u := range units {
+			d.R2Units = append(d.R2Units, u.desc)
+			if len(u.structuralKey) > 0 {
+				local.AddKey(u.structuralKey, u.allCols, "structural key of "+u.desc)
+			}
+		}
+		closure := local.Closure(seed)
+
+		// FD1: the eager grouping columns must be determined by GA.
+		d.FD1 = true
+		for _, c := range g.GroupCols {
+			if !closure.Has(c) {
+				d.FD1 = false
+				d.FD1Why = fmt.Sprintf("eager grouping column %s is not in the closure of the final grouping columns %s", c, colList(ga))
+				break
+			}
+		}
+
+		// FD2: the closure must pin one row of every R2-side unit.
+		d.FD2 = true
+		for _, u := range units {
+			if u.unknown {
+				d.FD2 = false
+				d.FD2Why = fmt.Sprintf("R2 unit %s is outside the certifier's modeled class", u.desc)
+				break
+			}
+			if len(u.structuralKey) > 0 {
+				if !closure.ContainsAll(u.structuralKey) {
+					d.FD2 = false
+					d.FD2Why = fmt.Sprintf("structural key %s of %s is not in the closure", colList(u.structuralKey), u.desc)
+					break
+				}
+				continue
+			}
+			def, found := cat.TableDef(u.table)
+			if !found {
+				d.FD2 = false
+				d.FD2Why = fmt.Sprintf("R2 table %s is not in the catalog", u.table)
+				break
+			}
+			covered := false
+			for _, k := range def.Keys {
+				if keyUsable(u.alias, def, k) && closure.ContainsAll(qualifyKey(u.alias, k)) {
+					covered = true
+					d.Trace = append(d.Trace, fmt.Sprintf("FD2 witness for %s: %s %s", u.alias, u.alias, k))
+					break
+				}
+			}
+			if !covered {
+				d.FD2 = false
+				d.FD2Why = fmt.Sprintf("no NULL-safe key of R2 table %s is determined by the final grouping columns", u.alias)
+				break
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// CrossCheck compares the optimizer's claimed certificates against an
+// independent derivation from the plans and the catalog. A claimed
+// dependency the derivation refutes, or certified grouping columns that do
+// not match the plan's, is reported as a cert-derive violation. An eager
+// aggregation with no claimed certificate is the eager-cert rule's job and
+// is not re-reported here.
+func CrossCheck(standard, transformed algebra.Node, cat CatalogView, claimed []*Certificate) []Violation {
+	if transformed == nil {
+		return nil
+	}
+	derivs, err := DeriveCertificates(standard, transformed, cat)
+	if err != nil {
+		return []Violation{{Rule: "cert-derive", Node: transformed, Msg: err.Error()}}
+	}
+	byGroup := make(map[algebra.Node]*Derivation, len(derivs))
+	for _, d := range derivs {
+		byGroup[algebra.Node(d.Group)] = d
+	}
+	var out []Violation
+	for _, cert := range claimed {
+		d := byGroup[cert.Group]
+		if d == nil {
+			continue // stale certificate: eager-cert reports it
+		}
+		if cert.FD1 && !d.FD1 {
+			out = append(out, Violation{Rule: "cert-derive", Node: cert.Group, Msg: fmt.Sprintf(
+				"optimizer claims FD1 ((GA1, GA2) → GA1+) but independent derivation from the catalog refutes it: %s", d.FD1Why)})
+		}
+		if cert.FD2 && !d.FD2 {
+			out = append(out, Violation{Rule: "cert-derive", Node: cert.Group, Msg: fmt.Sprintf(
+				"optimizer claims FD2 ((GA1+, GA2) → RowID(R2)) but independent derivation from the catalog refutes it: %s", d.FD2Why)})
+		}
+		if !sameColumnSet(cert.GroupCols, d.GroupCols) {
+			out = append(out, Violation{Rule: "cert-derive", Node: cert.Group, Msg: fmt.Sprintf(
+				"certified GA1+ %s differs from the plan's eager grouping columns %s", colList(cert.GroupCols), colList(d.GroupCols))})
+		}
+	}
+	return out
+}
+
+// finalGroupCols returns the grouping columns of the plan's outermost
+// GroupBy, descending through output-shaping operators (Project, Sort,
+// Select) that sit above it.
+func finalGroupCols(n algebra.Node) ([]expr.ColumnID, bool) {
+	for n != nil {
+		switch node := n.(type) {
+		case *algebra.GroupBy:
+			return node.GroupCols, true
+		case *algebra.Project:
+			n = node.Input
+		case *algebra.Sort:
+			n = node.Input
+		case *algebra.Select:
+			n = node.Input
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// collectConjuncts gathers every per-row predicate conjunct of the plan:
+// Select conditions and Join conditions.
+func collectConjuncts(root algebra.Node) []expr.Expr {
+	var out []expr.Expr
+	algebra.Walk(root, func(n algebra.Node) {
+		switch node := n.(type) {
+		case *algebra.Select:
+			out = append(out, expr.Conjuncts(node.Cond)...)
+		case *algebra.Join:
+			out = append(out, expr.Conjuncts(node.Cond)...)
+		}
+	})
+	return out
+}
+
+// perRowConjuncts drops conjuncts that reference aggregate outputs ($aggN
+// columns): those hold per group, after aggregation, and must not feed a
+// per-row dependency derivation.
+func perRowConjuncts(conjuncts []expr.Expr) []expr.Expr {
+	out := conjuncts[:0:0]
+	for _, conj := range conjuncts {
+		refsAgg := false
+		expr.Walk(conj, func(n expr.Expr) bool {
+			if c, ok := n.(*expr.ColumnRef); ok && strings.HasPrefix(c.ID.Name, "$agg") {
+				refsAgg = true
+			}
+			return !refsAgg
+		})
+		if !refsAgg {
+			out = append(out, conj)
+		}
+	}
+	return out
+}
+
+// collectRenames gathers the bidirectional column dependencies projection
+// renames introduce: a Project item that is a plain column reference under a
+// different output name makes the two identifiers everywhere-equal.
+func collectRenames(root algebra.Node) [][2]expr.ColumnID {
+	var out [][2]expr.ColumnID
+	algebra.Walk(root, func(n algebra.Node) {
+		p, ok := n.(*algebra.Project)
+		if !ok {
+			return
+		}
+		for _, item := range p.Items {
+			if c, isCol := item.E.(*expr.ColumnRef); isCol && item.As != (expr.ColumnID{}) && item.As != c.ID {
+				out = append(out, [2]expr.ColumnID{item.As, c.ID})
+			}
+		}
+	})
+	return out
+}
+
+// collectScans maps every base-table scan's alias to its table name.
+func collectScans(root algebra.Node) map[string]string {
+	out := make(map[string]string)
+	algebra.Walk(root, func(n algebra.Node) {
+		if s, ok := n.(*algebra.Scan); ok {
+			alias := s.Alias
+			if alias == "" {
+				alias = s.Table
+			}
+			out[alias] = s.Table
+		}
+	})
+	return out
+}
+
+// tableChecks returns the table's declared CHECK predicates with column
+// references qualified by the scan alias.
+func tableChecks(def *schema.Table, alias string) []expr.Expr {
+	qualify := func(e expr.Expr) expr.Expr {
+		return expr.Rewrite(e, func(n expr.Expr) expr.Expr {
+			if c, ok := n.(*expr.ColumnRef); ok && c.ID.Table == "" {
+				return expr.Column(alias, c.ID.Name)
+			}
+			return n
+		})
+	}
+	var out []expr.Expr
+	for _, c := range def.Columns {
+		if c.Check != nil {
+			out = append(out, qualify(c.Check))
+		}
+	}
+	for _, chk := range def.Checks {
+		out = append(out, qualify(chk))
+	}
+	return out
+}
+
+// rangeEqualities re-derives the equality atoms pinned by range conjuncts:
+// matching inclusive bounds (a >= c ∧ a <= c), degenerate BETWEEN
+// (a BETWEEN c AND c) and singleton IN lists (a IN (c)). Only literal
+// constants participate.
+func rangeEqualities(conjuncts []expr.Expr) []expr.EqAtom {
+	type bound struct{ lo, hi *value.Value }
+	perCol := make(map[expr.ColumnID]*bound)
+	var order []expr.ColumnID
+	get := func(c expr.ColumnID) *bound {
+		b, ok := perCol[c]
+		if !ok {
+			b = &bound{}
+			perCol[c] = b
+			order = append(order, c)
+		}
+		return b
+	}
+	lit := func(e expr.Expr) (value.Value, bool) {
+		if l, ok := e.(*expr.Literal); ok && !l.Val.IsNull() {
+			return l.Val, true
+		}
+		return value.Null, false
+	}
+	setLo := func(b *bound, v value.Value) {
+		if b.lo == nil {
+			b.lo = &v
+		} else if sign, ok := value.Compare(v, *b.lo); ok && sign > 0 {
+			b.lo = &v
+		}
+	}
+	setHi := func(b *bound, v value.Value) {
+		if b.hi == nil {
+			b.hi = &v
+		} else if sign, ok := value.Compare(v, *b.hi); ok && sign < 0 {
+			b.hi = &v
+		}
+	}
+
+	var out []expr.EqAtom
+	for _, conj := range conjuncts {
+		switch n := conj.(type) {
+		case *expr.Binary:
+			col, isCol := n.L.(*expr.ColumnRef)
+			v, isLit := lit(n.R)
+			op := n.Op
+			if !isCol || !isLit {
+				col, isCol = n.R.(*expr.ColumnRef)
+				v, isLit = lit(n.L)
+				if !isCol || !isLit {
+					continue
+				}
+				switch n.Op {
+				case expr.OpLe:
+					op = expr.OpGe
+				case expr.OpGe:
+					op = expr.OpLe
+				default:
+					continue
+				}
+			}
+			switch op {
+			case expr.OpGe:
+				setLo(get(col.ID), v)
+			case expr.OpLe:
+				setHi(get(col.ID), v)
+			}
+		case *expr.Between:
+			if n.Negate {
+				continue
+			}
+			col, isCol := n.E.(*expr.ColumnRef)
+			lo, loOK := lit(n.Lo)
+			hi, hiOK := lit(n.Hi)
+			if isCol && loOK && hiOK {
+				b := get(col.ID)
+				setLo(b, lo)
+				setHi(b, hi)
+			}
+		case *expr.InList:
+			if n.Negate || len(n.List) != 1 {
+				continue
+			}
+			col, isCol := n.E.(*expr.ColumnRef)
+			v, isLit := lit(n.List[0])
+			if isCol && isLit {
+				out = append(out, expr.EqAtom{Class: expr.AtomColConst, Col: col.ID, Const: expr.Lit(v)})
+			}
+		}
+	}
+	for _, c := range order {
+		b := perCol[c]
+		if b.lo == nil || b.hi == nil {
+			continue
+		}
+		if sign, ok := value.Compare(*b.lo, *b.hi); ok && sign == 0 {
+			out = append(out, expr.EqAtom{Class: expr.AtomColConst, Col: c, Const: expr.Lit(*b.lo)})
+		}
+	}
+	return out
+}
+
+// joinSibling finds the other input of the Join/Product directly above the
+// eager GroupBy g.
+func joinSibling(root algebra.Node, g *algebra.GroupBy) algebra.Node {
+	var sibling algebra.Node
+	algebra.Walk(root, func(n algebra.Node) {
+		var l, r algebra.Node
+		switch j := n.(type) {
+		case *algebra.Join:
+			l, r = j.L, j.R
+		case *algebra.Product:
+			l, r = j.L, j.R
+		default:
+			return
+		}
+		if algebra.Node(g) == l {
+			sibling = r
+		} else if algebra.Node(g) == r {
+			sibling = l
+		}
+	})
+	return sibling
+}
+
+// r2UnitsOf decomposes the R2-side subtree into row-source units. Scans are
+// base units resolved against the catalog; GroupBy and DISTINCT Project
+// nodes are structural units whose output key is NULL-safe by construction
+// (grouping and DISTINCT both collapse =ⁿ-equal keys to one row), and are
+// not descended into. Operators the certifier cannot model produce an
+// unknown unit, which refutes FD2 rather than guessing.
+func r2UnitsOf(n algebra.Node) []r2Unit {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		alias := node.Alias
+		if alias == "" {
+			alias = node.Table
+		}
+		return []r2Unit{{desc: node.Describe(), table: node.Table, alias: alias}}
+	case *algebra.GroupBy:
+		return []r2Unit{{
+			desc:          node.Describe(),
+			structuralKey: node.GroupCols,
+			allCols:       node.Schema().IDs(),
+		}}
+	case *algebra.Project:
+		if node.Distinct {
+			ids := node.Schema().IDs()
+			return []r2Unit{{desc: node.Describe(), structuralKey: ids, allCols: ids}}
+		}
+		return r2UnitsOf(node.Input)
+	case *algebra.Select:
+		return r2UnitsOf(node.Input)
+	case *algebra.Sort:
+		return r2UnitsOf(node.Input)
+	case *algebra.Join:
+		return append(r2UnitsOf(node.L), r2UnitsOf(node.R)...)
+	case *algebra.Product:
+		return append(r2UnitsOf(node.L), r2UnitsOf(node.R)...)
+	case *algebra.Values:
+		return []r2Unit{{desc: node.Describe(), unknown: true}}
+	default:
+		return []r2Unit{{desc: node.Describe(), unknown: true}}
+	}
+}

@@ -1,0 +1,188 @@
+package plancheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// testCatalog builds the two-table catalog the derivation tests share:
+// R1(a, c) keyless, R2(d NOT NULL?, e) with an optional key on d.
+func testCatalog(dKeyed, dNotNull bool) CatalogView {
+	r1 := &schema.Table{Name: "R1", Columns: []schema.Column{
+		{Name: "a", Type: value.KindInt},
+		{Name: "c", Type: value.KindInt},
+	}}
+	r2 := &schema.Table{Name: "R2", Columns: []schema.Column{
+		{Name: "d", Type: value.KindInt, NotNull: dNotNull},
+		{Name: "e", Type: value.KindInt},
+	}}
+	if dKeyed {
+		r2.Keys = append(r2.Keys, schema.Key{Columns: []string{"d"}, Primary: dNotNull})
+	}
+	tables := map[string]*schema.Table{"R1": r1, "R2": r2}
+	return CatalogFunc(func(name string) (*schema.Table, bool) {
+		t, ok := tables[name]
+		return t, ok
+	})
+}
+
+func cid(table, name string) expr.ColumnID { return expr.ColumnID{Table: table, Name: name} }
+
+// testPlans assembles the minimal standard/transformed plan pair:
+//
+//	standard:    GroupBy[R1.a]( Join[R1.a = R2.d](R1, R2) )
+//	transformed: Join[R1.a = R2.d]( GroupBy[R1.a](R1), R2 )
+func testPlans() (standard, transformed algebra.Node, eager *algebra.GroupBy) {
+	r1Schema := algebra.Schema{
+		{ID: cid("R1", "a"), Type: value.KindInt},
+		{ID: cid("R1", "c"), Type: value.KindInt},
+	}
+	r2Schema := algebra.Schema{
+		{ID: cid("R2", "d"), Type: value.KindInt},
+		{ID: cid("R2", "e"), Type: value.KindInt},
+	}
+	cond := func() expr.Expr { return expr.Eq(expr.Column("R1", "a"), expr.Column("R2", "d")) }
+	agg := func() []algebra.AggItem {
+		return []algebra.AggItem{{
+			E:  &expr.Aggregate{Func: expr.AggSum, Arg: expr.Column("R1", "c")},
+			As: cid("", "$agg0"),
+		}}
+	}
+	standard = &algebra.GroupBy{
+		Input: &algebra.Join{
+			L:    algebra.NewScan("R1", "R1", r1Schema),
+			R:    algebra.NewScan("R2", "R2", r2Schema),
+			Cond: cond(),
+		},
+		GroupCols: []expr.ColumnID{cid("R1", "a")},
+		Aggs:      agg(),
+	}
+	eager = &algebra.GroupBy{
+		Input:     algebra.NewScan("R1", "R1", r1Schema),
+		GroupCols: []expr.ColumnID{cid("R1", "a")},
+		Aggs:      agg(),
+	}
+	transformed = &algebra.Join{
+		L:    eager,
+		R:    algebra.NewScan("R2", "R2", r2Schema),
+		Cond: cond(),
+	}
+	return standard, transformed, eager
+}
+
+func TestDeriveEstablishesBothFDs(t *testing.T) {
+	standard, transformed, eager := testPlans()
+	// R2.d is a key; the join equality forces it non-null, so the key is
+	// usable and FD2 holds. FD1 is immediate (GA1+ = GA1 = {R1.a}).
+	derivs, err := DeriveCertificates(standard, transformed, testCatalog(true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(derivs) != 1 || derivs[0].Group != eager {
+		t.Fatalf("want one derivation for the eager group, got %v", derivs)
+	}
+	d := derivs[0]
+	if !d.FD1 || !d.FD2 {
+		t.Fatalf("derivation failed: FD1=%v (%s) FD2=%v (%s)\ntrace:\n  %s",
+			d.FD1, d.FD1Why, d.FD2, d.FD2Why, strings.Join(d.Trace, "\n  "))
+	}
+}
+
+func TestDeriveRefutesFD2WithoutKey(t *testing.T) {
+	standard, transformed, _ := testPlans()
+	derivs, err := DeriveCertificates(standard, transformed, testCatalog(false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := derivs[0]
+	if !d.FD1 {
+		t.Fatalf("FD1 must hold regardless of R2 keys: %s", d.FD1Why)
+	}
+	if d.FD2 {
+		t.Fatal("derivation proved FD2 for a keyless R2")
+	}
+	if !strings.Contains(d.FD2Why, "R2") {
+		t.Fatalf("FD2 refutation must name the uncovered table, got %q", d.FD2Why)
+	}
+}
+
+func TestDeriveRefutesFD1ForForeignGroupCols(t *testing.T) {
+	// Tamper with the plan: the eager aggregation groups on R1.c, which
+	// no final grouping column determines.
+	standard, transformed, eager := testPlans()
+	eager.GroupCols = []expr.ColumnID{cid("R1", "c")}
+	derivs, err := DeriveCertificates(standard, transformed, testCatalog(true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derivs[0].FD1 {
+		t.Fatal("derivation proved FD1 for a grouping column outside the closure")
+	}
+}
+
+func TestDeriveStructuralUnitKey(t *testing.T) {
+	// R2 side replaced by a grouped derived unit: its grouping columns
+	// form a NULL-safe key even though the base table declares none.
+	standard, transformed, _ := testPlans()
+	join := transformed.(*algebra.Join)
+	join.R = &algebra.GroupBy{
+		Input:     join.R,
+		GroupCols: []expr.ColumnID{cid("R2", "d")},
+		Aggs: []algebra.AggItem{{
+			E:  &expr.Aggregate{Func: expr.AggCountStar},
+			As: cid("", "$agg9"),
+		}},
+	}
+	derivs, err := DeriveCertificates(standard, transformed, testCatalog(false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := derivs[0]
+	if !d.FD2 {
+		t.Fatalf("grouped R2 unit must supply a structural key: %s", d.FD2Why)
+	}
+}
+
+func TestCrossCheckRefutesFalseClaims(t *testing.T) {
+	standard, transformed, eager := testPlans()
+	cat := testCatalog(false, false) // keyless: FD2 underivable
+	claimed := []*Certificate{{
+		Group:     eager,
+		FD1:       true,
+		FD2:       true, // the lie
+		GroupCols: eager.GroupCols,
+		Origin:    "TestFD",
+	}}
+	vs := CrossCheck(standard, transformed, cat, claimed)
+	if len(vs) == 0 {
+		t.Fatal("cross-check accepted a false FD2 claim")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Rule == "cert-derive" && strings.Contains(v.Msg, "FD2") && strings.Contains(v.Msg, "RowID(R2)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a cert-derive violation naming FD2, got %v", vs)
+	}
+}
+
+func TestCrossCheckAcceptsTrueClaims(t *testing.T) {
+	standard, transformed, eager := testPlans()
+	claimed := []*Certificate{{
+		Group:     eager,
+		FD1:       true,
+		FD2:       true,
+		GroupCols: eager.GroupCols,
+		Origin:    "TestFD",
+	}}
+	if vs := CrossCheck(standard, transformed, testCatalog(true, false), claimed); len(vs) > 0 {
+		t.Fatalf("cross-check rejected a genuine certificate: %v", vs)
+	}
+}

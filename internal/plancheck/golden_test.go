@@ -1,0 +1,102 @@
+package plancheck
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// TestGoldenDiagnostics pins the exact text of the certificate-layer
+// diagnostics. The messages are consumed by the oracle suites, the
+// mutation-gauntlet assertions and gbj-lint's JSON output, so a wording
+// change must be a conscious decision: run with -update to accept one.
+func TestGoldenDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		text func(t *testing.T) string
+	}{
+		{"missing-cert", func(t *testing.T) string {
+			_, transformed, _ := testPlans()
+			err := Verify(transformed, &Options{RequireEagerCert: true})
+			if err == nil {
+				t.Fatal("uncertified eager aggregation verified")
+			}
+			return err.Error()
+		}},
+		{"refuted-fd1", func(t *testing.T) string {
+			_, transformed, eager := testPlans()
+			err := Verify(transformed, &Options{
+				Certificates:     []*Certificate{{Group: eager, FD1: false, FD2: true, GroupCols: eager.GroupCols}},
+				RequireEagerCert: true,
+			})
+			if err == nil {
+				t.Fatal("FD1-refuting certificate verified")
+			}
+			return err.Error()
+		}},
+		{"refuted-fd2", func(t *testing.T) string {
+			_, transformed, eager := testPlans()
+			err := Verify(transformed, &Options{
+				Certificates:     []*Certificate{{Group: eager, FD1: true, FD2: false, GroupCols: eager.GroupCols}},
+				RequireEagerCert: true,
+			})
+			if err == nil {
+				t.Fatal("FD2-refuting certificate verified")
+			}
+			return err.Error()
+		}},
+		{"wrong-ga1plus", func(t *testing.T) string {
+			_, transformed, eager := testPlans()
+			err := Verify(transformed, &Options{
+				Certificates:     []*Certificate{{Group: eager, FD1: true, FD2: true, GroupCols: []expr.ColumnID{cid("R1", "c")}}},
+				RequireEagerCert: true,
+			})
+			if err == nil {
+				t.Fatal("wrong-GA1+ certificate verified")
+			}
+			return err.Error()
+		}},
+		{"cert-derive-fd2", func(t *testing.T) string {
+			standard, transformed, eager := testPlans()
+			vs := CrossCheck(standard, transformed, testCatalog(false, false), []*Certificate{
+				{Group: eager, FD1: true, FD2: true, GroupCols: eager.GroupCols},
+			})
+			if len(vs) == 0 {
+				t.Fatal("false FD2 claim cross-checked clean")
+			}
+			msgs := make([]string, len(vs))
+			for i, v := range vs {
+				msgs[i] = v.Error()
+			}
+			return strings.Join(msgs, "\n")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.text(t) + "\n"
+			path := filepath.Join("testdata", "golden", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostic drifted from golden file %s:\n--- want ---\n%s--- got ---\n%s", path, want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,404 @@
+// Package modelcheck brute-forces the Main Theorem on tiny databases.
+//
+// The static certifier (plancheck.CrossCheck) re-derives FD1/FD2 from the
+// catalog; this package attacks the same claim from the opposite side: it
+// enumerates EVERY database with up to k rows per table over small value
+// domains — including NULLs, duplicate rows and int/float key mixing — and
+// executes each claimed-equivalent plan pair on each database, comparing
+// output multisets exactly. The pairs cover the engine's four execution
+// claims at once: lazy vs eager (standard vs transformed plan), row vs
+// vectorized, serial vs parallel, and local vs distributed.
+//
+// Any disagreement is shrunk by a greedy delta-debugging minimizer (drop
+// one row at a time while the failure persists) before being reported, so
+// a counterexample is always near-minimal and directly readable.
+//
+// With k rows per table and a pool of m candidate rows there are
+// Σ_{s≤k} C(m+s-1, s) multisets per table; the builtin scenarios keep m
+// small enough that exhaustive enumeration finishes in seconds while still
+// covering the semantic corners (NULL grouping keys, NULL join keys,
+// duplicate join partners, key collisions rejected by constraints).
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/exec"
+	"repro/internal/schema"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Scenario is one schema + query + candidate-row pool to exhaust.
+type Scenario struct {
+	// Name identifies the scenario in reports.
+	Name string
+	// Tables are the schema definitions, created in order.
+	Tables []*schema.Table
+	// Pool lists the candidate rows per table; the checker enumerates
+	// every multiset of up to Config.K of them. Databases violating a
+	// declared constraint (duplicate keys) are skipped, not errors.
+	Pool map[string][]value.Row
+	// Query is the SQL text whose plan pairs are checked.
+	Query string
+}
+
+// Config parameterizes a model-checking run.
+type Config struct {
+	// K is the maximum number of rows per table (the enumeration bound).
+	K int
+	// Scenarios replaces the builtin scenario set when non-empty.
+	Scenarios []Scenario
+}
+
+// Counterexample is one minimized equivalence failure.
+type Counterexample struct {
+	Scenario string
+	Query    string
+	// Variant names the execution pair that disagreed with the baseline
+	// (standard plan, row-at-a-time, serial, local).
+	Variant string
+	// Database is the minimized failing database.
+	Database map[string][]value.Row
+	// Want and Got are the canonicalized result multisets.
+	Want, Got []string
+}
+
+// String renders the counterexample for reports.
+func (c *Counterexample) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario %s, variant %s\nquery: %s\n", c.Scenario, c.Variant, c.Query)
+	names := make([]string, 0, len(c.Database))
+	for name := range c.Database {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s:\n", name)
+		for _, row := range c.Database[name] {
+			fmt.Fprintf(&sb, "  %v\n", row)
+		}
+	}
+	fmt.Fprintf(&sb, "want: %v\ngot:  %v", c.Want, c.Got)
+	return sb.String()
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Scenarios is the number of scenarios exhausted.
+	Scenarios int
+	// Databases is the number of constraint-satisfying databases
+	// enumerated and executed.
+	Databases int
+	// PlanPairs is the number of plan-pair comparisons performed (one per
+	// database per non-baseline variant).
+	PlanPairs int
+	// Counterexamples holds every minimized disagreement (empty on a
+	// clean run).
+	Counterexamples []*Counterexample
+}
+
+// variant is one execution configuration of one plan.
+type variant struct {
+	name string
+	plan algebra.Node
+	opts func() *exec.Options
+	// distPlan, when non-nil, runs the plan on a simulated cluster
+	// instead of locally.
+	distPlan *dist.Plan
+	nodes    int
+}
+
+func (v *variant) run(store *storage.Store) ([]value.Row, error) {
+	if v.distPlan != nil {
+		cl, err := dist.NewCluster(store, v.nodes, 0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := cl.Run(v.distPlan, v.opts())
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows, nil
+	}
+	res, err := exec.Run(v.plan, store, v.opts())
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// Run model-checks every scenario up to cfg.K rows per table.
+func Run(cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("modelcheck: K must be at least 1, got %d", cfg.K)
+	}
+	scenarios := cfg.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = Builtin()
+	}
+	res := &Result{}
+	for i := range scenarios {
+		if err := runScenario(&scenarios[i], cfg.K, res); err != nil {
+			return nil, fmt.Errorf("modelcheck: scenario %s: %w", scenarios[i].Name, err)
+		}
+		res.Scenarios++
+	}
+	return res, nil
+}
+
+func runScenario(sc *Scenario, k int, res *Result) error {
+	// Plan once against an empty store: plan shapes depend only on the
+	// catalog, and reusing them across databases is what makes exhaustive
+	// enumeration affordable.
+	planStore, err := buildStore(sc, nil)
+	if err != nil {
+		return err
+	}
+	q, err := sql.ParseQuery(sc.Query)
+	if err != nil {
+		return fmt.Errorf("parse %q: %w", sc.Query, err)
+	}
+	o := core.NewOptimizer(planStore)
+	o.Mode = core.ModeAlways
+	rep, err := o.Optimize(q)
+	if err != nil {
+		return err
+	}
+
+	baseline := &variant{name: "standard/row/serial/local", plan: rep.Standard, opts: func() *exec.Options { return &exec.Options{} }}
+	variants, err := planVariants("standard", rep.Standard)
+	if err != nil {
+		return err
+	}
+	if rep.Alternative != nil {
+		tv, err := planVariants("transformed", rep.Alternative)
+		if err != nil {
+			return err
+		}
+		variants = append(variants, tv...)
+	}
+
+	// Enumerate the databases: the cross product over tables of all
+	// multisets of up to k pool rows.
+	names := make([]string, 0, len(sc.Tables))
+	for _, t := range sc.Tables {
+		names = append(names, t.Name)
+	}
+	perTable := make([][][]value.Row, len(names))
+	for i, name := range names {
+		perTable[i] = rowMultisets(sc.Pool[name], k)
+	}
+	db := make(map[string][]value.Row, len(names))
+	var visit func(ti int) error
+	visit = func(ti int) error {
+		if ti == len(names) {
+			return checkDatabase(sc, db, baseline, variants, res)
+		}
+		for _, rows := range perTable[ti] {
+			db[names[ti]] = rows
+			if err := visit(ti + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return visit(0)
+}
+
+// planVariants builds the non-baseline execution configurations of a plan:
+// vectorized, parallel, and distributed (2 nodes); for the transformed plan
+// the row/serial/local configuration is itself a pair against the baseline.
+func planVariants(label string, plan algebra.Node) ([]*variant, error) {
+	var out []*variant
+	if label != "standard" {
+		out = append(out, &variant{name: label + "/row/serial/local", plan: plan, opts: func() *exec.Options { return &exec.Options{} }})
+	}
+	out = append(out,
+		&variant{name: label + "/vectorized/serial/local", plan: plan, opts: func() *exec.Options { return &exec.Options{Vectorize: true} }},
+		&variant{name: label + "/row/parallel/local", plan: plan, opts: func() *exec.Options { return &exec.Options{Parallelism: 4} }},
+	)
+	const nodes = 2
+	dp, err := dist.Compile(plan, dist.Config{Nodes: nodes, Strategy: dist.StrategyAuto})
+	if err != nil {
+		return nil, fmt.Errorf("distributed compile (%s): %w", label, err)
+	}
+	out = append(out, &variant{
+		name: label + "/row/serial/distributed", plan: plan,
+		opts: func() *exec.Options { return &exec.Options{} }, distPlan: dp, nodes: nodes,
+	})
+	return out, nil
+}
+
+// checkDatabase executes every variant against one database and records a
+// minimized counterexample for each disagreement with the baseline.
+func checkDatabase(sc *Scenario, db map[string][]value.Row, baseline *variant, variants []*variant, res *Result) error {
+	store, err := buildStore(sc, db)
+	if err != nil {
+		return nil // constraint-violating database: skip, don't fail
+	}
+	res.Databases++
+	wantRows, err := baseline.run(store)
+	if err != nil {
+		return fmt.Errorf("baseline execution: %w", err)
+	}
+	want := canon(wantRows)
+	for _, v := range variants {
+		res.PlanPairs++
+		gotRows, runErr := v.run(store)
+		got := canon(gotRows)
+		if runErr == nil && equalCanon(want, got) {
+			continue
+		}
+		if runErr != nil {
+			got = []string{"error: " + runErr.Error()}
+		}
+		minimized := minimize(sc, db, baseline, v)
+		mStore, bErr := buildStore(sc, minimized)
+		mWant, mGot := want, got
+		if bErr == nil {
+			if rows, err := baseline.run(mStore); err == nil {
+				mWant = canon(rows)
+			}
+			if rows, err := v.run(mStore); err == nil {
+				mGot = canon(rows)
+			} else {
+				mGot = []string{"error: " + err.Error()}
+			}
+		}
+		res.Counterexamples = append(res.Counterexamples, &Counterexample{
+			Scenario: sc.Name,
+			Query:    sc.Query,
+			Variant:  v.name,
+			Database: cloneDB(minimized),
+			Want:     mWant,
+			Got:      mGot,
+		})
+	}
+	return nil
+}
+
+// disagrees reports whether the variant still diverges from the baseline on
+// the database (an execution error counts as divergence).
+func disagrees(sc *Scenario, db map[string][]value.Row, baseline, v *variant) bool {
+	store, err := buildStore(sc, db)
+	if err != nil {
+		return false // not a valid database
+	}
+	wantRows, err := baseline.run(store)
+	if err != nil {
+		return false
+	}
+	gotRows, err := v.run(store)
+	if err != nil {
+		return true
+	}
+	return !equalCanon(canon(wantRows), canon(gotRows))
+}
+
+// minimize greedily shrinks a failing database: repeatedly drop any single
+// row whose removal keeps the disagreement, until the database is 1-minimal.
+func minimize(sc *Scenario, db map[string][]value.Row, baseline, v *variant) map[string][]value.Row {
+	cur := cloneDB(db)
+	for {
+		shrunk := false
+		for name, rows := range cur {
+			for i := range rows {
+				cand := cloneDB(cur)
+				cand[name] = append(append([]value.Row{}, rows[:i]...), rows[i+1:]...)
+				if disagrees(sc, cand, baseline, v) {
+					cur = cand
+					shrunk = true
+					break
+				}
+			}
+			if shrunk {
+				break
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// buildStore creates the scenario's tables and inserts the database rows,
+// failing on any constraint violation.
+func buildStore(sc *Scenario, db map[string][]value.Row) (*storage.Store, error) {
+	s := storage.NewStore(schema.NewCatalog())
+	for _, def := range sc.Tables {
+		if err := s.CreateTable(def); err != nil {
+			return nil, err
+		}
+		for _, row := range db[def.Name] {
+			if err := s.Insert(def.Name, append(value.Row{}, row...)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func cloneDB(db map[string][]value.Row) map[string][]value.Row {
+	out := make(map[string][]value.Row, len(db))
+	for name, rows := range db {
+		out[name] = append([]value.Row{}, rows...)
+	}
+	return out
+}
+
+// canon canonicalizes a result multiset: one kind-tagged fingerprint per
+// row, sorted. Kind tags keep int 1 and float 1.0 distinct — the engine's
+// plans must agree on output types, not merely on =ⁿ equivalence classes.
+func canon(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if v.IsNull() {
+				parts[j] = "∅"
+			} else {
+				parts[j] = fmt.Sprintf("%d:%s", v.Kind(), v)
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalCanon(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowMultisets enumerates every multiset of 0..k pool rows as index-sorted
+// row slices.
+func rowMultisets(pool []value.Row, k int) [][]value.Row {
+	var out [][]value.Row
+	var build func(start int, cur []value.Row)
+	build = func(start int, cur []value.Row) {
+		out = append(out, append([]value.Row{}, cur...))
+		if len(cur) == k {
+			return
+		}
+		for i := start; i < len(pool); i++ {
+			build(i, append(cur, pool[i]))
+		}
+	}
+	build(0, nil)
+	return out
+}

@@ -1,0 +1,83 @@
+package modelcheck
+
+import (
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Builtin returns the standard scenario set: each targets a semantic corner
+// the Main Theorem's proof (and the engine's execution modes) must survive.
+func Builtin() []Scenario {
+	i := value.NewInt
+	f := value.NewFloat
+	n := value.Null
+	return []Scenario{
+		{
+			// The canonical legal transformation: R2's primary key gives
+			// FD2, the join column gives GA1+. Pools include NULL join
+			// keys, NULL aggregation inputs and duplicate R1 rows; R2
+			// rows with colliding primary keys make some databases
+			// invalid, exercising the constraint-skip path.
+			Name: "pk-join",
+			Tables: []*schema.Table{
+				{Name: "R1", Columns: []schema.Column{
+					{Name: "a", Type: value.KindInt},
+					{Name: "b", Type: value.KindInt},
+				}},
+				{Name: "R2", Columns: []schema.Column{
+					{Name: "k", Type: value.KindInt},
+					{Name: "d", Type: value.KindInt},
+				}, Keys: []schema.Key{{Columns: []string{"k"}, Primary: true}}},
+			},
+			Pool: map[string][]value.Row{
+				"R1": {{i(1), i(1)}, {i(1), n}, {i(2), i(3)}, {n, i(5)}},
+				"R2": {{i(1), i(1)}, {i(1), i(2)}, {i(2), n}},
+			},
+			Query: "SELECT R1.a, SUM(R1.b) FROM R1, R2 WHERE R1.a = R2.k GROUP BY R1.a",
+		},
+		{
+			// No key on R2: TestFD must answer NO, so only the standard
+			// plan exists — but its row/vectorized/parallel/distributed
+			// executions must still agree exactly, NULLs, duplicate join
+			// partners and all. HAVING exercises the post-aggregation
+			// filter across all execution modes.
+			Name: "keyless-join",
+			Tables: []*schema.Table{
+				{Name: "R1", Columns: []schema.Column{
+					{Name: "a", Type: value.KindInt},
+					{Name: "b", Type: value.KindInt},
+				}},
+				{Name: "R2", Columns: []schema.Column{
+					{Name: "d", Type: value.KindInt},
+					{Name: "e", Type: value.KindInt},
+				}},
+			},
+			Pool: map[string][]value.Row{
+				"R1": {{i(1), i(1)}, {i(1), i(2)}, {i(2), n}, {n, i(4)}},
+				"R2": {{i(1), i(1)}, {i(1), i(2)}, {i(2), i(1)}, {n, n}},
+			},
+			Query: "SELECT R1.a, COUNT(R1.b) FROM R1, R2 WHERE R1.a = R2.d GROUP BY R1.a HAVING COUNT(*) > 0",
+		},
+		{
+			// Int/float key mixing: R1's int join column meets R2's float
+			// primary key, so =ⁿ must compare across numeric kinds (1 =
+			// 1.0) while 2.5 matches nothing; NULLs on both sides.
+			Name: "mixed-numeric-keys",
+			Tables: []*schema.Table{
+				{Name: "R1", Columns: []schema.Column{
+					{Name: "a", Type: value.KindInt},
+					{Name: "b", Type: value.KindInt},
+				}},
+				{Name: "R2", Columns: []schema.Column{
+					{Name: "k", Type: value.KindFloat},
+					{Name: "d", Type: value.KindInt},
+				}, Keys: []schema.Key{{Columns: []string{"k"}, Primary: true}}},
+			},
+			Pool: map[string][]value.Row{
+				"R1": {{i(1), i(1)}, {i(2), i(2)}, {n, i(3)}},
+				"R2": {{f(1.0), i(1)}, {f(2.5), i(2)}, {f(2.0), n}},
+			},
+			Query: "SELECT R1.a, SUM(R1.b) FROM R1, R2 WHERE R1.a = R2.k GROUP BY R1.a",
+		},
+	}
+}

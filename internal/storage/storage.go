@@ -174,14 +174,14 @@ func (s *Store) Insert(table string, row value.Row) error {
 		}
 		coerced, err := coerce(v, col.Type)
 		if err != nil {
-			return fmt.Errorf("storage: %s.%s: %v", table, col.Name, err)
+			return fmt.Errorf("storage: %s.%s: %w", table, col.Name, err)
 		}
 		row[i] = coerced
 	}
 	for _, chk := range t.boundChecks {
 		truth, err := expr.EvalTruth(chk, row, nil)
 		if err != nil {
-			return fmt.Errorf("storage: %s: evaluating check: %v", table, err)
+			return fmt.Errorf("storage: %s: evaluating check: %w", table, err)
 		}
 		if truth == value.False {
 			return fmt.Errorf("storage: %s: check constraint (%s) violated by %s", table, chk, row)
