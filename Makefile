@@ -3,16 +3,17 @@
 # row-vs-vectorized differential oracles, the concurrent-execution smoke
 # tests and the plan-verifier suite), the bounded-exhaustive plan-equivalence
 # model checker, the independent certificate re-derivation gate
-# (verify-certs), the chaos oracle, the vectorization perf gate
-# (bench-compare), and a short run of every fuzz target.
+# (verify-certs), the chaos oracle, the disk-chaos spill oracle
+# (spill-oracle), the vectorization perf gate (bench-compare), and a short
+# run of every fuzz target.
 
 GO ?= go
 FUZZTIME ?= 10s
 MODELCHECK_K ?= 3
 
-.PHONY: check vet lint plancheck modelcheck verify-certs build test race chaos dist-oracle fuzz bench bench-json bench-compare
+.PHONY: check vet lint plancheck modelcheck verify-certs build test race chaos dist-oracle spill-oracle fuzz bench bench-json bench-compare
 
-check: vet lint build race plancheck modelcheck verify-certs chaos dist-oracle bench-json bench-compare fuzz
+check: vet lint build race plancheck modelcheck verify-certs chaos dist-oracle spill-oracle bench-json bench-compare fuzz
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +79,16 @@ dist-oracle:
 	$(GO) test -race ./internal/dist -run 'TestLocalVsDistributedOracle|TestDistributedChaosOracle|TestEagerNeverShipsMoreBytes'
 	$(GO) test -race . -run TestEngineDistributed
 
+# The disk-chaos spill oracle under the race detector: hundreds of seeded
+# queries × budgets that force spilling × deterministic disk-fault
+# schedules (write/short-write/read/close failures); every run must return
+# exactly the unbudgeted rows or a typed *SpillError, with zero live spill
+# files afterwards (internal/exec/disk_chaos_oracle_test.go), plus the
+# per-operator fault sweeps and the engine-level spill lifecycle tests.
+spill-oracle:
+	$(GO) test -race ./internal/exec -run 'TestDiskChaosOracle|TestSpillOperatorDiskFaults'
+	$(GO) test -race . -run 'TestSpillCompletes64KiB|TestSpillFailureFallsBack'
+
 # Each fuzz target needs its own invocation (go test allows one -fuzz
 # pattern per package run). -run=^$ skips the regular tests.
 fuzz:
@@ -87,6 +98,7 @@ fuzz:
 	$(GO) test ./internal/expr -run '^$$' -fuzz FuzzLikeMatch -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/vec -run '^$$' -fuzz FuzzGroupKeyVector -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzEagerCert -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/exec -run '^$$' -fuzz FuzzExternalSort -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,77 @@
+package gbj
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// newSpillEngine builds a deterministic Fact/Dim database large enough that
+// a 512-byte budget forces every stateful operator to disk: the hash join
+// partitions (grace join), the aggregation externalizes, and a bare ORDER BY
+// runs as an external merge sort. The data is generated, not random, so the
+// spill byte counts in the goldens are exact.
+func newSpillEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	var ddl strings.Builder
+	ddl.WriteString(`
+		CREATE TABLE Dim (K INTEGER PRIMARY KEY, Label CHARACTER(10));
+		CREATE TABLE Fact (FID INTEGER PRIMARY KEY, K INTEGER, V INTEGER);`)
+	ddl.WriteString("\nINSERT INTO Dim VALUES ")
+	for k := 0; k < 8; k++ {
+		if k > 0 {
+			ddl.WriteString(", ")
+		}
+		fmt.Fprintf(&ddl, "(%d, 'L%02d')", k, k)
+	}
+	ddl.WriteString(";\nINSERT INTO Fact VALUES ")
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			ddl.WriteString(", ")
+		}
+		fmt.Fprintf(&ddl, "(%d, %d, %d)", i, i%8, i*7%101)
+	}
+	if err := e.Exec(ddl.String()); err != nil {
+		t.Fatal(err)
+	}
+	e.SetMode(ModeNever)
+	e.SetMemoryBudget(512)
+	e.SetSpillDir(t.TempDir())
+	return e
+}
+
+// TestExplainAnalyzeGoldenSpillJoin pins the analyze output of a grace hash
+// join with external aggregation above it: the per-node annotations must
+// carry the exact spill_bytes=, parts= and runs= counters, and the summary
+// must report the total spilled bytes. The spill temp directory never
+// appears in the output, so the bytes are host-independent.
+func TestExplainAnalyzeGoldenSpillJoin(t *testing.T) {
+	e := newSpillEngine(t)
+	analyzeGolden(t, e, "analyze_spill_join", `
+		SELECT D.Label, SUM(F.V)
+		FROM Fact F, Dim D WHERE F.K = D.K
+		GROUP BY D.Label`)
+}
+
+// TestExplainAnalyzeGoldenTopK pins the fused ORDER BY + LIMIT plan under
+// the same tight budget: the TopK itself is bounded (n rows of state, no
+// spill), while the join and aggregation below it still spill — locking the
+// interaction of the Limit, the fused Sort's pass-through cardinality, and
+// the spill counters in one plan.
+func TestExplainAnalyzeGoldenTopK(t *testing.T) {
+	e := newSpillEngine(t)
+	analyzeGolden(t, e, "analyze_topk", `
+		SELECT D.Label, SUM(F.V)
+		FROM Fact F, Dim D WHERE F.K = D.K
+		GROUP BY D.Label ORDER BY Label DESC LIMIT 3`)
+}
+
+// TestExplainAnalyzeGoldenExternalSort pins a bare ORDER BY (no LIMIT, so no
+// TopK fusion is possible) running as an external merge sort: the Sort
+// node's annotation must show its sorted runs and spilled bytes.
+func TestExplainAnalyzeGoldenExternalSort(t *testing.T) {
+	e := newSpillEngine(t)
+	analyzeGolden(t, e, "analyze_external_sort", `
+		SELECT F.FID, F.V FROM Fact F ORDER BY V, FID`)
+}

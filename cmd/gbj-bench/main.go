@@ -16,6 +16,9 @@
 //	gbj-bench -mem-budget 1048576  # per-execution state-byte cap; an
 //	                               # over-budget eager plan degrades to the
 //	                               # lazy plan (recorded as a fallback)
+//	gbj-bench -spill-dir /tmp/gbj  # with -mem-budget, spill over-budget
+//	                               # operator state to temp files instead of
+//	                               # degrading; E15 sweeps budgets either way
 //
 // Flag values are validated up front: -parallelism below -1, -nodes below
 // 1, and non-power-of-two -shards are rejected with an error (exit 2)
@@ -27,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -54,6 +58,11 @@ var (
 	memBudget int64
 )
 
+// spillDir, when non-empty, lets budgeted measurements spill operator state
+// to temp files under it instead of aborting or degrading; E15 defaults to
+// a sweep area under the system temp directory when the flag is unset.
+var spillDir string
+
 // nodes and shards configure the simulated cluster of the distributed
 // experiment (E12): cluster size and hash shards per table.
 var (
@@ -75,7 +84,7 @@ func compareForward(store *storage.Store, query string, reps int) (*bench.Compar
 	ctx, cancel := measureCtx()
 	defer cancel()
 	return bench.CompareForwardWith(store, query, reps, parallelism,
-		bench.Governed{Context: ctx, MemoryBudget: memBudget, Vectorize: vectorize})
+		bench.Governed{Context: ctx, MemoryBudget: memBudget, Vectorize: vectorize, SpillDir: spillDir})
 }
 
 // compareReverse is compareForward for the Section 8 reverse experiment.
@@ -83,7 +92,7 @@ func compareReverse(store *storage.Store, query string, reps int) (*bench.Compar
 	ctx, cancel := measureCtx()
 	defer cancel()
 	return bench.CompareReverseWith(store, query, reps, parallelism,
-		bench.Governed{Context: ctx, MemoryBudget: memBudget, Vectorize: vectorize})
+		bench.Governed{Context: ctx, MemoryBudget: memBudget, Vectorize: vectorize, SpillDir: spillDir})
 }
 
 // record, when non-nil, accumulates every comparison as a machine-readable
@@ -107,6 +116,7 @@ func main() {
 	flag.IntVar(&shards, "shards", 0, "hash shards per table, a power of two (0 = one per node)")
 	flag.DurationVar(&timeout, "timeout", 0, "per-measurement deadline (0 = none)")
 	flag.Int64Var(&memBudget, "mem-budget", 0, "per-execution operator-state byte cap (0 = unlimited); over-budget eager plans degrade to the lazy plan")
+	flag.StringVar(&spillDir, "spill-dir", "", "directory for spill temp files; with -mem-budget set, over-budget operators spill to disk instead of degrading (empty = spilling off; E15 uses a default sweep area)")
 	flag.Parse()
 	for _, err := range []error{
 		cliutil.ValidateParallelism(parallelism),
@@ -124,7 +134,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12", "E13"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12", "E13", "E15"} {
 			want[id] = true
 		}
 	} else {
@@ -147,6 +157,7 @@ func main() {
 		{"E8", "Section 7 — optimizer decision accuracy over a parameter grid", runE8},
 		{"E12", "Section 7 — eager vs lazy shipping on a simulated cluster (measured bytes)", runE12},
 		{"E13", "row-at-a-time vs vectorized execution (throughput)", runE13},
+		{"E15", "spill-to-disk budget sweep (in-memory vs external crossover)", runE15},
 	}
 	failed := false
 	for _, r := range runners {
@@ -499,6 +510,76 @@ func runE13(reps int) error {
 		}
 	}
 	return gateErr
+}
+
+// runE15 measures the spill crossover the budget governor enables: one
+// workload (50000 fact rows joined and grouped over a 10000-row dimension)
+// executed under a descending sweep of memory budgets with spilling on.
+// Every budgeted run must return exactly the rows of the unbudgeted
+// in-memory reference; the table shows the budget at which operator state
+// starts going to disk (grace-join partitions, external aggregation, sorted
+// runs) and what the disk traffic costs in wall time.
+func runE15(reps int) error {
+	store, err := workload.Sweep(workload.SweepParams{
+		FactRows: 50000, DimRows: 10000, Groups: 10000,
+		MatchFraction: 1.0, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	q, err := sql.ParseQuery(workload.SweepQueryGroupByDim)
+	if err != nil {
+		return err
+	}
+	report, err := core.NewOptimizer(store).Optimize(q)
+	if err != nil {
+		return err
+	}
+	plan := report.Standard
+	dir := spillDir
+	if dir == "" {
+		//lint:ignore spillcleanup the sweep needs a default spill area; every file under it comes from a SpillManager, and the directory itself is removed below
+		dir = filepath.Join(os.TempDir(), "gbj-bench-spill")
+		defer os.RemoveAll(dir)
+	}
+	ctx, cancel := measureCtx()
+	defer cancel()
+	ref, err := bench.RunPlanGoverned("in-memory reference", plan, store, reps, parallelism,
+		bench.Governed{Context: ctx, Vectorize: vectorize})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference (no budget): %v for %d result rows\n\n", ref.Duration, ref.OutRows)
+	fmt.Printf("%-10s  %-14s  %12s  %8s  %s\n", "budget", "time", "spill bytes", "vs ref", "rows")
+	for _, budget := range []int64{4 << 20, 1 << 20, 256 << 10, 64 << 10} {
+		run, err := bench.RunPlanGoverned(fmt.Sprintf("budget %s", budgetLabel(budget)),
+			plan, store, reps, parallelism,
+			bench.Governed{Context: ctx, MemoryBudget: budget, Vectorize: vectorize, SpillDir: dir})
+		if err != nil {
+			return fmt.Errorf("E15 budget %s: %w", budgetLabel(budget), err)
+		}
+		if !run.SameRows(ref) {
+			return fmt.Errorf("E15 budget %s: spilled rows differ from the in-memory reference", budgetLabel(budget))
+		}
+		gov := run.Metrics.Gov()
+		fmt.Printf("%-10s  %-14v  %12d  %7.2fx  %s\n",
+			budgetLabel(budget), run.Duration, gov.SpillBytes,
+			float64(run.Duration)/float64(ref.Duration), "identical")
+		addRecord("E15", fmt.Sprintf("budget=%d spill_bytes=%d", budget, gov.SpillBytes),
+			&bench.Comparison{Query: workload.SweepQueryGroupByDim, Standard: ref, Transformed: run})
+	}
+	return nil
+}
+
+// budgetLabel renders a byte budget in power-of-two units for the E15 table.
+func budgetLabel(b int64) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 // rowThroughput is a run's leaf-row throughput in rows per second.

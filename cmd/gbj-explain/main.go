@@ -14,7 +14,9 @@
 //
 // With -analyze, -timeout bounds the execution and -mem-budget caps its
 // operator state; an over-budget eager plan degrades to the lazy plan and
-// the analysis reports the fallback.
+// the analysis reports the fallback. Adding -spill-dir lets over-budget
+// operators spill to temp files under that directory instead: the analysis
+// then reports the spilled bytes and per-operator partition/run counts.
 //
 // With -nodes above 1 the query runs on a simulated cluster — base tables
 // hash-partitioned across the nodes (into -shards power-of-two shards) —
@@ -62,6 +64,7 @@ func main() {
 	trace := flag.Bool("trace", false, "with -analyze output, also print the hierarchical operator span trace as JSON")
 	timeout := flag.Duration("timeout", 0, "deadline for -analyze execution (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "operator-state byte cap for -analyze execution (0 = unlimited); an over-budget eager plan degrades to the lazy plan and the output says so")
+	spillDir := flag.String("spill-dir", "", "directory for spill temp files; with -mem-budget set, over-budget operators spill to disk instead of degrading (empty = spilling off)")
 	parallelism := flag.Int("parallelism", 0, "executor workers (0=serial, -1=one per CPU)")
 	vectorize := flag.Bool("vectorize", false, "execute on the columnar batch engine; -analyze shows per-operator batch counts (morsels)")
 	nodes := flag.Int("nodes", 1, "simulated cluster size (1 = single-site)")
@@ -81,6 +84,7 @@ func main() {
 	engine := gbj.New()
 	engine.SetPlanCheck(*check)
 	engine.SetMemoryBudget(*memBudget)
+	engine.SetSpillDir(*spillDir)
 	engine.SetParallelism(*parallelism)
 	engine.SetVectorize(*vectorize)
 	if err := engine.SetNodes(*nodes); err != nil {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	gbj-shell [-f script.sql] [-parallelism n] [-vectorize] [-nodes n] [-shards n]
+//	gbj-shell [-f script.sql] [-parallelism n] [-vectorize] [-nodes n] [-shards n] [-spill-dir dir]
 //
 // With -nodes above 1 the engine runs every query on a simulated cluster:
 // base tables are hash-partitioned across the nodes (into -shards
@@ -25,6 +25,8 @@
 //	\timeout 30s|off              set a per-query deadline
 //	\budget 64MB|off              cap per-query operator state; an over-budget
 //	                              eager plan degrades to the lazy plan
+//	\spill dir|off                spill over-budget operator state to temp
+//	                              files under dir instead of degrading
 //	\quit                         exit
 //
 // Ctrl-C cancels the in-flight query — the shell itself stays up.
@@ -81,6 +83,7 @@ func main() {
 	vectorize := flag.Bool("vectorize", false, "execute on the columnar batch engine (same rows, same order)")
 	nodes := flag.Int("nodes", 1, "simulated cluster size (1 = single-site)")
 	shards := flag.Int("shards", 0, "hash shards per table, a power of two (0 = one per node)")
+	spillDir := flag.String("spill-dir", "", "directory for spill temp files; with a \\budget set, over-budget operators spill to disk instead of degrading (empty = spilling off)")
 	flag.Parse()
 	for _, err := range []error{
 		cliutil.ValidateParallelism(*parallelism),
@@ -104,6 +107,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gbj-shell:", err)
 		os.Exit(2)
 	}
+	engine.SetSpillDir(*spillDir)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
@@ -263,6 +267,22 @@ func handleCommand(engine *gbj.Engine, cmd string) bool {
 		}
 		engine.SetMemoryBudget(n)
 		fmt.Printf("memory budget: %d bytes per query\n", n)
+	case `\spill`:
+		if len(fields) != 2 {
+			fmt.Println(`usage: \spill dir|off`)
+			return false
+		}
+		if fields[1] == "off" {
+			engine.SetSpillDir("")
+			fmt.Println("spilling is off")
+			return false
+		}
+		engine.SetSpillDir(fields[1])
+		if engine.MemoryBudget() == 0 {
+			fmt.Printf("spill directory: %s (inactive until a \\budget is set)\n", fields[1])
+		} else {
+			fmt.Printf("spill directory: %s\n", fields[1])
+		}
 	case `\timing`:
 		timing = !timing
 		if timing {

@@ -68,6 +68,13 @@ type ResourceError = exec.ResourceError
 // recovered value, and the stack.
 type ExecPanicError = exec.ExecPanicError
 
+// SpillError is the typed error a query returns when a disk failure
+// interrupts spill-to-disk execution (SetSpillDir) and no lazy fallback
+// plan is available; match it with errors.As. It names the operator and
+// spill stage and wraps the underlying I/O error — a failed spill never
+// yields partial results.
+type SpillError = exec.SpillError
+
 // Engine is an embedded SQL engine instance. It is safe for concurrent
 // use: DDL/DML statements take a write lock, queries a read lock.
 type Engine struct {
@@ -77,6 +84,7 @@ type Engine struct {
 	parallelism int
 	vectorize   bool
 	memBudget   int64
+	spillDir    string
 	clock       obs.Clock
 	fallbacks   atomic.Int64
 
@@ -170,6 +178,28 @@ func (e *Engine) MemoryBudget() int64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.memBudget
+}
+
+// SetSpillDir enables graceful spill-to-disk execution: queries that would
+// exceed the memory budget partition their state into temporary files under
+// dir (external merge sort, grace hash join, external aggregation) and
+// complete with exactly the rows of an unbudgeted run, instead of failing
+// with a *ResourceError. "" (the default) disables spilling. Spilling only
+// engages when a memory budget is set; each query gets its own temp files,
+// swept when the query returns. A disk failure during spilling surfaces as
+// a *SpillError (or triggers the eager→lazy fallback when one is at hand),
+// never as partial results.
+func (e *Engine) SetSpillDir(dir string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.spillDir = dir
+}
+
+// SpillDir returns the spill directory, "" when spilling is disabled.
+func (e *Engine) SpillDir() string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.spillDir
 }
 
 // Fallbacks reports how many queries degraded from the eager plan to the
@@ -447,10 +477,10 @@ func (e *Engine) QueryParamsContext(ctx context.Context, text string, params map
 		}
 		return convertResult(res), nil
 	}
-	res, err := e.governedRun(ctx, pc.plan, p, nil, nil)
-	if re := fallbackError(err, pc); re != nil {
+	res, err := e.governedRun(ctx, pc.plan, p, nil, nil, true)
+	if fe := fallbackError(err, pc); fe != nil {
 		e.fallbacks.Add(1)
-		res, err = e.governedRun(ctx, pc.fallback, p, nil, nil)
+		res, err = e.governedRun(ctx, pc.fallback, p, nil, nil, false)
 	}
 	if err != nil {
 		return nil, err
@@ -459,9 +489,15 @@ func (e *Engine) QueryParamsContext(ctx context.Context, text string, params map
 }
 
 // governedRun executes one plan under the engine's governance settings:
-// the caller's context and the configured memory budget.
-func (e *Engine) governedRun(ctx context.Context, plan algebra.Node, params expr.Params, col *obs.Collector, tracer *obs.Tracer) (*exec.Result, error) {
-	return exec.Run(plan, e.store, &exec.Options{
+// the caller's context and the configured memory budget. With spill set and
+// a spill directory configured, the run gets a per-query SpillManager so
+// budget pressure triggers disk spilling instead of a *ResourceError; the
+// manager is swept when the run returns, so no temp files outlive a query.
+// Fallback re-executions pass spill=false: a spill failure must not retry
+// through the same failing disk, and the lazy plan is the conservative
+// in-memory shape either way.
+func (e *Engine) governedRun(ctx context.Context, plan algebra.Node, params expr.Params, col *obs.Collector, tracer *obs.Tracer, spill bool) (*exec.Result, error) {
+	opts := &exec.Options{
 		Params:       params,
 		Group:        groupStrategyFor(plan),
 		Parallelism:  e.parallelism,
@@ -471,13 +507,19 @@ func (e *Engine) governedRun(ctx context.Context, plan algebra.Node, params expr
 		Metrics:      col,
 		Clock:        e.clock,
 		Trace:        tracer,
-	})
+	}
+	if spill && e.spillDir != "" && e.memBudget > 0 {
+		mgr := storage.NewSpillManager(e.spillDir)
+		defer func() { _ = mgr.Cleanup() }()
+		opts.Spill = mgr
+	}
+	return exec.Run(plan, e.store, opts)
 }
 
-// fallbackError returns the *ResourceError when err is a budget abort that
-// the engine can recover from by degrading to the choice's lazy fallback
-// plan; nil otherwise.
-func fallbackError(err error, pc planChoice) *exec.ResourceError {
+// fallbackError returns the error when err is a budget abort or a spill
+// failure that the engine can recover from by degrading to the choice's
+// lazy fallback plan; nil otherwise.
+func fallbackError(err error, pc planChoice) error {
 	if err == nil || pc.fallback == nil {
 		return nil
 	}
@@ -485,13 +527,25 @@ func fallbackError(err error, pc planChoice) *exec.ResourceError {
 	if errors.As(err, &re) {
 		return re
 	}
+	var se *exec.SpillError
+	if errors.As(err, &se) {
+		return se
+	}
 	return nil
 }
 
 // fallbackReason renders the one-line account of a budget degradation that
 // ExplainAnalyze and the metrics surface report.
-func fallbackReason(re *exec.ResourceError) string {
-	return fmt.Sprintf("eager plan exceeded the memory budget (%d of %d bytes at %s); re-executed the lazy group-after-join plan", re.Used, re.Budget, re.Op)
+func fallbackReason(err error) string {
+	var se *exec.SpillError
+	if errors.As(err, &se) {
+		return fmt.Sprintf("spill failed in %s (%s): %v; re-executed the lazy group-after-join plan in memory", se.Op, se.Stage, se.Err)
+	}
+	var re *exec.ResourceError
+	if errors.As(err, &re) {
+		return fmt.Sprintf("eager plan exceeded the memory budget (%d of %d bytes at %s); re-executed the lazy group-after-join plan", re.Used, re.Budget, re.Op)
+	}
+	return "re-executed the lazy group-after-join plan"
 }
 
 // groupStrategyFor picks the physical grouping strategy for a plan: when an
@@ -501,9 +555,9 @@ func fallbackReason(re *exec.ResourceError) string {
 // Section 7 note that grouped output "is normally sorted based on the
 // grouping columns" and that this can be exploited. Everything else hashes.
 func groupStrategyFor(plan algebra.Node) exec.GroupStrategy {
-	sortNode, ok := plan.(*algebra.Sort)
+	sortNode, ok := topSort(plan)
 	if !ok {
-		return exec.GroupHash
+		return exec.GroupAuto
 	}
 	var group *algebra.GroupBy
 	algebra.Walk(sortNode, func(n algebra.Node) {
@@ -512,14 +566,24 @@ func groupStrategyFor(plan algebra.Node) exec.GroupStrategy {
 		}
 	})
 	if group == nil || len(sortNode.Keys) > len(group.GroupCols) {
-		return exec.GroupHash
+		return exec.GroupAuto
 	}
 	for i, k := range sortNode.Keys {
 		if k.Desc || group.GroupCols[i].Name != k.Col.Name {
-			return exec.GroupHash
+			return exec.GroupAuto
 		}
 	}
 	return exec.GroupSort
+}
+
+// topSort returns the plan's final ORDER BY node, looking through a LIMIT
+// on top of it.
+func topSort(plan algebra.Node) (*algebra.Sort, bool) {
+	if l, ok := plan.(*algebra.Limit); ok {
+		plan = l.Input
+	}
+	s, ok := plan.(*algebra.Sort)
+	return s, ok
 }
 
 // planChoice is the executable outcome of plan selection: the chosen plan
@@ -680,8 +744,8 @@ func (e *Engine) QueryAnalyzedContext(ctx context.Context, text string) (*Analys
 	plan, est := pc.plan, pc.ann
 	col := obs.NewCollector()
 	tracer := obs.NewTracer(e.clock)
-	res, err := e.governedRun(ctx, plan, nil, col, tracer)
-	if re := fallbackError(err, pc); re != nil {
+	res, err := e.governedRun(ctx, plan, nil, col, tracer, true)
+	if fe := fallbackError(err, pc); fe != nil {
 		// Degrade: re-run the lazy plan with fresh instrumentation so the
 		// analysis describes the run that produced the rows; the collector
 		// carries the fallback record.
@@ -689,8 +753,8 @@ func (e *Engine) QueryAnalyzedContext(ctx context.Context, text string) (*Analys
 		plan, est = pc.fallback, pc.fallbackAnn
 		col = obs.NewCollector()
 		tracer = obs.NewTracer(e.clock)
-		col.SetFallback(fallbackReason(re))
-		res, err = e.governedRun(ctx, plan, nil, col, tracer)
+		col.SetFallback(fallbackReason(fe))
+		res, err = e.governedRun(ctx, plan, nil, col, tracer, false)
 	}
 	if err != nil {
 		return nil, err
@@ -729,6 +793,9 @@ func (a *Analysis) String() string {
 	if a.Governance.BudgetBytes > 0 {
 		fmt.Fprintf(&sb, "memory budget: %d bytes (high-water state %d bytes)\n",
 			a.Governance.BudgetBytes, a.Governance.UsedBytes)
+	}
+	if a.Governance.SpillBytes > 0 {
+		fmt.Fprintf(&sb, "spilled to disk: %d bytes\n", a.Governance.SpillBytes)
 	}
 	if a.Governance.Fallback {
 		fmt.Fprintf(&sb, "fallback: %s\n", a.Governance.FallbackReason)

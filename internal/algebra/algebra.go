@@ -238,6 +238,12 @@ type GroupBy struct {
 	Input     Node
 	GroupCols []expr.ColumnID
 	Aggs      []AggItem
+	// Ordered is the optimizer's order-properties hint: the input provably
+	// streams ordered on a (all-ascending) key sequence covering GroupCols,
+	// so the executor may group in a single streaming pass with no sort and
+	// no hash table. The plan verifier's order-requirement rule checks the
+	// claim against an ancestor Sort; execution stays correct either way.
+	Ordered bool
 }
 
 // Schema returns the grouping columns (with their input types) followed by
@@ -309,6 +315,23 @@ func (s *Sort) Describe() string {
 	}
 	return "Sort [" + strings.Join(keys, ", ") + "]"
 }
+
+// Limit passes through the first N rows of its input and discards the
+// rest. Combined with a Sort input it is the logical TopK the executor
+// fuses into a bounded-heap operator.
+type Limit struct {
+	Input Node
+	N     int64
+}
+
+// Schema passes the input schema through.
+func (l *Limit) Schema() Schema { return l.Input.Schema() }
+
+// Children returns the single input.
+func (l *Limit) Children() []Node { return []Node{l.Input} }
+
+// Describe renders the row bound.
+func (l *Limit) Describe() string { return fmt.Sprintf("Limit %d", l.N) }
 
 // Values is an inline table of literal rows, used by tests and by INSERT
 // planning.

@@ -99,6 +99,11 @@ type Governed struct {
 	// Vectorize runs the plan through the columnar batch engine instead of
 	// the row-at-a-time engine; results are identical either way.
 	Vectorize bool
+	// SpillDir, when non-empty (and a MemoryBudget is set), lets each
+	// repetition spill operator state to disk instead of aborting with a
+	// budget error — the crossover E15 measures. Temp files are swept when
+	// the run returns.
+	SpillDir string
 }
 
 func (g Governed) ctx() context.Context {
@@ -113,12 +118,19 @@ func (g Governed) ctx() context.Context {
 // g.Fallback (when set): the plan, label, cardinalities and metrics then
 // describe the fallback plan, and Fallbacks records the switch. Without a
 // fallback, the budget abort — like a cancellation — fails the run with
-// the executor's typed error.
+// the executor's typed error. With g.SpillDir set, a budgeted rep spills to
+// disk instead of aborting; a spill failure degrades to the fallback (run
+// in memory) the same way a budget abort does.
 func RunPlanGoverned(label string, plan algebra.Node, store *storage.Store, reps, parallelism int, g Governed) (*PlanRun, error) {
 	if reps < 1 {
 		reps = 1
 	}
 	run := &PlanRun{Label: label, Plan: plan, Vectorize: g.Vectorize}
+	var spill *storage.SpillManager
+	if g.SpillDir != "" && g.MemoryBudget > 0 {
+		spill = storage.NewSpillManager(g.SpillDir)
+		defer func() { _ = spill.Cleanup() }()
+	}
 	var rows []value.Row
 	for i := 0; i < reps; i++ {
 		ann := make(algebra.Annotations)
@@ -126,18 +138,23 @@ func RunPlanGoverned(label string, plan algebra.Node, store *storage.Store, reps
 		start := time.Now()
 		res, err := exec.Run(plan, store, &exec.Options{
 			Stats: ann, Metrics: col, Parallelism: parallelism,
-			Vectorize: g.Vectorize,
-			Context:   g.ctx(), MemoryBudget: g.MemoryBudget,
+			Vectorize: g.Vectorize, Spill: spill,
+			Context: g.ctx(), MemoryBudget: g.MemoryBudget,
 		})
 		elapsed := time.Since(start)
 		var re *exec.ResourceError
-		if err != nil && run.Fallbacks == 0 && g.Fallback != nil && errors.As(err, &re) {
+		var se *exec.SpillError
+		if err != nil && run.Fallbacks == 0 && g.Fallback != nil &&
+			(errors.As(err, &re) || errors.As(err, &se)) {
 			// Degrade once, for this and every remaining repetition; the
-			// first over-budget rep restarts the loop on the fallback plan.
+			// first over-budget (or spill-failed) rep restarts the loop on
+			// the fallback plan, in memory — mirroring the engine, a spill
+			// failure must not retry through the same failing disk.
 			run.Fallbacks = 1
 			run.Label = label + " [over budget: fell back to lazy plan]"
 			plan, run.Plan = g.Fallback, g.Fallback
 			run.Duration = 0
+			spill = nil
 			i = -1
 			continue
 		}

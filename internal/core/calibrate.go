@@ -114,6 +114,15 @@ func (c *Calibration) Annotations() algebra.Annotations {
 		if nc.Metrics.CommBytes > 0 {
 			fmt.Fprintf(&note, " ship=%dB", nc.Metrics.CommBytes)
 		}
+		if nc.Metrics.SpillBytes > 0 {
+			fmt.Fprintf(&note, " spill_bytes=%d", nc.Metrics.SpillBytes)
+		}
+		if nc.Metrics.SpillParts > 0 {
+			fmt.Fprintf(&note, " parts=%d", nc.Metrics.SpillParts)
+		}
+		if nc.Metrics.SortRuns > 0 {
+			fmt.Fprintf(&note, " runs=%d", nc.Metrics.SortRuns)
+		}
 		ann[nc.Node] = algebra.Annotation{Rows: nc.Actual, Note: note.String()}
 	}
 	return ann

@@ -280,6 +280,10 @@ func (m *CostModel) estimate(n algebra.Node, ann algebra.Annotations) (cost, row
 		inCost, inRows := m.estimate(node.Input, ann)
 		rows = inRows
 		cost = inCost + m.parallelWork(inRows*costSortRow)
+	case *algebra.Limit:
+		inCost, inRows := m.estimate(node.Input, ann)
+		rows = math.Min(inRows, float64(node.N))
+		cost = inCost
 	default:
 		rows = 1
 		cost = 1

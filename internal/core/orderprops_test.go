@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/plancheck"
+)
+
+// planGroupBy finds the GroupBy the order-properties pass should have
+// annotated, failing if the plan has none.
+func planGroupBy(t *testing.T, plan algebra.Node) *algebra.GroupBy {
+	t.Helper()
+	var g *algebra.GroupBy
+	algebra.Walk(plan, func(n algebra.Node) {
+		if gb, ok := n.(*algebra.GroupBy); ok {
+			g = gb
+		}
+	})
+	if g == nil {
+		t.Fatalf("plan has no GroupBy:\n%s", algebra.Format(plan, nil))
+	}
+	return g
+}
+
+// TestOrderAnnotationOnDerivedTable pins the order-properties pass end to
+// end: grouping over a derived table whose ORDER BY covers the grouping
+// columns gets GroupBy.Ordered set — the hint that lets the executor stream
+// groups without hashing or re-sorting — and the annotated plan passes the
+// plan checker's independent order-requirement proof.
+func TestOrderAnnotationOnDerivedTable(t *testing.T) {
+	s := example1Store(t)
+	o := NewOptimizer(s)
+	b, err := o.Planner().Bind(parse(t, `
+		SELECT T.DeptID, COUNT(T.EmpID)
+		FROM (SELECT E.DeptID AS DeptID, E.EmpID AS EmpID
+		      FROM Employee E ORDER BY DeptID) T
+		GROUP BY T.DeptID`))
+	must(t, err)
+	plan, err := o.Planner().PlanStandard(b)
+	must(t, err)
+
+	g := planGroupBy(t, plan)
+	if !g.Ordered {
+		t.Fatalf("GroupBy.Ordered not set on sorted derived-table input:\n%s", algebra.Format(plan, nil))
+	}
+	if err := plancheck.Verify(plan, nil); err != nil {
+		t.Fatalf("annotated plan fails the plan checker: %v", err)
+	}
+}
+
+// TestOrderAnnotationRequiresCoveringSort is the negative space of the pass:
+// an ORDER BY on a non-grouping column, a descending key, or no ORDER BY at
+// all must leave Ordered unset.
+func TestOrderAnnotationRequiresCoveringSort(t *testing.T) {
+	s := example1Store(t)
+	o := NewOptimizer(s)
+	for _, tc := range []struct {
+		name, query string
+	}{
+		{"no-sort", `
+			SELECT T.DeptID, COUNT(T.EmpID)
+			FROM (SELECT E.DeptID AS DeptID, E.EmpID AS EmpID FROM Employee E) T
+			GROUP BY T.DeptID`},
+		{"wrong-column", `
+			SELECT T.DeptID, COUNT(T.EmpID)
+			FROM (SELECT E.DeptID AS DeptID, E.EmpID AS EmpID
+			      FROM Employee E ORDER BY EmpID) T
+			GROUP BY T.DeptID`},
+		{"descending", `
+			SELECT T.DeptID, COUNT(T.EmpID)
+			FROM (SELECT E.DeptID AS DeptID, E.EmpID AS EmpID
+			      FROM Employee E ORDER BY DeptID DESC) T
+			GROUP BY T.DeptID`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := o.Planner().Bind(parse(t, tc.query))
+			must(t, err)
+			plan, err := o.Planner().PlanStandard(b)
+			must(t, err)
+			if g := planGroupBy(t, plan); g.Ordered {
+				t.Fatalf("Ordered set without a covering ascending sort:\n%s", algebra.Format(plan, nil))
+			}
+			if err := plancheck.Verify(plan, nil); err != nil {
+				t.Fatalf("plan checker rejects a valid unannotated plan: %v", err)
+			}
+		})
+	}
+}
+
+// TestPlancheckRejectsUnjustifiedOrderedHint pins the checker's adversarial
+// role: Ordered forced onto a GroupBy whose input order proves nothing is an
+// order-requirement violation — the checker re-derives the proof instead of
+// trusting the optimizer's annotation.
+func TestPlancheckRejectsUnjustifiedOrderedHint(t *testing.T) {
+	s := example1Store(t)
+	o := NewOptimizer(s)
+	b, err := o.Planner().Bind(parse(t, `
+		SELECT E.DeptID, COUNT(E.EmpID) FROM Employee E GROUP BY E.DeptID`))
+	must(t, err)
+	plan, err := o.Planner().PlanStandard(b)
+	must(t, err)
+
+	g := planGroupBy(t, plan)
+	if g.Ordered {
+		t.Fatal("plain scan input must not be order-annotated")
+	}
+	g.Ordered = true // an optimizer bug, simulated
+	err = plancheck.Verify(plan, nil)
+	if err == nil {
+		t.Fatal("plan checker accepted an unjustified Ordered hint")
+	}
+	if !strings.Contains(err.Error(), "order-requirement") {
+		t.Fatalf("violation cites the wrong rule: %v", err)
+	}
+}
+
+// TestPlancheckRejectsLimitUnderJoin pins the spill-safety rule: a Limit
+// feeding a join (or group) through cardinality-transparent operators
+// truncates an intermediate a re-reading operator depends on. The planner
+// never builds this shape — user LIMITs inside derived tables sit behind a
+// projection — so the checker flags it as an optimizer bug.
+func TestPlancheckRejectsLimitUnderJoin(t *testing.T) {
+	s := example1Store(t)
+	o := NewOptimizer(s)
+	b, err := o.Planner().Bind(parse(t, example1SQL))
+	must(t, err)
+	plan, err := o.Planner().PlanStandard(b)
+	must(t, err)
+
+	// Splice a Limit directly above one join input, simulating an unsound
+	// push-down.
+	var join *algebra.Join
+	algebra.Walk(plan, func(n algebra.Node) {
+		if j, ok := n.(*algebra.Join); ok {
+			join = j
+		}
+	})
+	if join == nil {
+		t.Fatalf("plan has no Join:\n%s", algebra.Format(plan, nil))
+	}
+	join.L = &algebra.Limit{Input: join.L, N: 1}
+	err = plancheck.Verify(plan, nil)
+	if err == nil {
+		t.Fatal("plan checker accepted a Limit feeding a join input")
+	}
+	if !strings.Contains(err.Error(), "spill-safety") {
+		t.Fatalf("violation cites the wrong rule: %v", err)
+	}
+}

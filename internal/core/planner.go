@@ -74,6 +74,9 @@ type BoundQuery struct {
 	OrderBy []algebra.SortItem
 	// Distinct is the SELECT DISTINCT flag.
 	Distinct bool
+	// Limit is the LIMIT row count; meaningful only when HasLimit is set.
+	Limit    int64
+	HasLimit bool
 }
 
 // Tables returns the effective aliases of the FROM entries in order.
@@ -93,7 +96,7 @@ func (p *Planner) Bind(q *sql.SelectStmt) (*BoundQuery, error) {
 	if len(q.From) == 0 {
 		return nil, fmt.Errorf("core: query has no FROM clause")
 	}
-	b := &BoundQuery{stmt: q, Distinct: q.Distinct}
+	b := &BoundQuery{stmt: q, Distinct: q.Distinct, Limit: q.Limit, HasLimit: q.HasLimit}
 	seen := make(map[string]bool)
 	for _, ref := range q.From {
 		alias := ref.EffectiveAlias()
@@ -644,6 +647,10 @@ func (p *Planner) finishPlan(b *BoundQuery, input algebra.Node, items []algebra.
 		}
 		plan = &algebra.Sort{Input: plan, Keys: b.OrderBy}
 	}
+	if b.HasLimit {
+		plan = &algebra.Limit{Input: plan, N: b.Limit}
+	}
+	annotateOrder(plan)
 	return plan, nil
 }
 

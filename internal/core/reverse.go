@@ -183,7 +183,7 @@ func (o *Optimizer) mergeAggregatedView(b *BoundQuery) (*mergedView, string, err
 		return nil, "no aggregated view in FROM", nil
 	}
 	v := viewBT.view
-	if len(v.GroupBy) == 0 || v.Having != nil || v.Distinct || len(v.OrderBy) != 0 {
+	if len(v.GroupBy) == 0 || v.Having != nil || v.Distinct || len(v.OrderBy) != 0 || v.HasLimit {
 		return nil, "view is not a plain aggregation query", nil
 	}
 
@@ -290,6 +290,10 @@ func (o *Optimizer) mergeAggregatedView(b *BoundQuery) (*mergedView, string, err
 	for _, k := range b.OrderBy {
 		flat.OrderBy = append(flat.OrderBy, sql.OrderItem{Col: expr.ColumnID{Name: k.Col.Name}, Desc: k.Desc})
 	}
+	// LIMIT on the outer query survives merging unchanged: it bounds the
+	// final result either way.
+	flat.Limit = b.Limit
+	flat.HasLimit = b.HasLimit
 	out := &mergedView{flat: flat, viewAlias: viewBT.alias, viewGroupBy: vb.GroupBy}
 	for _, bt := range vb.tables {
 		out.viewTables = append(out.viewTables, bt.alias)

@@ -81,5 +81,9 @@ func (p *Planner) PlanTransformed(shape *Shape) (algebra.Node, error) {
 		}
 		plan = &algebra.Sort{Input: plan, Keys: b.OrderBy}
 	}
+	if b.HasLimit {
+		plan = &algebra.Limit{Input: plan, N: b.Limit}
+	}
+	annotateOrder(plan)
 	return plan, nil
 }

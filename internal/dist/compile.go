@@ -275,6 +275,20 @@ func (c *compiler) comp(n algebra.Node) (algebra.Node, bool, error) {
 		c.register(out, node)
 		return out, false, nil
 
+	case *algebra.Limit:
+		// Truncation is only correct on the fully merged stream: gather
+		// partitioned input to the coordinator before applying the bound.
+		in, part, err := c.comp(node.Input)
+		if err != nil {
+			return nil, false, err
+		}
+		if part {
+			in = c.exchange(Gather, nil, in, node.Input)
+		}
+		out := &algebra.Limit{Input: in, N: node.N}
+		c.register(out, node)
+		return out, false, nil
+
 	case *algebra.GroupBy:
 		return c.compGroup(node)
 

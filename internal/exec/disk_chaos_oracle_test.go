@@ -1,0 +1,146 @@
+package exec_test
+
+// The disk-chaos oracle: the spilling executor under deterministic disk
+// fault injection. Every query runs at three budget levels — tight (a few
+// KiB, forcing external sorts, grace joins and external aggregation),
+// loose (64 KiB), and unlimited — across row/vectorized × serial/parallel
+// modes, with a seeded schedule that can fail spill-file writes, truncate
+// them mid-record, fail reads back, or fail the close. Each run must end in
+// exactly one of two ways: byte-identical rows to the unlimited in-memory
+// reference, or a clean typed error (*exec.SpillError for disk faults, plus
+// the classic chaos set). Never partial rows, never an untyped error, never
+// a leaked goroutine, and — the disk-specific invariant — never a leaked
+// temp file: every run's SpillManager must report zero live files the
+// moment exec.Run returns, error or not. "make spill-oracle" runs this
+// suite under the race detector.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// diskChaosExpectedError extends the chaos error set with the spill
+// subsystem's typed failure.
+func diskChaosExpectedError(err error) bool {
+	var se *exec.SpillError
+	return chaosExpectedError(err) || errors.As(err, &se)
+}
+
+func TestDiskChaosOracle(t *testing.T) {
+	targetQueries := 200
+	if testing.Short() {
+		targetQueries = 40
+	}
+	r := rand.New(rand.NewSource(0xD15C0AC))
+	baseline := runtime.NumGoroutine()
+	spillDir := t.TempDir()
+
+	queries, cleanRuns, faultedRuns, spilledRuns := 0, 0, 0, 0
+	for queries < targetQueries {
+		store := randomSweepStore(t, r)
+		qs := sweepQueries(r)
+		query := qs[r.Intn(len(qs))]
+		q, err := sql.ParseQuery(query)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", query, err)
+		}
+		report, err := core.NewOptimizer(store).Optimize(q)
+		if err != nil {
+			t.Fatalf("optimizing %q: %v", query, err)
+		}
+		plans := []algebra.Node{report.Standard}
+		if report.Alternative != nil {
+			plans = append(plans, report.Alternative)
+		}
+		plan := plans[r.Intn(len(plans))]
+
+		// The oracle: unlimited memory, no spilling, no faults, serial,
+		// row-at-a-time. Every budgeted/spilled/faulted run below is held
+		// to these exact rows in this exact order.
+		oracleRes, err := exec.Run(plan, store, &exec.Options{})
+		if err != nil {
+			t.Fatalf("oracle run for %q: %v", query, err)
+		}
+		want := rowStrings(oracleRes.Rows)
+
+		// One run per budget level: tight (forces spilling on most stores),
+		// loose, unlimited (the spill gate must stay dormant).
+		for _, budget := range []int64{1 + r.Int63n(8<<10), 64 << 10, 0} {
+			ctx, cancel := context.WithCancel(context.Background())
+			inj := fault.NewSeededDisk(r.Int63(), 2000, 4).
+				WithCancel(cancel).
+				WithDelay(20 * time.Microsecond)
+			mgr := storage.NewSpillManager(spillDir)
+			col := obs.NewCollector()
+			par := 1 + 3*r.Intn(2) // 1 or 4
+			vecMode := r.Intn(2) == 1
+			opts := &exec.Options{
+				Parallelism: par, Vectorize: vecMode,
+				Context: ctx, Faults: inj,
+				MemoryBudget: budget, Spill: mgr, Metrics: col,
+			}
+			res, err := exec.Run(plan, store, opts)
+			cancel()
+			if err == nil {
+				cleanRuns++
+				if col.Gov().SpillBytes > 0 {
+					spilledRuns++
+				}
+				got := rowStrings(res.Rows)
+				if !sameRowOrder(want, got) {
+					t.Fatalf("spilled run diverged from the in-memory oracle\nquery: %s\npar=%d vec=%v budget=%d spill_bytes=%d schedule=%v\noracle (%d rows): %v\nrun (%d rows): %v",
+						query, par, vecMode, budget, col.Gov().SpillBytes, inj.Events(), len(want), want, len(got), got)
+				}
+			} else {
+				faultedRuns++
+				if res != nil {
+					t.Fatalf("failed run returned a partial result\nquery: %s\nerr: %v", query, err)
+				}
+				if !diskChaosExpectedError(err) {
+					t.Fatalf("disk fault surfaced as an untyped error\nquery: %s\npar=%d vec=%v budget=%d schedule=%v\nerr (%T): %v",
+						query, par, vecMode, budget, inj.Events(), err, err)
+				}
+			}
+			// The temp-file leak check, success and failure alike: every
+			// spill file the run created must already be removed.
+			if n := mgr.Live(); n != 0 {
+				t.Fatalf("run leaked %d spill files\nquery: %s\nbudget=%d err=%v schedule=%v",
+					n, query, budget, err, inj.Events())
+			}
+			if err := mgr.Cleanup(); err != nil {
+				t.Fatalf("cleanup after %q: %v", query, err)
+			}
+		}
+		queries++
+	}
+	if spilledRuns == 0 {
+		t.Fatal("no run spilled to disk — the tight budgets never engaged the spill path")
+	}
+
+	// Goroutine leak check, as in the classic chaos oracle.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle after the disk-chaos sweep: baseline %d, now %d",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Logf("disk-chaos oracle: %d queries × 3 budgets — %d clean runs (%d spilled), %d typed-error runs",
+		queries, cleanRuns, spilledRuns, faultedRuns)
+}

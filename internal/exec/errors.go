@@ -24,6 +24,31 @@ func (e *ResourceError) Error() string {
 	return fmt.Sprintf("exec: memory budget exceeded: %s needs %d bytes of operator state, budget is %d", e.Op, e.Used, e.Budget)
 }
 
+// SpillError reports a failure in the spill-to-disk machinery: a temp-file
+// create, write, read, remove or close that failed (including injected disk
+// faults). Spill operators never return partial results — any disk failure
+// aborts the query with a SpillError wrapping the cause, and the engine may
+// retry the query without spilling (the eager→lazy fallback path counts
+// these retries alongside budget aborts).
+type SpillError struct {
+	// Op names the spilling operator ("external sort", "grace hash join",
+	// "external aggregation").
+	Op string
+	// Stage names the failing I/O stage ("write run", "read partition",
+	// "close", ...).
+	Stage string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the spill failure.
+func (e *SpillError) Error() string {
+	return fmt.Sprintf("exec: spill failed in %s (%s): %v", e.Op, e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *SpillError) Unwrap() error { return e.Err }
+
 // ExecPanicError wraps a panic recovered inside the executor — in a morsel
 // worker, a concurrently drained join input, or the serial operator stack —
 // so that one runaway operator fails its query with a typed error instead

@@ -135,6 +135,17 @@ type Options struct {
 	// fault) advanced once per governed row event. Testing only: the chaos
 	// oracle drives it. Nil keeps the row path fault-free and unchecked.
 	Faults *fault.Injector
+	// Spill, when non-nil (and a MemoryBudget is set), enables graceful
+	// spill-to-disk execution: sorts become external merge sorts, hash
+	// aggregation degrades to sort-based external aggregation, and hash
+	// joins become grace hash joins — all spilling through this temp-file
+	// manager when the budget refuses operator state, instead of aborting
+	// with a *ResourceError. Results are byte-identical to the in-memory
+	// operators. Disk failures (and injected disk faults) surface as typed
+	// *SpillError values; temp files are removed by operator Close, so the
+	// manager's Live() count is 0 after every run. Without a budget the
+	// manager is ignored — nothing can trigger a spill.
+	Spill *storage.SpillManager
 	// Vectorize switches the hot operators — scan, filter, bare-column
 	// projection, hash join, hash grouping — to columnar batch execution
 	// (package vec): typed column vectors with null bitmaps, selection
@@ -174,6 +185,12 @@ func Run(root algebra.Node, store *storage.Store, opts *Options) (res *Result, e
 	}
 	defer func() {
 		if r := recover(); r != nil {
+			// A panic unwinds past every operator Close, so any spill files
+			// the run created are still on disk; sweep them here so the
+			// "zero live files after Run" contract holds on panic paths too.
+			if opts.Spill != nil {
+				_ = opts.Spill.Cleanup()
+			}
 			res, err = nil, panicError(root.Describe(), -1, r)
 		}
 	}()
@@ -183,6 +200,9 @@ func Run(root algebra.Node, store *storage.Store, opts *Options) (res *Result, e
 		c.clock = obs.Wall
 	}
 	c.gov = newGovernor(opts)
+	if opts.Spill != nil && c.gov != nil && c.gov.budget > 0 {
+		c.spill = opts.Spill
+	}
 	if opts.Metrics != nil {
 		opts.Metrics.SetWorkers(c.par)
 		if opts.MemoryBudget > 0 {
@@ -206,6 +226,9 @@ func Run(root algebra.Node, store *storage.Store, opts *Options) (res *Result, e
 	}
 	if opts.Metrics != nil && c.gov != nil {
 		opts.Metrics.SetBudgetUsed(c.gov.usedBytes())
+		if sp := c.gov.spilledBytes(); sp > 0 {
+			opts.Metrics.SetSpilled(sp)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -302,6 +325,10 @@ type compiler struct {
 	// context, memory budget or fault injector is configured, in which
 	// case no governOp wrappers are inserted either.
 	gov *governor
+	// spill is the temp-file manager for spill-capable operators; nil when
+	// spilling is off (no manager, or no budget to overflow), in which
+	// case the in-memory operators compile exactly as before.
+	spill *storage.SpillManager
 }
 
 func (c *compiler) compile(n algebra.Node) (compiled, error) {
@@ -486,7 +513,15 @@ func (c *compiler) compileInner(n algebra.Node) (compiled, error) {
 		if !allAsc {
 			outOrder = nil // mixed directions: no OrderKey-ascending guarantee
 		}
+		if c.spill != nil {
+			return compiled{
+				op:    &extSortOp{input: in.op, keys: keys, gov: c.gov, mgr: c.spill, metrics: c.nodeMetrics(n), where: n.Describe()},
+				order: outOrder,
+			}, nil
+		}
 		return compiled{op: &sortOp{input: in.op, keys: keys, par: c.par}, order: outOrder}, nil
+	case *algebra.Limit:
+		return c.compileLimit(node)
 	default:
 		return compiled{}, fmt.Errorf("exec: no physical implementation for %T", n)
 	}

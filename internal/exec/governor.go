@@ -30,8 +30,10 @@ type governor struct {
 	done   <-chan struct{}
 	budget int64 // bytes; 0 means unlimited
 	faults *fault.Injector
-	used   atomic.Int64
-	ticks  atomic.Int64
+	used    atomic.Int64
+	hi      atomic.Int64 // high-water mark of used, for reporting
+	ticks   atomic.Int64
+	spilled atomic.Int64 // total bytes written to spill files
 }
 
 // newGovernor builds the execution's governor, or nil when every
@@ -97,16 +99,85 @@ func (g *governor) charge(op string, n int64) error {
 		return nil
 	}
 	used := g.used.Add(n)
+	g.note(used)
 	if g.budget > 0 && used > g.budget {
 		return &ResourceError{Budget: g.budget, Used: used, Op: op}
 	}
 	return nil
 }
 
+// tryCharge is the spill-capable variant of charge: it attempts to admit n
+// bytes and reports whether they fit. On refusal the charge is backed out,
+// so the caller can release other state (by spilling it to disk) and retry
+// instead of aborting — a budget breach becomes a partitioning decision,
+// not a *ResourceError. A nil governor admits everything.
+func (g *governor) tryCharge(n int64) bool {
+	if g == nil {
+		return true
+	}
+	used := g.used.Add(n)
+	g.note(used)
+	if g.budget > 0 && used > g.budget {
+		g.used.Add(-n)
+		return false
+	}
+	return true
+}
+
+// release returns n bytes of previously charged state to the budget —
+// called when a spill operator writes its buffered state to disk. Only
+// spill operators release; ordinary operators keep the charge-forever
+// high-water semantics.
+func (g *governor) release(n int64) {
+	if g == nil {
+		return
+	}
+	g.used.Add(-n)
+}
+
+// note maintains the high-water mark via CAS.
+func (g *governor) note(used int64) {
+	for {
+		hi := g.hi.Load()
+		if used <= hi || g.hi.CompareAndSwap(hi, used) {
+			return
+		}
+	}
+}
+
+// noteSpill accounts n bytes written to a spill file (reporting only; spill
+// bytes live on disk and are not budget state).
+func (g *governor) noteSpill(n int64) {
+	if g == nil {
+		return
+	}
+	g.spilled.Add(n)
+}
+
+// spilledBytes reports the total bytes written to spill files.
+func (g *governor) spilledBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.spilled.Load()
+}
+
+// diskTick advances the fault injector from a spill-file operation,
+// exposing the disk fault kinds. Nil-safe.
+func (g *governor) diskTick() error {
+	if g == nil || g.faults == nil {
+		return nil
+	}
+	return g.faults.DiskStep()
+}
+
 // usedBytes reports the accounted state high-water mark.
 func (g *governor) usedBytes() int64 {
 	if g == nil {
 		return 0
+	}
+	if hi := g.hi.Load(); hi > 0 {
+		return hi
 	}
 	return g.used.Load()
 }

@@ -62,10 +62,14 @@ func (c *compiler) compileGroupBy(node *algebra.GroupBy) (compiled, error) {
 	}
 	// Streams already ordered on the grouping columns have contiguous
 	// groups: a single aggregation pass with no sort and no hash table.
+	// The optimizer's order-properties pass can assert the same thing from
+	// the plan shape (node.Ordered); the executor still verifies against
+	// its own propagated order and falls back to a real sort if the hint
+	// outruns what the physical stream guarantees.
 	preSorted := orderedPrefixSet(in.order, groupCols)
 	strategy := c.opts.Group
 	if strategy == GroupAuto {
-		if preSorted {
+		if preSorted || node.Ordered {
 			strategy = GroupSort
 		} else {
 			strategy = GroupHash
@@ -88,6 +92,17 @@ func (c *compiler) compileGroupBy(node *algebra.GroupBy) (compiled, error) {
 				}
 			}
 		}
+	}
+	if c.spill != nil {
+		// Spill-capable aggregation: both forms degrade to sort-based
+		// external aggregation instead of tripping the budget.
+		if strategy == GroupSort {
+			return compiled{
+				op:    &spillGroupOp{groupCore: base, mgr: c.spill, preSorted: preSorted},
+				order: outOrder,
+			}, nil
+		}
+		return compiled{op: &spillGroupOp{groupCore: base, mgr: c.spill, byKey: true}}, nil
 	}
 	if strategy == GroupSort {
 		return compiled{

@@ -79,6 +79,18 @@ func (c *compiler) compileJoin(node *algebra.Join, key algebra.Node) (compiled, 
 		// Probe order follows the left input; left columns keep their
 		// positions in the concatenated schema. The partitioned parallel
 		// hash join reproduces the same output order.
+		if c.spill != nil {
+			// Grace hash join: identical streaming behaviour while the
+			// build fits the budget, partitioned spill execution beyond it.
+			return compiled{
+				op: &spillHashJoinOp{
+					left: left.op, right: right.op, keys: keys,
+					residual: boundResidual, params: c.opts.Params,
+					metrics: metrics, gov: c.gov, mgr: c.spill, where: where,
+				},
+				order: left.order,
+			}, nil
+		}
 		if c.opts.Vectorize {
 			return compiled{
 				op: &vecHashJoinOp{

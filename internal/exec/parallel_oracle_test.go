@@ -101,9 +101,10 @@ func joinInputRows(plan algebra.Node, col *obs.Collector) int64 {
 // asserts that every mode returns exactly the serial row path's rows in its
 // order with identical per-operator cardinalities (RowsOut and RowsIn;
 // Batches is intentionally excluded — it is a mode-specific scheduling
-// statistic). The serial row path is the reference semantics; the other
-// three modes are the three-way differential the vectorized engine is held
-// to.
+// statistic; plans containing a Limit skip the cardinality comparison, since
+// early termination makes interior counts depend on which mode could elide
+// the sort). The serial row path is the reference semantics; the other three
+// modes are the three-way differential the vectorized engine is held to.
 func checkSerialVsParallel(t *testing.T, label, query string, plan algebra.Node, store *storage.Store, js exec.JoinStrategy, gs exec.GroupStrategy) []string {
 	t.Helper()
 	serialRows, serialAnn, serialCol := runWithStats(t, plan, store, exec.Options{Join: js, Group: gs})
@@ -116,6 +117,16 @@ func checkSerialVsParallel(t *testing.T, label, query string, plan algebra.Node,
 		{"vec/serial", exec.Options{Join: js, Group: gs, Vectorize: true}},
 		{"vec/parallel", exec.Options{Join: js, Group: gs, Parallelism: oracleParallelism, Vectorize: true}},
 	}
+	// Early termination makes interior cardinalities plan-shape-dependent:
+	// under a LIMIT, a mode whose input order lets the sort elide pulls only
+	// N rows through the chain, while a mode that fuses a TopK consumes the
+	// whole input. Output equality still holds; per-node counts need not.
+	hasLimit := false
+	algebra.Walk(plan, func(n algebra.Node) {
+		if _, ok := n.(*algebra.Limit); ok {
+			hasLimit = true
+		}
+	})
 	for _, m := range modes {
 		parRows, parAnn, parCol := runWithStats(t, plan, store, m.opts)
 		p := rowStrings(parRows)
@@ -124,24 +135,33 @@ func checkSerialVsParallel(t *testing.T, label, query string, plan algebra.Node,
 				label, js, gs, m.mode, query, len(s), s, m.mode, len(p), p)
 		}
 		algebra.Walk(plan, func(n algebra.Node) {
-			if serialAnn[n].Rows != parAnn[n].Rows {
-				t.Fatalf("%s plan, join=%v group=%v: node %T output cardinality %d row/serial vs %d %s\nquery: %s",
-					label, js, gs, n, serialAnn[n].Rows, parAnn[n].Rows, m.mode, query)
-			}
 			sm, pm := serialCol.Lookup(n), parCol.Lookup(n)
 			if sm == nil || pm == nil {
 				t.Fatalf("%s plan, join=%v group=%v: node %T missing from metrics collector (row/serial=%v %s=%v)",
 					label, js, gs, n, sm != nil, m.mode, pm != nil)
 			}
-			// The metrics collector must agree across modes and with the
-			// legacy Stats sink (the compat shim shares one counter).
-			if sm.RowsOut.Load() != pm.RowsOut.Load() {
-				t.Fatalf("%s plan, join=%v group=%v: node %T RowsOut %d row/serial vs %d %s\nquery: %s",
-					label, js, gs, n, sm.RowsOut.Load(), pm.RowsOut.Load(), m.mode, query)
-			}
+			// The two sinks must agree with each other in every mode,
+			// limit or not — they share one counter.
 			if sm.RowsOut.Load() != serialAnn[n].Rows {
 				t.Fatalf("%s plan, join=%v group=%v: node %T metrics RowsOut %d disagrees with Stats %d\nquery: %s",
 					label, js, gs, n, sm.RowsOut.Load(), serialAnn[n].Rows, query)
+			}
+			if pm.RowsOut.Load() != parAnn[n].Rows {
+				t.Fatalf("%s plan, join=%v group=%v: %s node %T metrics RowsOut %d disagrees with Stats %d\nquery: %s",
+					label, js, gs, m.mode, n, pm.RowsOut.Load(), parAnn[n].Rows, query)
+			}
+			if hasLimit {
+				return
+			}
+			if serialAnn[n].Rows != parAnn[n].Rows {
+				t.Fatalf("%s plan, join=%v group=%v: node %T output cardinality %d row/serial vs %d %s\nquery: %s",
+					label, js, gs, n, serialAnn[n].Rows, parAnn[n].Rows, m.mode, query)
+			}
+			// The metrics collector must agree across modes (limit-free
+			// plans only, per above).
+			if sm.RowsOut.Load() != pm.RowsOut.Load() {
+				t.Fatalf("%s plan, join=%v group=%v: node %T RowsOut %d row/serial vs %d %s\nquery: %s",
+					label, js, gs, n, sm.RowsOut.Load(), pm.RowsOut.Load(), m.mode, query)
 			}
 			// RowsIn is a structural invariant (sum of children's outputs), so
 			// it must match between modes too.
@@ -267,6 +287,15 @@ func sweepQueries(r *rand.Rand) []string {
 		 GROUP BY D.DimID, D.Label ORDER BY DimID DESC`,
 		`SELECT DISTINCT F.GroupID
 		 FROM Fact F, Dim D WHERE F.DimID = D.DimID`,
+		`SELECT F.GroupID, SUM(F.V), COUNT(*)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID
+		 GROUP BY F.GroupID ORDER BY GroupID`,
+		fmt.Sprintf(`SELECT D.DimID, D.Label, SUM(F.V)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID
+		 GROUP BY D.DimID, D.Label ORDER BY DimID LIMIT %d`, 1+r.Intn(6)),
+		fmt.Sprintf(`SELECT D.DimID, MAX(F.V)
+		 FROM Fact F, Dim D WHERE F.DimID = D.DimID
+		 GROUP BY D.DimID ORDER BY DimID DESC LIMIT %d`, 1+r.Intn(4)),
 	}
 }
 

@@ -1,0 +1,440 @@
+// Spill-to-disk execution. When Options.Spill supplies a temp-file manager
+// and a memory budget is set, the compiler swaps the memory-bound operators
+// for spill-capable ones: a budget breach becomes a partitioning decision —
+// external merge sort (sorted runs + k-way merge), sort-based external
+// aggregation, and a grace hash join (partition build+probe to temp files,
+// recurse on oversized partitions) — instead of a *ResourceError. The
+// paper's premise survives memory pressure: group-by placement stays a cost
+// choice, not a survival choice.
+//
+// Spilled results are byte-identical to the in-memory operators' output.
+// Every spilled record carries its arrival sequence number, and each
+// operator re-establishes the exact in-memory output order from those
+// sequences: the external sort tie-breaks on arrival order (≡ stable
+// sort), the grace join orders its output by (probe seq, build seq)
+// (≡ probe order with build-insertion-order matches), and external
+// aggregation orders groups by first-arrival sequence (≡ hash
+// first-appearance order).
+//
+// Disk I/O is fault-injectable (fault.DiskStep fires per record written,
+// read and per file close) and any failure — injected or real — aborts the
+// operator with a typed *SpillError wrapping the cause; a spill operator
+// never returns a partial result. Temp files are created only through the
+// storage.SpillManager (enforced by the spillcleanup analyzer), tracked by
+// the operator that made them and removed at Close, so Live() == 0 holds
+// after every run, faulted or not.
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// spillRow is one spilled record: the row plus the arrival sequence the
+// operators use to reconstruct in-memory output order.
+type spillRow struct {
+	seq int64
+	row value.Row
+}
+
+// Value tags of the spill row codec.
+const (
+	spillTagNull = iota
+	spillTagInt
+	spillTagFloat
+	spillTagString
+	spillTagBool
+)
+
+// appendSpillRow encodes (seq, row) into buf: varint seq, uvarint column
+// count, then one tagged value per column (varint int payloads, fixed
+// 64-bit float bits, uvarint-length strings).
+func appendSpillRow(buf []byte, seq int64, row value.Row) []byte {
+	buf = binary.AppendVarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	for _, v := range row {
+		switch v.Kind() {
+		case value.KindNull:
+			buf = append(buf, spillTagNull)
+		case value.KindInt:
+			buf = append(buf, spillTagInt)
+			buf = binary.AppendVarint(buf, v.Int())
+		case value.KindFloat:
+			buf = append(buf, spillTagFloat)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float()))
+		case value.KindString:
+			s := v.Str()
+			buf = append(buf, spillTagString)
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		case value.KindBool:
+			b := byte(0)
+			if v.Bool() {
+				b = 1
+			}
+			buf = append(buf, spillTagBool, b)
+		}
+	}
+	return buf
+}
+
+// readSpillRow decodes one record from r. ok is false at a clean EOF; a
+// truncated record is an error, never a partial row.
+func readSpillRow(r *bufio.Reader) (spillRow, bool, error) {
+	seq, err := binary.ReadVarint(r)
+	if err == io.EOF {
+		return spillRow{}, false, nil
+	}
+	if err != nil {
+		return spillRow{}, false, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return spillRow{}, false, noEOF(err)
+	}
+	row := make(value.Row, n)
+	for i := range row {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return spillRow{}, false, noEOF(err)
+		}
+		switch tag {
+		case spillTagNull:
+			row[i] = value.Null
+		case spillTagInt:
+			iv, err := binary.ReadVarint(r)
+			if err != nil {
+				return spillRow{}, false, noEOF(err)
+			}
+			row[i] = value.NewInt(iv)
+		case spillTagFloat:
+			var b [8]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return spillRow{}, false, noEOF(err)
+			}
+			row[i] = value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+		case spillTagString:
+			ln, err := binary.ReadUvarint(r)
+			if err != nil {
+				return spillRow{}, false, noEOF(err)
+			}
+			b := make([]byte, ln)
+			if _, err := io.ReadFull(r, b); err != nil {
+				return spillRow{}, false, noEOF(err)
+			}
+			row[i] = value.NewString(string(b))
+		case spillTagBool:
+			b, err := r.ReadByte()
+			if err != nil {
+				return spillRow{}, false, noEOF(err)
+			}
+			row[i] = value.NewBool(b == 1)
+		default:
+			return spillRow{}, false, fmt.Errorf("corrupt spill record: tag %d", tag)
+		}
+	}
+	return spillRow{seq: seq, row: row}, true, nil
+}
+
+// noEOF maps an EOF inside a record to ErrUnexpectedEOF so truncation is
+// distinguishable from a clean end of file.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// spillFile is one temp file owned by a spill operator: buffered writes,
+// then a rewind and sequential reads. Every record write, record read and
+// close advances the governor's disk fault point; any error — injected or
+// real — surfaces as a *SpillError from the owning operator's name.
+type spillFile struct {
+	f       *os.File
+	mgr     *storage.SpillManager
+	gov     *governor
+	metrics *obs.OpMetrics
+	op      string // owning operator, for SpillError
+	w       *bufio.Writer
+	r       *bufio.Reader
+	scratch []byte
+	bytes   int64
+	gone    bool
+}
+
+func newSpillFile(mgr *storage.SpillManager, gov *governor, metrics *obs.OpMetrics, op, tag string) (*spillFile, error) {
+	f, err := mgr.Create(tag)
+	if err != nil {
+		return nil, &SpillError{Op: op, Stage: "create", Err: err}
+	}
+	return &spillFile{f: f, mgr: mgr, gov: gov, metrics: metrics, op: op, w: bufio.NewWriter(f)}, nil
+}
+
+// writeRecord appends one encoded (seq, row) record. An injected
+// DiskShortWrite writes half the record before failing, modelling a torn
+// write that a reader would see as a truncated record.
+func (s *spillFile) writeRecord(seq int64, row value.Row) error {
+	s.scratch = appendSpillRow(s.scratch[:0], seq, row)
+	if err := s.gov.diskTick(); err != nil {
+		var fe *fault.Error
+		if errors.As(err, &fe) && fe.Kind == fault.DiskShortWrite {
+			s.w.Write(s.scratch[:len(s.scratch)/2])
+			s.w.Flush()
+			return &SpillError{Op: s.op, Stage: "write", Err: fmt.Errorf("%w: %w", io.ErrShortWrite, err)}
+		}
+		return &SpillError{Op: s.op, Stage: "write", Err: err}
+	}
+	n, err := s.w.Write(s.scratch)
+	s.bytes += int64(n)
+	s.gov.noteSpill(int64(n))
+	if s.metrics != nil {
+		s.metrics.SpillBytes.Add(int64(n))
+	}
+	if err != nil {
+		return &SpillError{Op: s.op, Stage: "write", Err: err}
+	}
+	return nil
+}
+
+// startRead flushes pending writes and rewinds for sequential reads.
+func (s *spillFile) startRead() error {
+	if err := s.w.Flush(); err != nil {
+		return &SpillError{Op: s.op, Stage: "flush", Err: err}
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return &SpillError{Op: s.op, Stage: "seek", Err: err}
+	}
+	s.r = bufio.NewReader(s.f)
+	return nil
+}
+
+// readRecord returns the next record; ok is false at end of file.
+func (s *spillFile) readRecord() (spillRow, bool, error) {
+	if err := s.gov.diskTick(); err != nil {
+		return spillRow{}, false, &SpillError{Op: s.op, Stage: "read", Err: err}
+	}
+	sr, ok, err := readSpillRow(s.r)
+	if err != nil {
+		return spillRow{}, false, &SpillError{Op: s.op, Stage: "read", Err: err}
+	}
+	return sr, ok, nil
+}
+
+// discard closes and removes the file. The file is removed even when the
+// close fails (or a close fault fires), so a failing query never leaks temp
+// files; the first error is reported. Idempotent.
+func (s *spillFile) discard() error {
+	if s.gone {
+		return nil
+	}
+	s.gone = true
+	var first error
+	if err := s.gov.diskTick(); err != nil {
+		first = &SpillError{Op: s.op, Stage: "close", Err: err}
+	}
+	if err := s.f.Close(); err != nil && first == nil {
+		first = &SpillError{Op: s.op, Stage: "close", Err: err}
+	}
+	if err := s.mgr.Remove(s.f.Name()); err != nil && first == nil {
+		first = &SpillError{Op: s.op, Stage: "remove", Err: err}
+	}
+	return first
+}
+
+// extSorter is the shared external-sort machinery: rows are buffered under
+// tryCharge accounting, the buffer is sorted and written out as a run when
+// the budget refuses a row, and finish() merges the runs (or iterates the
+// buffer when everything fit). The comparator must be a total order on the
+// records — callers tie-break on the unique arrival seq, which also makes
+// the sort equivalent to a stable sort by the caller's keys.
+type extSorter struct {
+	gov     *governor
+	mgr     *storage.SpillManager
+	metrics *obs.OpMetrics
+	op      string
+	less    func(a, b spillRow) bool
+
+	buf     []spillRow
+	charged int64
+	runs    []*spillFile
+}
+
+// add buffers one record, flushing a sorted run to disk when the budget
+// refuses it. A record too large for the whole budget is admitted
+// uncharged: the external sort degrades accounting before it ever fails.
+func (x *extSorter) add(sr spillRow, bytes int64) error {
+	if !x.gov.tryCharge(bytes) {
+		if len(x.buf) > 0 {
+			if err := x.flushRun(); err != nil {
+				return err
+			}
+		}
+		if !x.gov.tryCharge(bytes) {
+			bytes = 0
+		}
+	}
+	x.charged += bytes
+	x.buf = append(x.buf, sr)
+	return nil
+}
+
+func (x *extSorter) sortBuf() {
+	sort.Slice(x.buf, func(i, j int) bool { return x.less(x.buf[i], x.buf[j]) })
+}
+
+func (x *extSorter) flushRun() error {
+	x.sortBuf()
+	sf, err := newSpillFile(x.mgr, x.gov, x.metrics, x.op, "run")
+	if err != nil {
+		return err
+	}
+	x.runs = append(x.runs, sf)
+	for _, sr := range x.buf {
+		if err := sf.writeRecord(sr.seq, sr.row); err != nil {
+			return err
+		}
+	}
+	if x.metrics != nil {
+		x.metrics.SortRuns.Add(1)
+	}
+	x.gov.release(x.charged)
+	x.charged = 0
+	x.buf = x.buf[:0]
+	return nil
+}
+
+// finish ends the input phase and returns a merged iterator over all
+// records in comparator order. With no runs on disk the buffer is sorted
+// and iterated directly (the in-memory fast path); otherwise the buffer
+// becomes the final run and the runs are k-way merged, streaming.
+func (x *extSorter) finish() (*mergeIter, error) {
+	if len(x.runs) == 0 {
+		x.sortBuf()
+		return &mergeIter{buf: x.buf}, nil
+	}
+	if len(x.buf) > 0 {
+		if err := x.flushRun(); err != nil {
+			return nil, err
+		}
+	}
+	it := &mergeIter{less: x.less}
+	for _, run := range x.runs {
+		if err := run.startRead(); err != nil {
+			return nil, err
+		}
+		sr, ok, err := run.readRecord()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			it.push(runHead{cur: sr, src: run})
+		}
+	}
+	return it, nil
+}
+
+// close discards every run file; the first error is reported.
+func (x *extSorter) close() error {
+	var first error
+	for _, run := range x.runs {
+		if err := run.discard(); err != nil && first == nil {
+			first = err
+		}
+	}
+	x.runs = nil
+	return first
+}
+
+// spilledRuns reports how many runs went to disk.
+func (x *extSorter) spilledRuns() int { return len(x.runs) }
+
+// runHead is one run's current record in the merge heap.
+type runHead struct {
+	cur spillRow
+	src *spillFile
+}
+
+// mergeIter yields records in comparator order, either from the in-memory
+// buffer or by merging run files through a binary min-heap.
+type mergeIter struct {
+	// in-memory mode
+	buf []spillRow
+	pos int
+	// merge mode
+	less  func(a, b spillRow) bool
+	heads []runHead
+}
+
+func (m *mergeIter) push(h runHead) {
+	m.heads = append(m.heads, h)
+	i := len(m.heads) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(m.heads[i].cur, m.heads[parent].cur) {
+			break
+		}
+		m.heads[i], m.heads[parent] = m.heads[parent], m.heads[i]
+		i = parent
+	}
+}
+
+func (m *mergeIter) siftDown() {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(m.heads) && m.less(m.heads[l].cur, m.heads[min].cur) {
+			min = l
+		}
+		if r < len(m.heads) && m.less(m.heads[r].cur, m.heads[min].cur) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		m.heads[i], m.heads[min] = m.heads[min], m.heads[i]
+		i = min
+	}
+}
+
+// next returns the smallest remaining record; ok is false when drained.
+func (m *mergeIter) next() (spillRow, bool, error) {
+	if m.less == nil {
+		if m.pos >= len(m.buf) {
+			return spillRow{}, false, nil
+		}
+		sr := m.buf[m.pos]
+		m.pos++
+		return sr, true, nil
+	}
+	if len(m.heads) == 0 {
+		return spillRow{}, false, nil
+	}
+	out := m.heads[0].cur
+	src := m.heads[0].src
+	sr, ok, err := src.readRecord()
+	if err != nil {
+		return spillRow{}, false, err
+	}
+	if ok {
+		m.heads[0].cur = sr
+		m.siftDown()
+	} else {
+		last := len(m.heads) - 1
+		m.heads[0] = m.heads[last]
+		m.heads = m.heads[:last]
+		m.siftDown()
+	}
+	return out, true, nil
+}

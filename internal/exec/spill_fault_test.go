@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// TestSpillOperatorDiskFaults is the per-operator disk-fault regression
+// suite: each spill operator — external sort, external aggregation, grace
+// hash join — is driven through every disk fault kind injected at every
+// tick of its execution. Each run must either return exactly the fault-free
+// spilling run's rows (the fault landed where no disk operation happened)
+// or fail with a typed *SpillError and a nil result — never a partial
+// result, never an untyped error — and must never leave a temp file behind.
+func TestSpillOperatorDiskFaults(t *testing.T) {
+	s := fixture(t)
+	// A budget below one row's state forces every operator to spill
+	// immediately, so writes, reads and closes all happen.
+	const budget = 64
+
+	cases := []struct {
+		name string
+		plan algebra.Node
+		opts Options
+	}{
+		{
+			name: "external-sort",
+			plan: &algebra.Sort{
+				Input: scanOf(t, s, "Employee", "E"),
+				Keys:  []algebra.SortItem{{Col: expr.ColumnID{Table: "E", Name: "Salary"}}},
+			},
+		},
+		{
+			name: "external-aggregation",
+			plan: groupPlan(t, s, true),
+			opts: Options{Group: GroupHash},
+		},
+		{
+			name: "grace-hash-join",
+			plan: joinPlan(t, s),
+			opts: Options{Join: JoinHash},
+		},
+	}
+	kinds := []fault.Kind{fault.DiskWriteFail, fault.DiskShortWrite, fault.DiskReadFail, fault.DiskCloseFail}
+	maxTick := int64(400)
+	if testing.Short() {
+		// The first ~120 ticks cover every disk-operation stage at least
+		// once; the full sweep also walks the faults through the long
+		// tail of partition reads.
+		maxTick = 120
+	}
+
+	rowsEqual := func(a, b []value.Row) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if value.GroupKeyAll(a[i]) != value.GroupKeyAll(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+
+			// The reference: the same spilling plan with no faults. It must
+			// actually spill, or the sweep below exercises nothing.
+			refMgr := storage.NewSpillManager(dir)
+			refCol := obs.NewCollector()
+			refOpts := tc.opts
+			refOpts.MemoryBudget = budget
+			refOpts.Spill = refMgr
+			refOpts.Metrics = refCol
+			ref, err := Run(tc.plan, s, &refOpts)
+			must(t, err)
+			if refCol.Gov().SpillBytes == 0 {
+				t.Fatalf("reference run did not spill; the budget is not tight enough to exercise %s", tc.name)
+			}
+			if n := refMgr.Live(); n != 0 {
+				t.Fatalf("fault-free run leaked %d spill files", n)
+			}
+
+			for _, kind := range kinds {
+				fired := 0
+				for tick := int64(1); tick <= maxTick; tick++ {
+					mgr := storage.NewSpillManager(dir)
+					opts := tc.opts
+					opts.MemoryBudget = budget
+					opts.Spill = mgr
+					opts.Faults = fault.New([]fault.Event{{Tick: tick, Kind: kind}})
+					res, err := Run(tc.plan, s, &opts)
+					if err != nil {
+						fired++
+						var se *SpillError
+						if !errors.As(err, &se) {
+							t.Fatalf("%v at tick %d surfaced as %T, want *SpillError: %v", kind, tick, err, err)
+						}
+						if res != nil {
+							t.Fatalf("%v at tick %d returned a partial result alongside the error", kind, tick)
+						}
+					} else if !rowsEqual(res.Rows, ref.Rows) {
+						t.Fatalf("%v at tick %d: un-faulted run diverged from reference (%d rows vs %d)",
+							kind, tick, len(res.Rows), len(ref.Rows))
+					}
+					if n := mgr.Live(); n != 0 {
+						t.Fatalf("%v at tick %d leaked %d spill files (err=%v)", kind, tick, n, err)
+					}
+					if err := mgr.Cleanup(); err != nil {
+						t.Fatalf("cleanup after %v at tick %d: %v", kind, tick, err)
+					}
+				}
+				if fired == 0 {
+					t.Fatalf("%v never landed on a disk operation in the tick sweep; the sweep is not covering %s", kind, tc.name)
+				}
+			}
+		})
+	}
+}

@@ -7,7 +7,9 @@
 // demands that every faulted run either matches the no-fault oracle rows
 // exactly or fails with a clean typed error.
 //
-// Four fault kinds cover the executor's failure surface:
+// The core fault kinds cover the executor's failure surface (link kinds
+// fire only on the distributed link path, disk kinds only on the spill-file
+// path — see LinkStep and DiskStep):
 //
 //   - AllocFail simulates an allocation failure: Step returns a typed
 //     *Error, which the executor propagates as the query error.
@@ -43,13 +45,20 @@ const (
 	Cancel
 	LinkDelay
 	LinkDrop
+	DiskWriteFail
+	DiskShortWrite
+	DiskReadFail
+	DiskCloseFail
 )
 
 // numRowKinds bounds the kinds NewSeeded draws from; numKinds bounds
-// NewSeededLinks, which mixes row and link faults.
+// NewSeededLinks, which mixes row and link faults; numDiskKinds bounds
+// NewSeededDisk, which mixes row and disk faults (link kinds excluded —
+// spill files and network links never share a schedule).
 const (
-	numRowKinds = 4
-	numKinds    = 6
+	numRowKinds  = 4
+	numKinds     = 6
+	numDiskKinds = 10
 )
 
 // String names the kind.
@@ -67,6 +76,14 @@ func (k Kind) String() string {
 		return "link-delay"
 	case LinkDrop:
 		return "link-drop"
+	case DiskWriteFail:
+		return "disk-write-fail"
+	case DiskShortWrite:
+		return "disk-short-write"
+	case DiskReadFail:
+		return "disk-read-fail"
+	case DiskCloseFail:
+		return "disk-close-fail"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -205,6 +222,36 @@ func NewSeededLinks(seed int64, horizon int64, maxEvents int) *Injector {
 	return New(events)
 }
 
+// NewSeededDisk derives a deterministic random schedule that mixes the four
+// row-path kinds with the four disk kinds (DiskWriteFail, DiskShortWrite,
+// DiskReadFail, DiskCloseFail), for the disk-chaos oracle that exercises the
+// spill operators. Link kinds are excluded. Draws landing on a link kind's
+// ordinal are remapped onto disk kinds so every schedule stays meaningful
+// for a single-node spilling run. The same (seed, horizon, maxEvents)
+// always yields the same schedule.
+func NewSeededDisk(seed int64, horizon int64, maxEvents int) *Injector {
+	if horizon < 1 {
+		horizon = 1
+	}
+	if maxEvents < 1 {
+		maxEvents = 1
+	}
+	r := &rng{state: uint64(seed)}
+	n := 1 + r.intn(int64(maxEvents))
+	events := make([]Event, 0, n)
+	for k := int64(0); k < n; k++ {
+		kind := Kind(r.intn(numDiskKinds))
+		if kind == LinkDelay || kind == LinkDrop {
+			kind = DiskWriteFail + Kind(r.intn(int64(numDiskKinds)-int64(DiskWriteFail)))
+		}
+		events = append(events, Event{
+			Tick: 1 + r.intn(horizon),
+			Kind: kind,
+		})
+	}
+	return New(events)
+}
+
 // Events returns the schedule (a copy), for logging failed chaos runs.
 func (i *Injector) Events() []Event {
 	if i == nil {
@@ -280,6 +327,41 @@ func (i *Injector) LinkStep() error {
 		}
 	case LinkDrop:
 		return &Error{Kind: LinkDrop, Tick: t}
+	}
+	return nil
+}
+
+// DiskStep advances the tick counter by one from a spill-file operation
+// (write, read or close) and fires the event scheduled at the new tick, if
+// any. The four row kinds fire exactly as on the row path — a disk
+// operation is just another place an allocation can fail or a cancel can
+// land — and the four disk kinds return a typed *Error that the caller
+// maps onto the failing I/O operation (DiskShortWrite additionally asks
+// the caller to consume part of the buffer before failing, modelling a
+// torn write). Link kinds scheduled on a tick this path consumes are
+// skipped. A nil injector does nothing.
+func (i *Injector) DiskStep() error {
+	if i == nil {
+		return nil
+	}
+	t := i.tick.Add(1)
+	k, ok := i.at[t]
+	if !ok {
+		return nil
+	}
+	switch k {
+	case AllocFail:
+		return &Error{Kind: AllocFail, Tick: t}
+	case Panic:
+		panic(&PanicValue{Tick: t})
+	case Delay:
+		time.Sleep(i.delay)
+	case Cancel:
+		if i.cancel != nil {
+			i.cancel()
+		}
+	case DiskWriteFail, DiskShortWrite, DiskReadFail, DiskCloseFail:
+		return &Error{Kind: k, Tick: t}
 	}
 	return nil
 }

@@ -72,7 +72,9 @@ func checkChargeScope(pass *Pass, body *ast.BlockStmt) {
 	})
 }
 
-// scopeCharges reports whether the body calls charge directly (not inside a
+// scopeCharges reports whether the body calls charge — or tryCharge, the
+// refusal-aware variant the spilling operators use to decide between
+// staying in memory and partitioning to disk — directly (not inside a
 // nested function literal).
 func scopeCharges(body *ast.BlockStmt) bool {
 	found := false
@@ -84,7 +86,7 @@ func scopeCharges(body *ast.BlockStmt) bool {
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "charge" {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "charge" || sel.Sel.Name == "tryCharge") {
 				found = true
 				return false
 			}

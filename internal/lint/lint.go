@@ -258,5 +258,6 @@ func DefaultAnalyzers() []*Analyzer {
 		BudgetChargeAnalyzer,
 		ErrWrappedAnalyzer,
 		SelBoundsAnalyzer,
+		SpillCleanupAnalyzer,
 	}
 }

@@ -80,6 +80,10 @@ func TestSelBoundsFixture(t *testing.T) {
 	linttest.Run(t, loader, fixture(t, "selbounds"), lint.SelBoundsAnalyzer)
 }
 
+func TestSpillCleanupFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "spillcleanup"), lint.SpillCleanupAnalyzer)
+}
+
 // unscoped strips an analyzer's Dirs so it runs on fixtures outside its
 // production scope (the same trick linttest.Run uses internally).
 func unscoped(a *lint.Analyzer) *lint.Analyzer {
@@ -177,6 +181,9 @@ func TestAnalyzerScoping(t *testing.T) {
 		{lint.BudgetChargeAnalyzer, "internal/exec", "internal/dist"},
 		{lint.SelBoundsAnalyzer, "internal/exec", "internal/vec"},
 		{lint.SelBoundsAnalyzer, "internal/dist", "internal/core"},
+		{lint.SpillCleanupAnalyzer, "internal/exec", "internal/core"},
+		{lint.SpillCleanupAnalyzer, "internal/storage", "internal/vec"},
+		{lint.SpillCleanupAnalyzer, "cmd/gbj-shell", "internal/sql"},
 	}
 	for _, c := range cases {
 		if !c.a.AppliesTo(c.in) {

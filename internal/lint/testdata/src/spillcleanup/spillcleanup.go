@@ -1,0 +1,57 @@
+// Fixture for the spillcleanup analyzer: spill temp files must come from a
+// storage.SpillManager, every manager construction site must defer Cleanup
+// in the same function, and spill-capable code (package exec or storage,
+// which this fixture opts into by name) must not touch the filesystem
+// directly. The SpillManager's own methods are the sanctioned boundary.
+package exec
+
+import (
+	"os"
+
+	"repro/internal/storage"
+)
+
+// SpillManager mirrors the receiver-type exemption: methods of a type with
+// this name are the filesystem boundary itself.
+type SpillManager struct{ dir string }
+
+func leakyManager(dir string) *storage.SpillManager {
+	return storage.NewSpillManager(dir) // want "without a deferred Cleanup"
+}
+
+func sweptManager(dir string) error {
+	mgr := storage.NewSpillManager(dir)
+	defer mgr.Cleanup()
+	_ = mgr
+	return nil
+}
+
+func sweptInClosure(dir string) error {
+	mgr := storage.NewSpillManager(dir)
+	defer func() { _ = mgr.Cleanup() }()
+	return nil
+}
+
+func rawTempFile() {
+	f, _ := os.CreateTemp("", "spill-*") // want "untracked temp file"
+	_ = f
+}
+
+func rawFilesystem(dir string) {
+	_ = os.MkdirAll(dir, 0o755)         // want "direct os.MkdirAll"
+	f, _ := os.Create(dir + "/run.tmp") // want "direct os.Create"
+	_ = f
+	_ = os.Remove(dir + "/run.tmp") // want "direct os.Remove"
+}
+
+// Methods of the SpillManager are the sanctioned boundary: no findings.
+func (m *SpillManager) Create(tag string) (*os.File, error) {
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(m.dir+"/"+tag, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+}
+
+func (m *SpillManager) Remove(path string) error {
+	return os.Remove(path)
+}

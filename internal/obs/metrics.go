@@ -37,6 +37,16 @@ type OpMetrics struct {
 	// node-to-node links (canonical row encoding, local loopback excluded);
 	// 0 for non-exchange operators. The distributed runtime fills it in.
 	CommBytes atomic.Int64
+	// SpillBytes counts the bytes the operator wrote to spill files
+	// (external-sort runs, grace-join partitions, external-aggregation
+	// runs); 0 for operators that stayed in memory.
+	SpillBytes atomic.Int64
+	// SpillParts counts the grace-join partition files the operator wrote
+	// (summed across recursion levels); 0 outside a spilling hash join.
+	SpillParts atomic.Int64
+	// SortRuns counts the sorted runs an external sort (or sort-based
+	// external aggregation) wrote to disk; 0 when the sort fit in memory.
+	SortRuns atomic.Int64
 
 	// workerMorsels[w] counts the morsels executed by worker w.
 	workerMorsels []atomic.Int64
@@ -69,6 +79,9 @@ type Snapshot struct {
 	ProbeHits     int64   `json:"probe_hits,omitempty"`
 	StateBytes    int64   `json:"state_bytes,omitempty"`
 	CommBytes     int64   `json:"comm_bytes,omitempty"`
+	SpillBytes    int64   `json:"spill_bytes,omitempty"`
+	SpillParts    int64   `json:"spill_parts,omitempty"`
+	SortRuns      int64   `json:"sort_runs,omitempty"`
 	WorkerMorsels []int64 `json:"worker_morsels,omitempty"`
 }
 
@@ -83,6 +96,9 @@ func (m *OpMetrics) Snapshot() Snapshot {
 		ProbeHits:    m.ProbeHits.Load(),
 		StateBytes:   m.StateBytes.Load(),
 		CommBytes:    m.CommBytes.Load(),
+		SpillBytes:   m.SpillBytes.Load(),
+		SpillParts:   m.SpillParts.Load(),
+		SortRuns:     m.SortRuns.Load(),
 	}
 	if s.Batches > 0 && len(m.workerMorsels) > 0 {
 		s.WorkerMorsels = m.WorkerMorsels()
@@ -120,6 +136,9 @@ type Governance struct {
 	Fallback bool `json:"fallback,omitempty"`
 	// FallbackReason holds the budget error of the abandoned eager run.
 	FallbackReason string `json:"fallback_reason,omitempty"`
+	// SpillBytes is the total bytes the execution wrote to spill files;
+	// 0 when every operator stayed in memory.
+	SpillBytes int64 `json:"spill_bytes,omitempty"`
 }
 
 // NewCollector returns an empty collector sized for serial execution.
@@ -157,6 +176,13 @@ func (c *Collector) SetBudget(bytes int64) {
 func (c *Collector) SetBudgetUsed(bytes int64) {
 	c.mu.Lock()
 	c.gov.UsedBytes = bytes
+	c.mu.Unlock()
+}
+
+// SetSpilled records the execution's total spill-file bytes.
+func (c *Collector) SetSpilled(bytes int64) {
+	c.mu.Lock()
+	c.gov.SpillBytes = bytes
 	c.mu.Unlock()
 }
 

@@ -346,6 +346,8 @@ func finalGroupCols(n algebra.Node) ([]expr.ColumnID, bool) {
 			n = node.Input
 		case *algebra.Sort:
 			n = node.Input
+		case *algebra.Limit:
+			n = node.Input
 		case *algebra.Select:
 			n = node.Input
 		default:
@@ -600,6 +602,8 @@ func r2UnitsOf(n algebra.Node) []r2Unit {
 	case *algebra.Select:
 		return r2UnitsOf(node.Input)
 	case *algebra.Sort:
+		return r2UnitsOf(node.Input)
+	case *algebra.Limit:
 		return r2UnitsOf(node.Input)
 	case *algebra.Join:
 		return append(r2UnitsOf(node.L), r2UnitsOf(node.R)...)

@@ -171,6 +171,8 @@ func (c *checker) checkNode(n algebra.Node) {
 	case *algebra.Product:
 		// A pure product has no condition; only the eager-cert scan over
 		// its children applies (handled in checkCertificates).
+		c.checkLimitBelow(node, node.L)
+		c.checkLimitBelow(node, node.R)
 	case *algebra.Join:
 		out := node.Schema()
 		if node.Cond != nil {
@@ -178,6 +180,8 @@ func (c *checker) checkNode(n algebra.Node) {
 			c.checkNoAggregates(node, node.Cond, "join predicate")
 			c.checkJoinKeyTypes(node)
 		}
+		c.checkLimitBelow(node, node.L)
+		c.checkLimitBelow(node, node.R)
 	case *algebra.Project:
 		in := node.Input.Schema()
 		if len(node.Items) == 0 {
@@ -195,6 +199,10 @@ func (c *checker) checkNode(n algebra.Node) {
 			if _, err := in.IndexOf(k.Col); err != nil {
 				c.report("order", node, "sort key %s does not resolve against the input: %v", k.Col, err)
 			}
+		}
+	case *algebra.Limit:
+		if node.N < 0 {
+			c.report("order-requirement", node, "limit count %d is negative", node.N)
 		}
 	case ExchangeNode:
 		// Distributed rules run in checkDistributed; here only shape: an
@@ -283,6 +291,29 @@ func kindsComparable(a, b value.Kind) bool {
 	return numeric(a) && numeric(b)
 }
 
+// checkLimitBelow enforces the spill-safety rule: a Limit must not feed a
+// row-multiplying or grouping operator through cardinality-transparent
+// operators (Select, Sort) — truncating an intermediate there changes the
+// result, and the spilling executor's restart-on-budget-breach paths assume
+// inner inputs can be re-read in full. A Limit inside a derived table is
+// fine: the derived-table boundary always materializes as a Project, which
+// stops this walk.
+func (c *checker) checkLimitBelow(parent algebra.Node, in algebra.Node) {
+	for {
+		switch node := in.(type) {
+		case *algebra.Select:
+			in = node.Input
+		case *algebra.Sort:
+			in = node.Input
+		case *algebra.Limit:
+			c.report("spill-safety", parent, "limit feeds %s without an intervening projection; truncated intermediates are unsafe under join/group re-reads", parent.Describe())
+			return
+		default:
+			return
+		}
+	}
+}
+
 func (c *checker) checkGroupBy(node *algebra.GroupBy) {
 	in := node.Input.Schema()
 	// group-input: GA ⊆ input schema.
@@ -304,6 +335,15 @@ func (c *checker) checkGroupBy(node *algebra.GroupBy) {
 			}
 		}
 	}
+	c.checkLimitBelow(node, node.Input)
+	// order-requirement: an Ordered hint claims the input streams with
+	// equal grouping-column values contiguous. The claim must be justified
+	// by a descendant Sort, independently re-proved here with the same
+	// order-preservation reasoning the optimizer pass uses.
+	if node.Ordered && !sortJustifies(node.Input, node.GroupCols) {
+		c.report("order-requirement", node,
+			"Ordered hint is not justified: no descendant all-ascending Sort covers the grouping columns %v through order-preserving operators", node.GroupCols)
+	}
 	// Aggregate items: at least one aggregate each, argument columns
 	// resolve, and the accumulators form a mergeable partial-aggregate
 	// algebra (parallel-grouping legality).
@@ -318,6 +358,69 @@ func (c *checker) checkGroupBy(node *algebra.GroupBy) {
 				c.checkExpr("resolve", node, a.Arg, in)
 			}
 			c.checkMergeable(node, a)
+		}
+	}
+}
+
+// sortJustifies re-proves the optimizer's Ordered annotation: walking down
+// from the GroupBy input through order-preserving operators (filters,
+// bare-column renaming projections), it must reach a Sort whose leading
+// len(cols) keys are all ascending and form exactly the set cols — the
+// condition under which rows with equal grouping values arrive contiguous.
+// This is deliberately an independent implementation of the optimizer's
+// own proof, so a bug in either side surfaces as a violation.
+func sortJustifies(in algebra.Node, cols []expr.ColumnID) bool {
+	if len(cols) == 0 {
+		return false
+	}
+	mapped := append([]expr.ColumnID(nil), cols...)
+	for {
+		switch t := in.(type) {
+		case *algebra.Select:
+			in = t.Input
+		case *algebra.Project:
+			if t.Distinct {
+				return false
+			}
+			next := make([]expr.ColumnID, len(mapped))
+			for i, col := range mapped {
+				found := false
+				for _, it := range t.Items {
+					if it.As == col {
+						cr, ok := it.E.(*expr.ColumnRef)
+						if !ok {
+							return false
+						}
+						next[i] = cr.ID
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			mapped = next
+			in = t.Input
+		case *algebra.Sort:
+			if len(t.Keys) < len(mapped) {
+				return false
+			}
+			prefix := make(map[expr.ColumnID]bool, len(mapped))
+			for _, k := range t.Keys[:len(mapped)] {
+				if k.Desc {
+					return false
+				}
+				prefix[k.Col] = true
+			}
+			for _, col := range mapped {
+				if !prefix[col] {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
 		}
 	}
 }

@@ -19,6 +19,10 @@ type SelectStmt struct {
 	GroupBy []expr.ColumnID
 	Having  expr.Expr
 	OrderBy []OrderItem
+	// Limit caps the result rows; meaningful only when HasLimit is set
+	// (LIMIT 0 is legal and distinct from no LIMIT clause).
+	Limit    int64
+	HasLimit bool
 }
 
 func (*SelectStmt) isStmt() {}

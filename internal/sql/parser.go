@@ -255,6 +255,19 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errorf("expected row count after LIMIT, got %s", t.Text)
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errorf("LIMIT count must be a non-negative integer, got %s", t.Text)
+		}
+		p.pos++
+		q.Limit = n
+		q.HasLimit = true
+	}
 	return q, nil
 }
 

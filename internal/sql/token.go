@@ -37,7 +37,7 @@ type Token struct {
 // keywords recognized by the lexer; all other identifiers are TokIdent.
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
 	"ALL": true, "DISTINCT": true, "AS": true,
 	"AND": true, "OR": true, "NOT": true, "NULL": true, "IS": true,
 	"IN": true, "BETWEEN": true, "LIKE": true, "EXISTS": true,

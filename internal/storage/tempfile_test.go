@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpillManagerLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
+	m := NewSpillManager(dir)
+	defer m.Cleanup()
+
+	// Construction is lazy: no directory yet.
+	if _, err := os.Stat(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("spill dir created eagerly: stat err = %v", err)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("Live() = %d before any Create", m.Live())
+	}
+
+	f1, err := m.Create("run")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	f2, err := m.Create("part")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if f1.Name() == f2.Name() {
+		t.Fatalf("duplicate spill file name %s", f1.Name())
+	}
+	if !strings.Contains(filepath.Base(f1.Name()), "run") || !strings.Contains(filepath.Base(f2.Name()), "part") {
+		t.Fatalf("tags missing from names %s, %s", f1.Name(), f2.Name())
+	}
+	if m.Live() != 2 {
+		t.Fatalf("Live() = %d, want 2", m.Live())
+	}
+	if m.Created() != 2 {
+		t.Fatalf("Created() = %d, want 2", m.Created())
+	}
+	if _, err := f1.WriteString("hello"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f1.Close()
+	f2.Close()
+
+	if err := m.Remove(f1.Name()); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if m.Live() != 1 {
+		t.Fatalf("Live() = %d after one Remove, want 1", m.Live())
+	}
+	if _, err := os.Stat(f1.Name()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("removed file still on disk: %v", err)
+	}
+
+	// Double remove is an error, not a silent no-op.
+	if err := m.Remove(f1.Name()); err == nil {
+		t.Fatal("second Remove of same path succeeded")
+	}
+	// Removing a path the manager never created is an error.
+	if err := m.Remove(filepath.Join(dir, "stranger.tmp")); err == nil {
+		t.Fatal("Remove of unknown path succeeded")
+	}
+
+	if err := m.Cleanup(); err != nil {
+		t.Fatalf("Cleanup: %v", err)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("Live() = %d after Cleanup, want 0", m.Live())
+	}
+	if _, err := os.Stat(f2.Name()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Cleanup left %s: %v", f2.Name(), err)
+	}
+	// Cleanup is idempotent.
+	if err := m.Cleanup(); err != nil {
+		t.Fatalf("second Cleanup: %v", err)
+	}
+}
+
+func TestSpillManagerBadDir(t *testing.T) {
+	// Point the manager at a path whose parent is a regular file: MkdirAll
+	// must fail, and the failure surfaces at the first Create (never at
+	// construction), which is what lets the engine fall back to an
+	// in-memory retry when the spill directory is unusable.
+	file := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(file, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	m := NewSpillManager(filepath.Join(file, "sub"))
+	defer m.Cleanup()
+	if _, err := m.Create("run"); err == nil {
+		t.Fatal("Create under a regular file succeeded")
+	}
+	if m.Live() != 0 {
+		t.Fatalf("Live() = %d after failed Create", m.Live())
+	}
+}
+
+func TestSpillManagerConcurrentCreate(t *testing.T) {
+	m := NewSpillManager(filepath.Join(t.TempDir(), "spill"))
+	defer m.Cleanup()
+	const n = 16
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			f, err := m.Create("c")
+			if err == nil {
+				f.Close()
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent Create: %v", err)
+		}
+	}
+	if m.Live() != n {
+		t.Fatalf("Live() = %d, want %d", m.Live(), n)
+	}
+	if err := m.Cleanup(); err != nil {
+		t.Fatalf("Cleanup: %v", err)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("Live() = %d after Cleanup", m.Live())
+	}
+}

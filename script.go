@@ -36,10 +36,10 @@ func (e *Engine) RunScriptContext(ctx context.Context, text string, w io.Writer)
 				e.mu.RUnlock()
 				return err
 			}
-			eres, err := e.governedRun(ctx, pc.plan, nil, nil, nil)
-			if re := fallbackError(err, pc); re != nil {
+			eres, err := e.governedRun(ctx, pc.plan, nil, nil, nil, true)
+			if fe := fallbackError(err, pc); fe != nil {
 				e.fallbacks.Add(1)
-				eres, err = e.governedRun(ctx, pc.fallback, nil, nil, nil)
+				eres, err = e.governedRun(ctx, pc.fallback, nil, nil, nil, false)
 			}
 			e.mu.RUnlock()
 			if err != nil {
