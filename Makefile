@@ -3,17 +3,18 @@
 # row-vs-vectorized differential oracles, the concurrent-execution smoke
 # tests and the plan-verifier suite), the bounded-exhaustive plan-equivalence
 # model checker, the independent certificate re-derivation gate
-# (verify-certs), the chaos oracle, the disk-chaos spill oracle
-# (spill-oracle), the vectorization perf gate (bench-compare), and a short
-# run of every fuzz target.
+# (verify-certs), the chaos oracle, the fault-recovery oracle
+# (recovery-oracle), the disk-chaos spill oracle (spill-oracle), the
+# vectorization perf gate (bench-compare), and a short run of every fuzz
+# target.
 
 GO ?= go
 FUZZTIME ?= 10s
 MODELCHECK_K ?= 3
 
-.PHONY: check vet lint plancheck modelcheck verify-certs build test race chaos dist-oracle spill-oracle fuzz bench bench-json bench-compare
+.PHONY: check vet lint plancheck modelcheck verify-certs build test race chaos dist-oracle recovery-oracle spill-oracle fuzz bench bench-json bench-compare
 
-check: vet lint build race plancheck modelcheck verify-certs chaos dist-oracle spill-oracle bench-json bench-compare fuzz
+check: vet lint build race plancheck modelcheck verify-certs chaos dist-oracle recovery-oracle spill-oracle bench-json bench-compare fuzz
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +79,17 @@ chaos:
 dist-oracle:
 	$(GO) test -race ./internal/dist -run 'TestLocalVsDistributedOracle|TestDistributedChaosOracle|TestEagerNeverShipsMoreBytes'
 	$(GO) test -race . -run TestEngineDistributed
+
+# The recovery chaos oracle under the race detector: hundreds of seeded
+# queries × bounded link-fault schedules keyed to link ordinals, every run
+# required to produce oracle-identical rows with recovery visible only in
+# the retry/failover counters; plus the exhausted-budget typed-error sweep,
+# the receiver-dedup seeded-bug regression, the failover equivalence sweep
+# (internal/dist/recovery_oracle_test.go) and the engine-level
+# degradation tests (dist_recovery_engine_test.go).
+recovery-oracle:
+	$(GO) test -race ./internal/dist -run TestRecovery
+	$(GO) test -race . -run 'TestEngineRetried|TestEngineDegrad|TestExplainAnalyzeGoldenRecovery'
 
 # The disk-chaos spill oracle under the race detector: hundreds of seeded
 # queries × budgets that force spilling × deterministic disk-fault

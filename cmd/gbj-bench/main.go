@@ -64,11 +64,16 @@ var (
 var spillDir string
 
 // nodes and shards configure the simulated cluster of the distributed
-// experiment (E12): cluster size and hash shards per table.
+// experiments (E12, E16): cluster size and hash shards per table.
 var (
 	nodes  int
 	shards int
 )
+
+// linkRetries is the per-shipment retry budget of the fault-rate sweep
+// (E16); fault schedules larger than it would make recovery impossible, so
+// the sweep caps its fault counts at this budget.
+var linkRetries int
 
 // measureCtx returns the context one measurement runs under.
 func measureCtx() (context.Context, context.CancelFunc) {
@@ -114,6 +119,7 @@ func main() {
 	flag.BoolVar(&vectorize, "vectorize", false, "columnar batch execution for every experiment (E13 always compares both engines)")
 	flag.IntVar(&nodes, "nodes", 4, "simulated cluster size for the distributed experiment (E12)")
 	flag.IntVar(&shards, "shards", 0, "hash shards per table, a power of two (0 = one per node)")
+	flag.IntVar(&linkRetries, "link-retries", 8, "per-shipment link retry budget for the fault-rate sweep (E16)")
 	flag.DurationVar(&timeout, "timeout", 0, "per-measurement deadline (0 = none)")
 	flag.Int64Var(&memBudget, "mem-budget", 0, "per-execution operator-state byte cap (0 = unlimited); over-budget eager plans degrade to the lazy plan")
 	flag.StringVar(&spillDir, "spill-dir", "", "directory for spill temp files; with -mem-budget set, over-budget operators spill to disk instead of degrading (empty = spilling off; E15 uses a default sweep area)")
@@ -122,6 +128,7 @@ func main() {
 		cliutil.ValidateParallelism(parallelism),
 		cliutil.ValidateNodes(nodes),
 		cliutil.ValidateShards(shards),
+		cliutil.ValidateLinkRetries(linkRetries),
 	} {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gbj-bench:", err)
@@ -134,7 +141,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12", "E13", "E15"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12", "E13", "E15", "E16"} {
 			want[id] = true
 		}
 	} else {
@@ -158,6 +165,7 @@ func main() {
 		{"E12", "Section 7 — eager vs lazy shipping on a simulated cluster (measured bytes)", runE12},
 		{"E13", "row-at-a-time vs vectorized execution (throughput)", runE13},
 		{"E15", "spill-to-disk budget sweep (in-memory vs external crossover)", runE15},
+		{"E16", "fault-rate sweep — recovery cost under injected link faults", runE16},
 	}
 	failed := false
 	for _, r := range runners {
@@ -567,6 +575,47 @@ func runE15(reps int) error {
 			float64(run.Duration)/float64(ref.Duration), "identical")
 		addRecord("E15", fmt.Sprintf("budget=%d spill_bytes=%d", budget, gov.SpillBytes),
 			&bench.Comparison{Query: workload.SweepQueryGroupByDim, Standard: ref, Transformed: run})
+	}
+	return nil
+}
+
+// runE16 measures what fault tolerance costs: the E12 workload's eager
+// distributed plan under a sweep of seeded link-fault schedules (at most
+// 1, 2, 4, ... faults per run, capped at the -link-retries budget so every
+// schedule is survivable). Each faulted run must return exactly the rows of
+// its fault-free reference — the recovery counters, not the row counts, are
+// what varies with the fault rate. Backoffs run on a virtual clock, so the
+// "recovered" column is retry and re-execution work, not sleeping.
+func runE16(int) error {
+	if nodes < 2 {
+		return fmt.Errorf("E16 needs a cluster: pass -nodes 2 or more (got %d)", nodes)
+	}
+	store, err := workload.Sweep(workload.SweepParams{
+		FactRows: 20000, DimRows: 100, Groups: 100, MatchFraction: 1.0, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %d nodes, %s; retry budget: %d per shipment\n\n", nodes, shardDesc(), linkRetries)
+	fmt.Printf("%-10s  %-14s  %-14s  %8s  %10s  %s\n",
+		"faults<=", "fault-free", "recovered", "retries", "failovers", "rows")
+	for _, faults := range []int{1, 2, 4, 8} {
+		if faults > linkRetries {
+			fmt.Printf("%-10d  (skipped: exceeds the -link-retries budget %d)\n", faults, linkRetries)
+			continue
+		}
+		ctx, cancel := measureCtx()
+		c, err := bench.CompareRecovered(ctx, store, workload.SweepQueryGroupByDim,
+			nodes, shards, parallelism, linkRetries, int64(1000+faults), faults)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("E16 faults<=%d: %w", faults, err)
+		}
+		gov := c.Transformed.Metrics.Gov()
+		fmt.Printf("%-10d  %-14v  %-14v  %8d  %10d  %s\n",
+			faults, c.Standard.Duration, c.Transformed.Duration,
+			gov.LinkRetries, gov.Failovers, "identical")
+		addRecord("E16", fmt.Sprintf("faults=%d nodes=%d retries=%d", faults, nodes, linkRetries), c)
 	}
 	return nil
 }

@@ -69,11 +69,13 @@ func main() {
 	vectorize := flag.Bool("vectorize", false, "execute on the columnar batch engine; -analyze shows per-operator batch counts (morsels)")
 	nodes := flag.Int("nodes", 1, "simulated cluster size (1 = single-site)")
 	shards := flag.Int("shards", 0, "hash shards per table, a power of two (0 = one per node)")
+	linkRetries := flag.Int("link-retries", 0, "per-shipment link retry budget for distributed runs (0 = fail fast)")
 	flag.Parse()
 	for _, err := range []error{
 		cliutil.ValidateParallelism(*parallelism),
 		cliutil.ValidateNodes(*nodes),
 		cliutil.ValidateShards(*shards),
+		cliutil.ValidateLinkRetries(*linkRetries),
 	} {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gbj-explain:", err)
@@ -92,6 +94,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := engine.SetShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "gbj-explain:", err)
+		os.Exit(2)
+	}
+	if err := engine.SetLinkRetries(*linkRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "gbj-explain:", err)
 		os.Exit(2)
 	}

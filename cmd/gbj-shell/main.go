@@ -27,6 +27,10 @@
 //	                              eager plan degrades to the lazy plan
 //	\spill dir|off                spill over-budget operator state to temp
 //	                              files under dir instead of degrading
+//	\retries [n]                  set the per-shipment link retry budget and
+//	                              show the engine's recovery counters
+//	                              (retries, redeliveries dropped, failovers,
+//	                              degraded runs)
 //	\quit                         exit
 //
 // Ctrl-C cancels the in-flight query — the shell itself stays up.
@@ -83,12 +87,14 @@ func main() {
 	vectorize := flag.Bool("vectorize", false, "execute on the columnar batch engine (same rows, same order)")
 	nodes := flag.Int("nodes", 1, "simulated cluster size (1 = single-site)")
 	shards := flag.Int("shards", 0, "hash shards per table, a power of two (0 = one per node)")
+	linkRetries := flag.Int("link-retries", 0, "per-shipment link retry budget for distributed runs (0 = fail fast)")
 	spillDir := flag.String("spill-dir", "", "directory for spill temp files; with a \\budget set, over-budget operators spill to disk instead of degrading (empty = spilling off)")
 	flag.Parse()
 	for _, err := range []error{
 		cliutil.ValidateParallelism(*parallelism),
 		cliutil.ValidateNodes(*nodes),
 		cliutil.ValidateShards(*shards),
+		cliutil.ValidateLinkRetries(*linkRetries),
 	} {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gbj-shell:", err)
@@ -104,6 +110,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := engine.SetShards(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "gbj-shell:", err)
+		os.Exit(2)
+	}
+	if err := engine.SetLinkRetries(*linkRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "gbj-shell:", err)
 		os.Exit(2)
 	}
@@ -283,6 +293,25 @@ func handleCommand(engine *gbj.Engine, cmd string) bool {
 		} else {
 			fmt.Printf("spill directory: %s\n", fields[1])
 		}
+	case `\retries`:
+		if len(fields) == 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println(`usage: \retries [n]`)
+				return false
+			}
+			if err := engine.SetLinkRetries(n); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return false
+			}
+		} else if len(fields) > 2 {
+			fmt.Println(`usage: \retries [n]`)
+			return false
+		}
+		rc := engine.RecoveryCounters()
+		fmt.Printf("link retry budget: %d per shipment\n", engine.LinkRetries())
+		fmt.Printf("retries=%d redeliveries_dropped=%d failovers=%d degraded=%d\n",
+			rc.Retries, rc.RedeliveriesDropped, rc.Failovers, rc.Degraded)
 	case `\timing`:
 		timing = !timing
 		if timing {

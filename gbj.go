@@ -97,6 +97,13 @@ type Engine struct {
 	distMu       sync.Mutex
 	cluster      *distCluster
 	clusterDirty bool
+
+	// Fault-tolerant distributed execution (gbj_dist.go): the per-shipment
+	// link retry budget, the engine-lifetime recovery counters, and an
+	// optional injected fault schedule (chaos and golden tests).
+	linkRetries int
+	recovery    distRecoveryStats
+	faults      *faultInjector
 }
 
 // New returns an empty engine.
@@ -507,6 +514,7 @@ func (e *Engine) governedRun(ctx context.Context, plan algebra.Node, params expr
 		Metrics:      col,
 		Clock:        e.clock,
 		Trace:        tracer,
+		Faults:       e.faults,
 	}
 	if spill && e.spillDir != "" && e.memBudget > 0 {
 		mgr := storage.NewSpillManager(e.spillDir)
@@ -799,6 +807,16 @@ func (a *Analysis) String() string {
 	}
 	if a.Governance.Fallback {
 		fmt.Fprintf(&sb, "fallback: %s\n", a.Governance.FallbackReason)
+	}
+	if a.Governance.LinkRetries > 0 || a.Governance.RedeliveriesDropped > 0 {
+		fmt.Fprintf(&sb, "link retries: %d (%d redeliveries dropped)\n",
+			a.Governance.LinkRetries, a.Governance.RedeliveriesDropped)
+	}
+	if a.Governance.Failovers > 0 {
+		fmt.Fprintf(&sb, "node failovers: %d\n", a.Governance.Failovers)
+	}
+	if a.Governance.Degraded {
+		fmt.Fprintf(&sb, "degraded: %s\n", a.Governance.DegradedReason)
 	}
 	return sb.String()
 }

@@ -9,13 +9,16 @@ package gbj
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/plancheck"
 )
@@ -35,6 +38,81 @@ const (
 // distCluster aliases the dist type so the Engine struct stays free of a
 // direct package reference in gbj.go.
 type distCluster = dist.Cluster
+
+// distRecoveryStats and faultInjector alias the same way: the Engine
+// struct fields in gbj.go reference them without importing dist or fault.
+type (
+	distRecoveryStats = dist.RecoveryStats
+	faultInjector     = fault.Injector
+)
+
+// UnavailableError is the typed error the distributed runtime reports when
+// a shipment's retries are exhausted and no failover target remains. The
+// engine recovers from it by degrading to local execution; it surfaces to
+// callers only when that local re-run is impossible.
+type UnavailableError = dist.UnavailableError
+
+// SetLinkRetries sets the per-shipment retry budget of distributed
+// execution: a failed link shipment is re-attempted up to n more times
+// (exponential backoff with deterministic jitter, driven through the
+// injected clock and bounded by the query context's deadline) before the
+// node health tracker considers failover. 0 (the default) disables
+// retries. Negative values are rejected.
+func (e *Engine) SetLinkRetries(n int) error {
+	if n < 0 {
+		return fmt.Errorf("gbj: link retry budget must be at least 0, got %d", n)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.linkRetries = n
+	return nil
+}
+
+// LinkRetries returns the configured per-shipment link retry budget.
+func (e *Engine) LinkRetries() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.linkRetries
+}
+
+// SetFaultInjector installs a deterministic fault schedule every
+// subsequent query executes under — link faults drive the distributed
+// retry/failover machinery, row-path faults the executor's containment.
+// nil (the default) removes it. This is the chaos-testing surface; it is
+// how the golden EXPLAIN ANALYZE recovery output is produced under
+// FakeClock.
+func (e *Engine) SetFaultInjector(inj *fault.Injector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.faults = inj
+}
+
+// RecoveryCounters is a snapshot of the engine-lifetime fault-recovery
+// totals across every distributed query (the \retries shell command
+// renders it).
+type RecoveryCounters struct {
+	// Retries is the total re-attempted link shipments.
+	Retries int64
+	// RedeliveriesDropped is the total duplicate deliveries dropped by
+	// receiver-side exactly-once dedup.
+	RedeliveriesDropped int64
+	// Failovers is the total nodes declared dead whose shard ownership
+	// moved to a survivor.
+	Failovers int64
+	// Degraded is the total distributed executions abandoned for a local
+	// re-run.
+	Degraded int64
+}
+
+// RecoveryCounters returns the engine-lifetime recovery totals.
+func (e *Engine) RecoveryCounters() RecoveryCounters {
+	return RecoveryCounters{
+		Retries:             e.recovery.Retries.Load(),
+		RedeliveriesDropped: e.recovery.RedeliveriesDropped.Load(),
+		Failovers:           e.recovery.Failovers.Load(),
+		Degraded:            e.recovery.Degraded.Load(),
+	}
+}
 
 // SetNodes selects the simulated cluster size queries run on: 1 (the
 // default) executes single-site; n > 1 hash-partitions every base table
@@ -201,12 +279,58 @@ func (e *Engine) distOptions(ctx context.Context, params expr.Params, col *obs.C
 		MemoryBudget: e.memBudget,
 		Metrics:      col,
 		Clock:        e.clock,
+		Faults:       e.faults,
 	}
+}
+
+// distRecovery assembles the fault-tolerance policy distributed runs
+// execute under: the configured retry budget, the engine clock driving
+// backoff, the engine-lifetime counter aggregate, and — when plan checking
+// is on — the plancheck dist-recovery verifier consulted on every failover
+// re-route.
+func (e *Engine) distRecovery() *dist.Recovery {
+	rec := &dist.Recovery{
+		LinkRetries: e.linkRetries,
+		Clock:       e.clock,
+		Stats:       &e.recovery,
+	}
+	if e.opt.CheckPlans {
+		rec.Verify = verifyRecovery
+	}
+	return rec
+}
+
+// verifyRecovery is the plancheck hook the distributed runner consults
+// after a failover: the re-routed ownership table and the untouched plan
+// tree must still satisfy the placement and agg-split invariants.
+func verifyRecovery(root algebra.Node, alive []bool, owner []int) error {
+	if vs := plancheck.CheckRecovery(root, alive, owner); len(vs) > 0 {
+		return vs[0]
+	}
+	return nil
+}
+
+// degradeError returns the distributed unavailability error when the
+// engine can recover by re-running the query locally; nil otherwise.
+func degradeError(err error) *dist.UnavailableError {
+	var ue *dist.UnavailableError
+	if errors.As(err, &ue) {
+		return ue
+	}
+	return nil
+}
+
+// degradeReason renders the one-line account of a distributed→local
+// degradation that ExplainAnalyze and the metrics surface report.
+func degradeReason(err error) string {
+	return fmt.Sprintf("cluster unavailable (%v); re-executed the query locally", err)
 }
 
 // distExecute runs a plan choice on the cluster, degrading to the lazy
 // fallback plan on a memory-budget abort exactly like single-site
-// execution does.
+// execution does, and degrading distributed→local when the cluster is
+// unavailable — retries exhausted, failover impossible — so an unhealthy
+// cluster costs a query its distribution, not its answer.
 func (e *Engine) distExecute(ctx context.Context, pc planChoice, params expr.Params, col *obs.Collector) (*exec.Result, error) {
 	cl, err := e.clusterFor()
 	if err != nil {
@@ -216,14 +340,26 @@ func (e *Engine) distExecute(ctx context.Context, pc planChoice, params expr.Par
 	if err != nil {
 		return nil, err
 	}
-	res, err := cl.Run(dp, e.distOptions(ctx, params, col))
+	res, err := cl.RunRecover(dp, e.distOptions(ctx, params, col), e.distRecovery())
 	if re := fallbackError(err, pc); re != nil {
 		e.fallbacks.Add(1)
 		fdp, ferr := e.compileDist(pc.fallback, pc.fallbackAnn, nil)
 		if ferr != nil {
 			return nil, ferr
 		}
-		res, err = cl.Run(fdp, e.distOptions(ctx, params, col))
+		res, err = cl.RunRecover(fdp, e.distOptions(ctx, params, col), e.distRecovery())
+	}
+	if ue := degradeError(err); ue != nil {
+		e.fallbacks.Add(1)
+		e.recovery.Degraded.Add(1)
+		if col != nil {
+			col.SetDegraded(degradeReason(ue))
+		}
+		res, err = e.governedRun(ctx, pc.plan, params, col, nil, true)
+		if fe := fallbackError(err, pc); fe != nil {
+			e.fallbacks.Add(1)
+			res, err = e.governedRun(ctx, pc.fallback, params, col, nil, false)
+		}
 	}
 	return res, err
 }
@@ -244,7 +380,7 @@ func (e *Engine) distAnalyze(ctx context.Context, pc planChoice) (*Analysis, err
 		return nil, err
 	}
 	col := obs.NewCollector()
-	res, err := cl.Run(dp, e.distOptions(ctx, nil, col))
+	res, err := cl.RunRecover(dp, e.distOptions(ctx, nil, col), e.distRecovery())
 	est := translateAnn(dp, pc.ann)
 	if re := fallbackError(err, pc); re != nil {
 		e.fallbacks.Add(1)
@@ -254,8 +390,16 @@ func (e *Engine) distAnalyze(ctx context.Context, pc planChoice) (*Analysis, err
 		}
 		col = obs.NewCollector()
 		col.SetFallback(fallbackReason(re))
-		res, err = cl.Run(dp, e.distOptions(ctx, nil, col))
+		res, err = cl.RunRecover(dp, e.distOptions(ctx, nil, col), e.distRecovery())
 		est = translateAnn(dp, pc.fallbackAnn)
+	}
+	if ue := degradeError(err); ue != nil {
+		// Cluster unavailable: re-run locally with fresh instrumentation so
+		// the analysis describes the run that produced the rows; the
+		// collector carries the degradation record.
+		e.fallbacks.Add(1)
+		e.recovery.Degraded.Add(1)
+		return e.degradedAnalyze(ctx, pc, ue)
 	}
 	if err != nil {
 		return nil, err
@@ -273,6 +417,44 @@ func (e *Engine) distAnalyze(ctx context.Context, pc planChoice) (*Analysis, err
 		Metrics:     col,
 		TraceJSON:   trace,
 		Duration:    0,
+		Governance:  col.Gov(),
+	}, nil
+}
+
+// degradedAnalyze is the QueryAnalyzed tail of a distributed→local
+// degradation: the single-site execution of the chosen plan, instrumented
+// from scratch, with the collector carrying the degradation record (and a
+// further eager→lazy fallback if the local run then trips the budget).
+func (e *Engine) degradedAnalyze(ctx context.Context, pc planChoice, ue *dist.UnavailableError) (*Analysis, error) {
+	plan, est := pc.plan, pc.ann
+	col := obs.NewCollector()
+	col.SetDegraded(degradeReason(ue))
+	tracer := obs.NewTracer(e.clock)
+	res, err := e.governedRun(ctx, plan, nil, col, tracer, true)
+	if fe := fallbackError(err, pc); fe != nil {
+		e.fallbacks.Add(1)
+		plan, est = pc.fallback, pc.fallbackAnn
+		col = obs.NewCollector()
+		col.SetDegraded(degradeReason(ue))
+		col.SetFallback(fallbackReason(fe))
+		tracer = obs.NewTracer(e.clock)
+		res, err = e.governedRun(ctx, plan, nil, col, tracer, false)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cal := core.Calibrate(plan, est, col)
+	trace, err := tracer.JSON()
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		Result:      convertResult(res),
+		Plan:        plan,
+		Calibration: cal,
+		Metrics:     col,
+		TraceJSON:   trace,
+		Duration:    time.Duration(cal.TotalNanos),
 		Governance:  col.Gov(),
 	}, nil
 }

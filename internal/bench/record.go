@@ -96,21 +96,30 @@ type RunRecord struct {
 	// Experiment is the id from EXPERIMENTS.md (E1..E10).
 	Experiment string `json:"experiment"`
 	// Note distinguishes points within a sweep (e.g. "match=0.05").
-	Note        string      `json:"note,omitempty"`
-	Query       string      `json:"query,omitempty"`
-	Parallelism int         `json:"parallelism"`
-	Chosen      string      `json:"chosen,omitempty"`
-	Speedup     float64     `json:"speedup,omitempty"`
+	Note        string  `json:"note,omitempty"`
+	Query       string  `json:"query,omitempty"`
+	Parallelism int     `json:"parallelism"`
+	Chosen      string  `json:"chosen,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
 	// Fallbacks counts memory-budget degradations across the point's runs:
 	// each one is an execution whose eager plan blew the budget and was
 	// re-run as the lazy plan.
-	Fallbacks   int         `json:"fallbacks,omitempty"`
+	Fallbacks int `json:"fallbacks,omitempty"`
 	// Vectorize records whether the point's runs used the columnar batch
 	// engine (E13's row-engine baselines within a vectorized invocation
 	// keep their own per-plan Vectorize flags).
 	Vectorize   bool        `json:"vectorize,omitempty"`
 	Standard    *PlanRecord `json:"standard,omitempty"`
 	Transformed *PlanRecord `json:"transformed,omitempty"`
+	// Retries, Failovers and Degraded are the fault-tolerance counters
+	// summed across the point's runs: re-attempted link shipments, nodes
+	// failed over to survivors, and executions that degraded from
+	// distributed to local. Always emitted — a zero is the claim that no
+	// recovery machinery fired, which the fault-rate sweep (E16) trends
+	// across versions just like RowsPerSec.
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+	Degraded  int64 `json:"degraded"`
 }
 
 // File is the top-level BENCH_*.json document.
@@ -138,6 +147,17 @@ func (f *File) Add(experiment, note string, parallelism int, c *Comparison) {
 		rec.Chosen = "standard"
 		if c.Report.Transformed {
 			rec.Chosen = "transformed"
+		}
+	}
+	for _, run := range []*PlanRun{c.Standard, c.Transformed} {
+		if run == nil || run.Metrics == nil {
+			continue
+		}
+		gov := run.Metrics.Gov()
+		rec.Retries += gov.LinkRetries
+		rec.Failovers += gov.Failovers
+		if gov.Degraded {
+			rec.Degraded++
 		}
 	}
 	f.Runs = append(f.Runs, rec)

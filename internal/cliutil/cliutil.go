@@ -38,6 +38,18 @@ func ValidateShards(s int) error {
 	return nil
 }
 
+// ValidateLinkRetries checks a per-shipment link retry budget: 0 disables
+// retries (fail fast on the first link fault), a positive count allows that
+// many re-attempts. Negative budgets are rejected, not clamped — a script
+// that computed -1 expecting "unlimited" would otherwise silently run
+// fail-fast, the opposite of what it asked for.
+func ValidateLinkRetries(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-link-retries must be 0 (fail fast) or a positive retry budget, got %d", n)
+	}
+	return nil
+}
+
 // ValidateModelCheck checks gbj-lint's model-checker flags. The bound -k is
 // rows per table and must be at least 1 — a bound of 0 would "pass" by
 // checking only empty databases, so it is rejected, not clamped. Setting -k

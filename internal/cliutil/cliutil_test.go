@@ -69,21 +69,41 @@ func TestValidateShards(t *testing.T) {
 	}
 }
 
+func TestValidateLinkRetries(t *testing.T) {
+	tests := []struct {
+		n  int
+		ok bool
+	}{
+		{-100, false},
+		{-1, false}, // no "unlimited" sentinel: rejected, not clamped
+		{0, true},   // fail fast
+		{1, true},
+		{3, true},
+		{64, true},
+	}
+	for _, tt := range tests {
+		err := ValidateLinkRetries(tt.n)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidateLinkRetries(%d) = %v, want ok=%v", tt.n, err, tt.ok)
+		}
+	}
+}
+
 func TestValidateModelCheck(t *testing.T) {
 	tests := []struct {
 		enabled, kSet bool
 		k             int
 		ok            bool
 	}{
-		{false, false, 3, true},  // defaults: nothing to check
-		{true, false, 3, true},   // -modelcheck with the default bound
-		{true, true, 1, true},    // explicit minimal bound
-		{true, true, 4, true},    // explicit raised bound
-		{true, true, 0, false},   // zero bound checks only empty databases
-		{true, true, -2, false},  // negative bound
-		{true, false, 0, false},  // even an unset bound must be valid
-		{false, true, 3, false},  // -k without -modelcheck silently does nothing
-		{false, true, 0, false},  // ... and is rejected before the range check
+		{false, false, 3, true}, // defaults: nothing to check
+		{true, false, 3, true},  // -modelcheck with the default bound
+		{true, true, 1, true},   // explicit minimal bound
+		{true, true, 4, true},   // explicit raised bound
+		{true, true, 0, false},  // zero bound checks only empty databases
+		{true, true, -2, false}, // negative bound
+		{true, false, 0, false}, // even an unset bound must be valid
+		{false, true, 3, false}, // -k without -modelcheck silently does nothing
+		{false, true, 0, false}, // ... and is rejected before the range check
 	}
 	for _, tt := range tests {
 		err := ValidateModelCheck(tt.enabled, tt.kSet, tt.k)

@@ -114,6 +114,15 @@ func (c *Calibration) Annotations() algebra.Annotations {
 		if nc.Metrics.CommBytes > 0 {
 			fmt.Fprintf(&note, " ship=%dB", nc.Metrics.CommBytes)
 		}
+		if nc.Metrics.Retries > 0 {
+			fmt.Fprintf(&note, " retries=%d", nc.Metrics.Retries)
+		}
+		if nc.Metrics.Redeliveries > 0 {
+			fmt.Fprintf(&note, " redrop=%d", nc.Metrics.Redeliveries)
+		}
+		if nc.Metrics.Failovers > 0 {
+			fmt.Fprintf(&note, " failovers=%d", nc.Metrics.Failovers)
+		}
 		if nc.Metrics.SpillBytes > 0 {
 			fmt.Fprintf(&note, " spill_bytes=%d", nc.Metrics.SpillBytes)
 		}

@@ -97,21 +97,44 @@ func (l *Link) Rows() int64 { return l.rows.Load() }
 func (l *Link) Bytes() int64 { return l.bytes.Load() }
 
 // Ship moves rows over the link, charging the byte accounting and
-// advancing the fault injector's link path once per row (LinkDrop fails
-// the shipment with a typed *fault.Error; LinkDelay sleeps). It returns
-// the shipped rows (movement is simulated — the slice is shared) and the
-// bytes charged.
+// advancing the fault injector's link path once per row plus once for the
+// delivery ack (LinkDrop fails the shipment with a typed *fault.Error;
+// LinkDelay waits on the injected clock). It returns the shipped rows
+// (movement is simulated — the slice is shared) and the bytes charged.
+// Ship is the single-attempt surface; the runner's fault-tolerant path
+// calls shipAttempt directly so it can distinguish a lost payload from a
+// lost ack.
 func (l *Link) Ship(rows []value.Row, inj *fault.Injector) ([]value.Row, int64, error) {
-	var bytes int64
+	bytes, _, err := l.shipAttempt(rows, inj)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, bytes, nil
+}
+
+// shipAttempt performs one delivery attempt of a shipment. It advances
+// the injector's link path once per payload row, then once more for the
+// receiver's ack. The two failure points differ in a way the retry layer
+// must see: a fault on a payload tick means the rows never arrived
+// (delivered=false — a retry is safe), while a fault on the ack tick
+// means the rows arrived but the sender observes a failure
+// (delivered=true with a non-nil error — a blind retry would deliver the
+// payload twice, which is exactly what receiver-side dedup exists for).
+// Row and byte accounting is charged whenever the payload crosses,
+// duplicates included: the wire carried them.
+func (l *Link) shipAttempt(rows []value.Row, inj *fault.Injector) (bytes int64, delivered bool, err error) {
 	for _, r := range rows {
 		if err := inj.LinkStep(); err != nil {
-			return nil, 0, fmt.Errorf("dist: link %d→%d: %w", l.src, l.dst, err)
+			return 0, false, fmt.Errorf("dist: link %d→%d: %w", l.src, l.dst, err)
 		}
 		bytes += RowBytes(r)
 	}
 	l.rows.Add(int64(len(rows)))
 	l.bytes.Add(bytes)
-	return rows, bytes, nil
+	if err := inj.LinkStep(); err != nil {
+		return bytes, true, fmt.Errorf("dist: link %d→%d: ack lost: %w", l.src, l.dst, err)
+	}
+	return bytes, true, nil
 }
 
 // Cluster is the node registry: N nodes, each holding its table shards,

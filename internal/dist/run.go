@@ -6,11 +6,25 @@
 // node loop is serial and deterministic: gathered output concatenates in
 // node order, shuffled output receives senders in node order, so a given
 // cluster size always produces the same rows in the same order.
+//
+// Every cross-node transfer is one logical *shipment* carrying an
+// (epoch, seq) tag. With a Recovery policy installed the runner retries
+// failed shipments under an exponential clock-driven backoff, dedups
+// redeliveries at the receiver (a shipment is merged at most once — the
+// property that keeps retried partial-aggregate states from double
+// counting), trips a per-node circuit breaker that fails a dead node's
+// shard ownership over to a survivor and re-executes its fragment there,
+// and reports exhaustion as a typed *UnavailableError the engine turns
+// into distributed→local degradation. Retries, dropped redeliveries and
+// failovers never change the produced rows: recovery is invisible except
+// in the counters.
 package dist
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/exec"
@@ -18,22 +32,36 @@ import (
 	"repro/internal/value"
 )
 
-// placed is a fragment result with its placement.
+// placed is a fragment result with its placement. runAt, when non-nil,
+// re-executes the fragment for one partition index — the failover path
+// uses it to recompute a dead node's output at the surviving owner of its
+// shards.
 type placed struct {
 	part  bool          // true: one row set per node
 	repl  bool          // true: parts are the same full set on every node
 	parts [][]value.Row // when part
 	rows  []value.Row   // when !part (coordinator-resident)
+	runAt func(node int) ([]value.Row, error)
 }
 
-// Run executes a compiled plan on the cluster. opts carries the session's
+// Run executes a compiled plan on the cluster with fault tolerance off:
+// one attempt per shipment, fail-fast. opts carries the session's
 // execution settings — parallelism, params, context, memory budget, fault
 // injector, metrics collector — and is passed to every fragment run; the
 // memory budget therefore governs each fragment execution individually
 // (per node), which mirrors a real cluster where every site has its own
 // memory. A panic anywhere in the distributed runtime is contained into a
 // typed *exec.ExecPanicError, same as the single-node executor.
-func (c *Cluster) Run(p *Plan, opts *exec.Options) (res *exec.Result, err error) {
+func (c *Cluster) Run(p *Plan, opts *exec.Options) (*exec.Result, error) {
+	return c.RunRecover(p, opts, nil)
+}
+
+// RunRecover executes a compiled plan under the given fault-tolerance
+// policy (nil disables recovery, making it identical to Run). Under a
+// policy, bounded link-fault schedules — at most LinkRetries faults per
+// shipment — complete with exactly the rows a fault-free run produces;
+// unbounded schedules surface a typed *UnavailableError.
+func (c *Cluster) RunRecover(p *Plan, opts *exec.Options, rec *Recovery) (res *exec.Result, err error) {
 	if opts == nil {
 		opts = &exec.Options{}
 	}
@@ -50,7 +78,15 @@ func (c *Cluster) Run(p *Plan, opts *exec.Options) (res *exec.Result, err error)
 			}
 		}
 	}()
-	r := &runner{cl: c, opts: opts}
+	r := &runner{
+		cl:     c,
+		opts:   opts,
+		plan:   p,
+		rec:    resolveRecovery(rec),
+		health: newHealth(len(c.nodes)),
+		inbox:  make(map[int64]bool),
+	}
+	defer r.flushStats()
 	out, err := r.eval(p.Root)
 	if err != nil {
 		return nil, err
@@ -62,8 +98,39 @@ func (c *Cluster) Run(p *Plan, opts *exec.Options) (res *exec.Result, err error)
 }
 
 type runner struct {
-	cl   *Cluster
-	opts *exec.Options
+	cl     *Cluster
+	opts   *exec.Options
+	plan   *Plan
+	rec    Recovery
+	health *health
+
+	// inbox is the receiver side of the shipment protocol: seq tags whose
+	// payload has been accepted. A second delivery of an accepted tag is
+	// a redelivery and is dropped.
+	inbox   map[int64]bool
+	nextSeq int64
+
+	// waited accumulates virtual backoff time, accounted against the
+	// context deadline without any real sleep.
+	waited time.Duration
+
+	retries     int64
+	redelivered int64
+	failovers   int64
+}
+
+// flushStats publishes the run's recovery counters into the metrics
+// collector and the engine-lifetime aggregate; deferred so failed runs
+// report too.
+func (r *runner) flushStats() {
+	if r.opts.Metrics != nil && r.retries+r.redelivered+r.failovers > 0 {
+		r.opts.Metrics.AddRecovery(r.retries, r.redelivered, r.failovers)
+	}
+	if s := r.rec.Stats; s != nil {
+		s.Retries.Add(r.retries)
+		s.RedeliveriesDropped.Add(r.redelivered)
+		s.Failovers.Add(r.failovers)
+	}
 }
 
 // metrics returns the collector metrics for a plan node, or nil when
@@ -138,35 +205,40 @@ func (r *runner) evalFragment(n algebra.Node) (placed, error) {
 		return placed{rows: rows}, nil
 	}
 
-	parts := make([][]value.Row, len(r.cl.nodes))
-	for i := range r.cl.nodes {
-		if err := r.cancelled(); err != nil {
-			return placed{}, err
-		}
+	// runAt binds node i's shard of every leaf and partition i of every
+	// delivered exchange, then executes the fragment. The main loop below
+	// runs it once per node; a failover re-runs it for a dead node's
+	// partition at the surviving owner of its shard replica.
+	runAt := func(i int) ([]value.Row, error) {
 		for _, leaf := range leaves {
 			leaf.rows = r.cl.nodes[i].TableRows(leaf.Table)
 		}
 		for j, x := range exchanges {
 			d := delivered[j]
-			switch {
-			case d.part:
-				x.delivered = d.parts[i]
-			default:
+			if !d.part {
 				// A coordinator-resident source feeding a partitioned
 				// fragment would mean data reached the nodes outside a
 				// link; the compiler never produces this shape.
-				return placed{}, fmt.Errorf("dist: %s delivers coordinator rows into a partitioned fragment", x.Describe())
+				return nil, fmt.Errorf("dist: %s delivers coordinator rows into a partitioned fragment", x.Describe())
 			}
+			x.delivered = d.parts[i]
 		}
-		rows, err := r.runExec(n)
+		return r.runExec(n)
+	}
+
+	parts := make([][]value.Row, len(r.cl.nodes))
+	for i := range r.cl.nodes {
+		if err := r.cancelled(); err != nil {
+			return placed{}, err
+		}
+		rows, err := runAt(i)
 		if err != nil {
 			return placed{}, err
 		}
 		parts[i] = rows
 	}
-	return placed{part: true, parts: parts}, nil
+	return placed{part: true, parts: parts, runAt: runAt}, nil
 }
-
 
 // runExec executes a fragment tree through the ordinary executor. The
 // store argument is nil: fragments contain no Scan nodes (compilation
@@ -180,7 +252,8 @@ func (r *runner) runExec(n algebra.Node) ([]value.Row, error) {
 }
 
 // evalExchange evaluates an exchange's input and applies its movement,
-// charging links and recording per-exchange rows/bytes metrics.
+// shipping every cross-node slice as a tagged, fault-tolerant shipment
+// and recording per-exchange rows/bytes/recovery metrics.
 func (r *runner) evalExchange(x *Exchange) (placed, error) {
 	in, err := r.eval(x.Input)
 	if err != nil {
@@ -190,11 +263,6 @@ func (r *runner) evalExchange(x *Exchange) (placed, error) {
 		return placed{}, err
 	}
 	m := r.metrics(x)
-	addComm := func(bytes int64) {
-		if m != nil && bytes > 0 {
-			m.CommBytes.Add(bytes)
-		}
-	}
 
 	switch x.Kind {
 	case Gather:
@@ -206,11 +274,10 @@ func (r *runner) evalExchange(x *Exchange) (placed, error) {
 			if in.repl && src != 0 {
 				break // replicated input: the coordinator already has it all
 			}
-			shipped, bytes, err := r.ship(src, 0, rows)
+			shipped, err := r.shipFT(m, src, 0, rows, recomputeAt(in, src))
 			if err != nil {
 				return placed{}, err
 			}
-			addComm(bytes)
 			out = append(out, shipped...)
 		}
 		return placed{rows: out}, nil
@@ -237,11 +304,9 @@ func (r *runner) evalExchange(x *Exchange) (placed, error) {
 					if src == dst {
 						continue
 					}
-					_, bytes, err := r.ship(src, dst, rows)
-					if err != nil {
+					if _, err := r.shipFT(m, src, dst, rows, recomputeAt(in, src)); err != nil {
 						return placed{}, err
 					}
-					addComm(bytes)
 				}
 				parts[dst] = full
 			}
@@ -250,11 +315,9 @@ func (r *runner) evalExchange(x *Exchange) (placed, error) {
 			// ships the full set to every other node.
 			for dst := 0; dst < n; dst++ {
 				if dst != 0 {
-					_, bytes, err := r.ship(0, dst, full)
-					if err != nil {
+					if _, err := r.shipFT(m, 0, dst, full, nil); err != nil {
 						return placed{}, err
 					}
-					addComm(bytes)
 				}
 				parts[dst] = full
 			}
@@ -278,11 +341,10 @@ func (r *runner) evalExchange(x *Exchange) (placed, error) {
 				if len(bySrc[dst]) == 0 {
 					continue
 				}
-				shipped, bytes, err := r.ship(src, dst, bySrc[dst])
+				shipped, err := r.shipFT(m, src, dst, bySrc[dst], shuffleRecompute(in, src, x.Keys, dst, n))
 				if err != nil {
 					return placed{}, err
 				}
-				addComm(bytes)
 				buckets[dst] = append(buckets[dst], shipped...)
 			}
 		}
@@ -293,11 +355,213 @@ func (r *runner) evalExchange(x *Exchange) (placed, error) {
 	}
 }
 
-// ship moves rows from src to dst over the cluster's link. Same-site
-// movement is free: no accounting, no fault ticks.
-func (r *runner) ship(src, dst int, rows []value.Row) ([]value.Row, int64, error) {
-	if src == dst || len(rows) == 0 {
-		return rows, 0, nil
+// recomputeAt builds the failover recompute closure for partition src of
+// a placed input: the surviving owner re-executes the fragment over the
+// dead node's shard replica. nil when the input has no re-executable
+// fragment (its rows arrived through an earlier exchange and survive in
+// the runner's buffers; those shipments are re-routed as-is).
+func recomputeAt(in placed, src int) func(owner int) ([]value.Row, error) {
+	if in.runAt == nil {
+		return nil
 	}
-	return r.cl.links[src][dst].Ship(rows, r.opts.Faults)
+	return func(int) ([]value.Row, error) { return in.runAt(src) }
+}
+
+// shuffleRecompute is recomputeAt for one shuffle bucket: re-execute the
+// dead node's fragment, then keep only the rows that hash to dst.
+func shuffleRecompute(in placed, src int, keys []int, dst, n int) func(owner int) ([]value.Row, error) {
+	if in.runAt == nil {
+		return nil
+	}
+	return func(int) ([]value.Row, error) {
+		rows, err := in.runAt(src)
+		if err != nil {
+			return nil, err
+		}
+		var out []value.Row
+		for _, row := range rows {
+			if Partition(row, keys, n) == dst {
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	}
+}
+
+// shipFT moves one logical shipment from src to dst under the run's
+// fault-tolerance policy. Same-site movement is free: no accounting, no
+// fault ticks. Cross-node movement is attempted up to 1+LinkRetries times
+// per owner, with clock-driven backoff between attempts; when a source
+// exhausts its budget the circuit breaker may declare it dead and fail
+// the shipment over to a surviving owner (recompute re-derives the
+// payload there). The returned rows are what the receiver accepted —
+// exactly one delivery, however many attempts the wire needed.
+func (r *runner) shipFT(m *obs.OpMetrics, src, dst int, rows []value.Row, recompute func(owner int) ([]value.Row, error)) ([]value.Row, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	tag := ShipTag{Seq: r.nextSeq}
+	r.nextSeq++
+	if r.health.dead[src] {
+		// The node died earlier in the run; its shard ownership already
+		// moved. Route from the owner, re-deriving the payload there.
+		owner := r.health.owner[src]
+		if recompute != nil {
+			rr, err := recompute(owner)
+			if err != nil {
+				return nil, err
+			}
+			rows = rr
+		}
+		src = owner
+		tag.Epoch++
+	}
+	if src == dst {
+		return rows, nil
+	}
+
+	var received []value.Row
+	var lastErr error
+	attempts := 0
+	for hop := 0; hop < len(r.cl.nodes); hop++ {
+		for attempt := 0; attempt <= r.rec.LinkRetries; attempt++ {
+			if err := r.cancelled(); err != nil {
+				return nil, err
+			}
+			if attempts > 0 {
+				r.retries++
+				if m != nil {
+					m.Retries.Add(1)
+				}
+				if err := r.waitBackoff(tag, attempts); err != nil {
+					return nil, err
+				}
+			}
+			attempts++
+			bytes, delivered, err := r.cl.links[src][dst].shipAttempt(rows, r.opts.Faults)
+			if delivered {
+				if m != nil && bytes > 0 {
+					m.CommBytes.Add(bytes)
+				}
+				received = r.accept(m, tag, received, rows)
+			}
+			if err == nil {
+				r.health.ok(src)
+				return received, nil
+			}
+			lastErr = err
+			r.health.fail(src)
+		}
+		// Retry budget exhausted from src: let the circuit breaker fail
+		// the node over, or give up.
+		next, ok, err := r.failOver(m, src, dst)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if recompute != nil {
+			rr, err := recompute(next)
+			if err != nil {
+				return nil, err
+			}
+			rows = rr
+		}
+		src = next
+		tag.Epoch++
+		if src == dst {
+			// Ownership landed on the destination itself: the payload is
+			// local now, no link needed.
+			return r.accept(m, tag, received, rows), nil
+		}
+	}
+	return nil, &UnavailableError{Src: src, Dst: dst, Seq: tag.Seq, Attempts: attempts, Err: lastErr}
+}
+
+// accept is the receiver side of the shipment protocol: a tag's payload
+// is merged at most once. A second delivery — the retry of a shipment
+// whose ack, not payload, was lost — is a redelivery: dropped and
+// counted. TestHooks.SkipShipmentDedup disables the dedup so the
+// recovery oracle can demonstrate the double-merge corruption it
+// prevents (an eager partial-aggregate state merged twice).
+func (r *runner) accept(m *obs.OpMetrics, tag ShipTag, received, rows []value.Row) []value.Row {
+	if !r.inbox[tag.Seq] {
+		r.inbox[tag.Seq] = true
+		return rows
+	}
+	if TestHooks.SkipShipmentDedup {
+		return append(append([]value.Row(nil), received...), rows...)
+	}
+	r.redelivered++
+	if m != nil {
+		m.Redeliveries.Add(1)
+	}
+	return received
+}
+
+// waitBackoff waits out the exponential backoff before retry attempt
+// (1-based) of a shipment. The wait is virtual: one read of the injected
+// clock plus an accumulated duration checked against the context
+// deadline — no goroutine ever sleeps, so recovery costs nothing real
+// and is deterministic under obs.FakeClock.
+func (r *runner) waitBackoff(tag ShipTag, attempt int) error {
+	d := r.rec.backoff(tag, attempt)
+	if d <= 0 {
+		return nil
+	}
+	clock := r.rec.Clock
+	if clock == nil {
+		clock = obs.Wall
+	}
+	now := clock.Now()
+	r.waited += d
+	if r.opts.Context != nil {
+		if dl, ok := r.opts.Context.Deadline(); ok && now.Add(r.waited).After(dl) {
+			return fmt.Errorf("dist: shipment %d retry backoff exceeds the context deadline: %w", tag.Seq, context.DeadlineExceeded)
+		}
+	}
+	return nil
+}
+
+// failOver runs the circuit breaker after a source exhausted a
+// shipment's retry budget: when the node has accumulated FailThreshold
+// consecutive failures it is declared dead, every shard it owned moves
+// to the next surviving node, and — when a Verify hook is installed —
+// the resulting ownership table is checked against the plancheck
+// dist-recovery rule. Returns the new owner and true when the shipment
+// should be retried from there. The coordinator (node 0) is the gather
+// site and the query's result location; it cannot be failed over.
+func (r *runner) failOver(m *obs.OpMetrics, src, dst int) (int, bool, error) {
+	if r.rec.FailThreshold <= 0 || src == 0 || r.health.consec[src] < r.rec.FailThreshold {
+		return 0, false, nil
+	}
+	n := len(r.cl.nodes)
+	next := -1
+	for step := 1; step < n; step++ {
+		cand := (src + step) % n
+		if !r.health.dead[cand] {
+			next = cand
+			break
+		}
+	}
+	if next < 0 {
+		return 0, false, nil
+	}
+	r.health.dead[src] = true
+	for i, o := range r.health.owner {
+		if o == src {
+			r.health.owner[i] = next
+		}
+	}
+	r.failovers++
+	if m != nil {
+		m.Failovers.Add(1)
+	}
+	if r.rec.Verify != nil {
+		if err := r.rec.Verify(r.plan.Root, r.health.aliveMask(), r.health.ownerCopy()); err != nil {
+			return 0, false, fmt.Errorf("dist: recovery plan rejected: %w", err)
+		}
+	}
+	return next, true, nil
 }

@@ -119,22 +119,36 @@ func (p *PanicValue) String() string {
 	return fmt.Sprintf("fault: injected panic at tick %d", p.Tick)
 }
 
+// Clock is the injected time source Delay and LinkDelay events consult
+// when one is installed (WithClock). It is structurally identical to
+// obs.Clock; declaring it locally keeps this package dependency-free.
+type Clock interface {
+	Now() time.Time
+}
+
 // Injector fires a fixed schedule of faults as the executor advances the
 // tick counter. Step is safe for concurrent use: the counter is atomic and
 // each tick value is observed by exactly one caller, so every event fires
 // at most once. A nil *Injector is inert.
 type Injector struct {
-	at     map[int64]Kind
-	events []Event
-	cancel func()
-	delay  time.Duration
-	tick   atomic.Int64
+	at map[int64]Kind
+	// atLink schedules events on the link ordinal (the count of LinkStep
+	// calls) instead of the shared tick counter; NewSeededLinkOnly uses it
+	// so link-fault schedules cannot be absorbed by row-path traffic.
+	atLink   map[int64]Kind
+	events   []Event
+	cancel   func()
+	delay    time.Duration
+	clock    Clock
+	tick     atomic.Int64
+	linkTick atomic.Int64
 }
 
 // New builds an injector with an explicit schedule.
 func New(events []Event) *Injector {
 	i := &Injector{
 		at:     make(map[int64]Kind, len(events)),
+		atLink: make(map[int64]Kind),
 		events: append([]Event(nil), events...),
 		delay:  100 * time.Microsecond,
 	}
@@ -156,6 +170,27 @@ func (i *Injector) WithCancel(cancel func()) *Injector {
 func (i *Injector) WithDelay(d time.Duration) *Injector {
 	i.delay = d
 	return i
+}
+
+// WithClock installs an injected clock and returns the injector. With a
+// clock installed, Delay and LinkDelay events advance virtual time (one
+// Now read) instead of sleeping for real, so fault schedules that include
+// delays stay fast and — under obs.FakeClock — byte-stable. Install it
+// before the run starts; like WithCancel it is not synchronized against
+// in-flight Step calls.
+func (i *Injector) WithClock(c Clock) *Injector {
+	i.clock = c
+	return i
+}
+
+// pause realizes a Delay/LinkDelay event: a virtual-time advance when a
+// clock is injected, a real sleep otherwise.
+func (i *Injector) pause() {
+	if i.clock != nil {
+		i.clock.Now()
+		return
+	}
+	time.Sleep(i.delay)
 }
 
 // rng is splitmix64 — a tiny deterministic generator so schedules derived
@@ -222,6 +257,62 @@ func NewSeededLinks(seed int64, horizon int64, maxEvents int) *Injector {
 	return New(events)
 }
 
+// NewSeededLinkOnly derives a deterministic random schedule of pure link
+// faults: between one and maxEvents events, each LinkDelay or LinkDrop. The
+// events are keyed to the injector's *link ordinal* — the count of LinkStep
+// calls, not the shared tick counter — with distinct ordinals drawn in
+// [1, horizon], so no event can shadow another.
+// Keying on link ordinals matters twice over: row-path Step traffic (which
+// dwarfs link traffic on any real plan) cannot absorb the events, so the
+// schedule actually perturbs shipments; and row-path kinds are excluded, so
+// it can only perturb shipments, never kill a fragment. Together that makes
+// a schedule *bounded* for the recovery oracle: with a per-shipment retry
+// budget of at least maxEvents, some attempt of every shipment must succeed
+// and the query must complete with oracle-identical rows. The same (seed,
+// horizon, maxEvents) always yields the same schedule.
+func NewSeededLinkOnly(seed int64, horizon int64, maxEvents int) *Injector {
+	if horizon < 1 {
+		horizon = 1
+	}
+	if maxEvents < 1 {
+		maxEvents = 1
+	}
+	r := &rng{state: uint64(seed)}
+	n := 1 + r.intn(int64(maxEvents))
+	if n > horizon {
+		n = horizon // ordinals are distinct; can't schedule more than exist
+	}
+	events := make([]Event, 0, n)
+	seen := make(map[int64]bool, n)
+	for int64(len(events)) < n {
+		kind := LinkDelay
+		if r.intn(2) == 1 {
+			kind = LinkDrop
+		}
+		tick := 1 + r.intn(horizon)
+		for seen[tick] {
+			tick = tick%horizon + 1
+		}
+		seen[tick] = true
+		events = append(events, Event{Tick: tick, Kind: kind})
+	}
+	return NewLinkSchedule(events)
+}
+
+// NewLinkSchedule builds an injector with an explicit schedule keyed to
+// link ordinals: each event's Tick names the n-th LinkStep call instead of
+// the shared tick counter, so the schedule targets shipments precisely no
+// matter how much row-path traffic interleaves. Recovery tests use it to
+// aim a LinkDrop at a specific payload or ack tick of a known shipment.
+func NewLinkSchedule(events []Event) *Injector {
+	i := New(nil)
+	i.events = append([]Event(nil), events...)
+	for _, e := range events {
+		i.atLink[e.Tick] = e.Kind
+	}
+	return i
+}
+
 // NewSeededDisk derives a deterministic random schedule that mixes the four
 // row-path kinds with the four disk kinds (DiskWriteFail, DiskShortWrite,
 // DiskReadFail, DiskCloseFail), for the disk-chaos oracle that exercises the
@@ -268,6 +359,15 @@ func (i *Injector) Ticks() int64 {
 	return i.tick.Load()
 }
 
+// LinkTicks reports how many LinkStep calls have happened — the horizon a
+// link-ordinal schedule (NewSeededLinkOnly) should be derived from.
+func (i *Injector) LinkTicks() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.linkTick.Load()
+}
+
 // Step advances the tick counter by one and fires the event scheduled at
 // the new tick, if any: AllocFail returns a typed *Error, Panic panics
 // with a *PanicValue, Delay sleeps, Cancel invokes the cancel function.
@@ -290,7 +390,7 @@ func (i *Injector) Step() error {
 	case Panic:
 		panic(&PanicValue{Tick: t})
 	case Delay:
-		time.Sleep(i.delay)
+		i.pause()
 	case Cancel:
 		if i.cancel != nil {
 			i.cancel()
@@ -304,13 +404,19 @@ func (i *Injector) Step() error {
 // kinds fire here: a link is just another place an allocation can fail or
 // a panic can surface, and LinkDelay/LinkDrop model the network itself —
 // LinkDrop returns a typed *Error (the shipment is lost and the query must
-// fail cleanly), LinkDelay sleeps. A nil injector does nothing.
+// fail cleanly), LinkDelay sleeps. Link-ordinal schedules (NewSeededLinkOnly)
+// are consulted first, keyed by the count of LinkStep calls; the shared tick
+// still advances either way. A nil injector does nothing.
 func (i *Injector) LinkStep() error {
 	if i == nil {
 		return nil
 	}
+	lt := i.linkTick.Add(1)
 	t := i.tick.Add(1)
-	k, ok := i.at[t]
+	k, ok := i.atLink[lt]
+	if !ok {
+		k, ok = i.at[t]
+	}
 	if !ok {
 		return nil
 	}
@@ -320,7 +426,7 @@ func (i *Injector) LinkStep() error {
 	case Panic:
 		panic(&PanicValue{Tick: t})
 	case Delay, LinkDelay:
-		time.Sleep(i.delay)
+		i.pause()
 	case Cancel:
 		if i.cancel != nil {
 			i.cancel()
@@ -355,7 +461,7 @@ func (i *Injector) DiskStep() error {
 	case Panic:
 		panic(&PanicValue{Tick: t})
 	case Delay:
-		time.Sleep(i.delay)
+		i.pause()
 	case Cancel:
 		if i.cancel != nil {
 			i.cancel()

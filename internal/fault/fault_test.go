@@ -113,6 +113,124 @@ func TestConcurrentStepFiresOnce(t *testing.T) {
 	}
 }
 
+// TestSeededConstructorsDeterministic: every seeded constructor is a pure
+// function of (seed, horizon, maxEvents) — byte-identical schedules on
+// repeat calls, and every event within its advertised kind set and tick
+// range. This is what lets a failed chaos run be replayed from its logged
+// seed.
+func TestSeededConstructorsDeterministic(t *testing.T) {
+	cases := []struct {
+		name  string
+		make  func(seed int64) *Injector
+		kinds func(k Kind) bool
+	}{
+		{"NewSeeded", func(s int64) *Injector { return NewSeeded(s, 500, 6) },
+			func(k Kind) bool { return k >= AllocFail && k < Kind(numRowKinds) }},
+		{"NewSeededLinks", func(s int64) *Injector { return NewSeededLinks(s, 500, 6) },
+			func(k Kind) bool { return k >= AllocFail && k < Kind(numKinds) }},
+		{"NewSeededLinkOnly", func(s int64) *Injector { return NewSeededLinkOnly(s, 500, 6) },
+			func(k Kind) bool { return k == LinkDelay || k == LinkDrop }},
+		{"NewSeededDisk", func(s int64) *Injector { return NewSeededDisk(s, 500, 6) },
+			func(k Kind) bool {
+				return (k >= AllocFail && k < LinkDelay) || (k >= DiskWriteFail && k < Kind(numDiskKinds))
+			}},
+	}
+	for _, c := range cases {
+		for seed := int64(1); seed <= 50; seed++ {
+			a, b := c.make(seed).Events(), c.make(seed).Events()
+			if len(a) != len(b) {
+				t.Fatalf("%s(seed=%d): schedule lengths differ, %d vs %d", c.name, seed, len(a), len(b))
+			}
+			if len(a) < 1 || len(a) > 6 {
+				t.Fatalf("%s(seed=%d): %d events outside [1, 6]", c.name, seed, len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s(seed=%d): schedules differ: %v vs %v", c.name, seed, a, b)
+				}
+				if a[i].Tick < 1 || a[i].Tick > 500 {
+					t.Fatalf("%s(seed=%d): tick %d outside [1, 500]", c.name, seed, a[i].Tick)
+				}
+				if !c.kinds(a[i].Kind) {
+					t.Fatalf("%s(seed=%d): kind %v outside the constructor's set", c.name, seed, a[i].Kind)
+				}
+			}
+		}
+	}
+}
+
+// TestEventsReturnsACopy: mutating the slice Events returns must not alter
+// the injector's schedule — chaos harnesses log and reslice it freely.
+func TestEventsReturnsACopy(t *testing.T) {
+	inj := New([]Event{{Tick: 2, Kind: AllocFail}})
+	got := inj.Events()
+	got[0] = Event{Tick: 99, Kind: Panic}
+	again := inj.Events()
+	if again[0].Tick != 2 || again[0].Kind != AllocFail {
+		t.Fatalf("Events() exposed internal state: schedule became %v", again)
+	}
+	if err := inj.Step(); err != nil {
+		t.Fatalf("tick 1 fired unexpectedly: %v", err)
+	}
+	if err := inj.Step(); err == nil {
+		t.Fatal("the original schedule no longer fires at tick 2")
+	}
+}
+
+// fakeTicker counts Now reads, standing in for obs.FakeClock.
+type fakeTicker struct{ reads int }
+
+func (f *fakeTicker) Now() time.Time { f.reads++; return time.Unix(0, int64(f.reads)) }
+
+// TestWithClockReplacesSleeps: with a clock injected, Delay and LinkDelay
+// events read virtual time instead of sleeping — the schedule stays fast
+// and the clock records exactly one read per delay event.
+func TestWithClockReplacesSleeps(t *testing.T) {
+	clock := &fakeTicker{}
+	inj := New([]Event{{Tick: 1, Kind: Delay}, {Tick: 2, Kind: LinkDelay}}).
+		WithDelay(time.Hour). // a real sleep here would hang the test
+		WithClock(clock)
+	start := time.Now()
+	if err := inj.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.LinkStep(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Fatalf("delay events slept for real (%v) despite the injected clock", elapsed)
+	}
+	if clock.reads != 2 {
+		t.Fatalf("clock read %d times, want 2 (one per delay event)", clock.reads)
+	}
+}
+
+// TestLinkOrdinalSchedule: NewLinkSchedule events fire on the n-th LinkStep
+// call regardless of interleaved row-path Step traffic, and row-path calls
+// can never absorb them.
+func TestLinkOrdinalSchedule(t *testing.T) {
+	inj := NewLinkSchedule([]Event{{Tick: 2, Kind: LinkDrop}})
+	for i := 0; i < 100; i++ {
+		if err := inj.Step(); err != nil {
+			t.Fatalf("row step %d fired a link-ordinal event: %v", i, err)
+		}
+	}
+	if err := inj.LinkStep(); err != nil {
+		t.Fatalf("link ordinal 1 fired: %v", err)
+	}
+	err := inj.LinkStep()
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != LinkDrop {
+		t.Fatalf("link ordinal 2: got %v, want a LinkDrop *fault.Error", err)
+	}
+	if err := inj.LinkStep(); err != nil {
+		t.Fatalf("link ordinal 3 fired again: %v", err)
+	}
+	if inj.LinkTicks() != 3 {
+		t.Fatalf("LinkTicks() = %d, want 3", inj.LinkTicks())
+	}
+}
+
 // TestNilInjectorIsInert: the executor's disabled path calls through nil.
 func TestNilInjectorIsInert(t *testing.T) {
 	var inj *Injector

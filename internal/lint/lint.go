@@ -11,9 +11,10 @@
 //     results and breaks the serial-vs-parallel oracle. Iterate an
 //     insertion-order slice or sort the keys.
 //   - nowallclock: no time.Now/Since/Until and no math/rand in the planner,
-//     the executor or the observability layer (internal/core, internal/exec,
-//     internal/obs). Plan choice must be a pure function of schema,
-//     statistics and query, and operator timings must flow through an
+//     the executor, the observability layer or the distributed runtime
+//     (internal/core, internal/exec, internal/obs, internal/dist). Plan
+//     choice must be a pure function of schema, statistics and query, and
+//     operator timings — including retry backoffs — must flow through an
 //     injected obs.Clock, or EXPLAIN / EXPLAIN ANALYZE output and the
 //     oracle suites become unreproducible. The one sanctioned wall-clock
 //     read is obs.Wall, which carries the //lint:ignore directive.
@@ -55,6 +56,11 @@
 //   - selbounds: no direct indexing of a batch's selection vector outside
 //     internal/vec; Sel is an optional representation (nil means identity)
 //     and only the Batch accessors handle both cases.
+//   - retryloop: retry loops around link shipments (internal/dist) must be
+//     bounded by a retry budget, consult the injected clock between
+//     attempts, and check cancellation — an unbounded `for` around a
+//     shipment spins forever on a dead link, and a loop that never reads
+//     the clock cannot honor the context deadline.
 //
 // A finding can be suppressed with a directive comment on the same line or
 // the line immediately above it:
@@ -259,5 +265,6 @@ func DefaultAnalyzers() []*Analyzer {
 		ErrWrappedAnalyzer,
 		SelBoundsAnalyzer,
 		SpillCleanupAnalyzer,
+		RetryLoopAnalyzer,
 	}
 }

@@ -84,6 +84,10 @@ func TestSpillCleanupFixture(t *testing.T) {
 	linttest.Run(t, loader, fixture(t, "spillcleanup"), lint.SpillCleanupAnalyzer)
 }
 
+func TestRetryLoopFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "retryloop"), lint.RetryLoopAnalyzer)
+}
+
 // unscoped strips an analyzer's Dirs so it runs on fixtures outside its
 // production scope (the same trick linttest.Run uses internally).
 func unscoped(a *lint.Analyzer) *lint.Analyzer {
@@ -171,6 +175,7 @@ func TestAnalyzerScoping(t *testing.T) {
 		{lint.NoWallClockAnalyzer, "internal/core", "internal/bench"},
 		{lint.NoWallClockAnalyzer, "internal/exec", "internal/sql"},
 		{lint.NoWallClockAnalyzer, "internal/obs", "cmd/gbj-bench"},
+		{lint.NoWallClockAnalyzer, "internal/dist", "internal/fault"},
 		{lint.AtomicCounterAnalyzer, "internal/exec", "internal/sql"},
 		{lint.AccMergeAnalyzer, "internal/expr", "internal/exec"},
 		{lint.OptMutationAnalyzer, "internal/exec", ""},
@@ -184,6 +189,7 @@ func TestAnalyzerScoping(t *testing.T) {
 		{lint.SpillCleanupAnalyzer, "internal/exec", "internal/core"},
 		{lint.SpillCleanupAnalyzer, "internal/storage", "internal/vec"},
 		{lint.SpillCleanupAnalyzer, "cmd/gbj-shell", "internal/sql"},
+		{lint.RetryLoopAnalyzer, "internal/dist", "internal/exec"},
 	}
 	for _, c := range cases {
 		if !c.a.AppliesTo(c.in) {

@@ -13,13 +13,16 @@ import (
 // and therefore EXPLAIN output, the oracle suites and the fuzz corpus —
 // depend on when and where the process runs, and inside the executor or the
 // observability layer (internal/exec, internal/obs) it would make the
-// golden EXPLAIN ANALYZE output unreproducible. Timings must flow through
-// an injected obs.Clock; the single sanctioned wall-clock read is obs.Wall,
+// golden EXPLAIN ANALYZE output unreproducible. The distributed runtime
+// (internal/dist) is covered too: its retry backoffs and link delays must
+// advance the injected clock, or recovery schedules — and the golden
+// recovery analyses — drift with the host. Timings must flow through an
+// injected obs.Clock; the single sanctioned wall-clock read is obs.Wall,
 // which carries a //lint:ignore directive.
 var NoWallClockAnalyzer = &Analyzer{
 	Name: "nowallclock",
-	Doc:  "forbid wall-clock reads and math/rand in planner, executor and observability code (read an injected obs.Clock instead)",
-	Dirs: []string{"internal/core", "internal/exec", "internal/obs"},
+	Doc:  "forbid wall-clock reads and math/rand in planner, executor, observability and distributed-runtime code (read an injected obs.Clock instead)",
+	Dirs: []string{"internal/core", "internal/exec", "internal/obs", "internal/dist"},
 	Run:  runNoWallClock,
 }
 

@@ -1,0 +1,82 @@
+package lint
+
+import "go/ast"
+
+// RetryLoopAnalyzer guards the fault-tolerance layer's retry discipline
+// (internal/dist): a loop that re-attempts link shipments must be bounded
+// by a retry budget, must consult the injected clock between attempts, and
+// must respect cancellation. An unbounded `for` around a shipment spins
+// forever on a dead link; a bounded loop that never reads the clock cannot
+// honor the context deadline (and silently reintroduces real sleeps); one
+// that never checks cancellation stalls Ctrl-C and timeouts for its whole
+// budget.
+var RetryLoopAnalyzer = &Analyzer{
+	Name: "retryloop",
+	Doc:  "retry loops around link shipments must be bounded, consult the injected clock (backoff/Now), and check cancellation",
+	Dirs: []string{"internal/dist"},
+	Run:  runRetryLoop,
+}
+
+// shipCallNames are the shipment surfaces a retry loop re-attempts.
+var shipCallNames = map[string]bool{"Ship": true, "shipAttempt": true, "ShipTagged": true}
+
+// cancelCheckNames are the calls that count as a cancellation check:
+// a cancelled helper, ctx.Err, or a Done-channel receive.
+var cancelCheckNames = map[string]bool{"cancelled": true, "Err": true, "Done": true}
+
+// clockConsultNames are the calls that count as consulting the injected
+// clock: the backoff helpers or a direct Clock.Now read.
+var clockConsultNames = map[string]bool{"waitBackoff": true, "backoff": true, "Now": true}
+
+func runRetryLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Body == nil {
+				return true
+			}
+			if !callsAny(loop.Body, shipCallNames) {
+				return true
+			}
+			if loop.Cond == nil {
+				pass.Reportf(loop.Pos(), "unbounded retry loop around a link shipment: bound the attempts with a retry budget")
+				return true
+			}
+			if !callsAny(loop.Body, cancelCheckNames) {
+				pass.Reportf(loop.Pos(), "retry loop ships without a cancellation check: consult the context (Err/Done or a cancelled helper) every attempt")
+			}
+			if !callsAny(loop.Body, clockConsultNames) {
+				pass.Reportf(loop.Pos(), "retry loop ships without consulting the injected clock: wait through the backoff helpers (obs.Clock), not a bare spin")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callsAny reports whether the subtree contains a call whose callee's
+// terminal name is in names (covering both f(...) and x.f(...) forms).
+func callsAny(body ast.Node, names map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			if names[fn.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if names[fn.Sel.Name] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

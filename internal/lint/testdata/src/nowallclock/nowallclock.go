@@ -43,3 +43,10 @@ func instrumentedElapsed(c clock, start time.Time) time.Duration {
 func sanctioned() time.Time {
 	return time.Now() //lint:ignore nowallclock fixture for the obs.Wall escape hatch
 }
+
+// A dist-flavored retry backoff that reads the wall clock to account its
+// deadline drifts with the host — the recovery layer must read its injected
+// obs.Clock instead.
+func retryDeadlineExceeded(waited time.Duration, deadline time.Time) bool {
+	return time.Now().Add(waited).After(deadline) // want "time.Now in planner/executor code"
+}

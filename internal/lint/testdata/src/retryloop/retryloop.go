@@ -1,0 +1,97 @@
+// Fixture for the retryloop analyzer.
+package retryloop
+
+import "time"
+
+type row struct{}
+
+type link struct{}
+
+func (l *link) Ship(rows []row) error { return nil }
+
+func (l *link) shipAttempt(rows []row) (bool, error) { return true, nil }
+
+type policy struct{ retries int }
+
+func (p *policy) cancelled() error { return nil }
+
+func (p *policy) waitBackoff(attempt int) error { return nil }
+
+type clock interface{ Now() time.Time }
+
+// Unbounded retry: spins forever on a dead link, with or without backoff.
+func spinForever(l *link, rows []row) {
+	for { // want "unbounded retry loop"
+		if err := l.Ship(rows); err == nil {
+			return
+		}
+	}
+}
+
+// Bounded, but never checks cancellation: a full budget of attempts runs
+// even after the query context is dead.
+func ignoresCancel(l *link, p *policy, rows []row) error {
+	var err error
+	for attempt := 0; attempt <= p.retries; attempt++ { // want "without a cancellation check"
+		if err = p.waitBackoff(attempt); err != nil {
+			return err
+		}
+		if _, err = l.shipAttempt(rows); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Bounded and cancellable, but never consults the injected clock: the
+// retries spin back-to-back with no deadline accounting.
+func ignoresClock(l *link, p *policy, rows []row) error {
+	var err error
+	for attempt := 0; attempt <= p.retries; attempt++ { // want "without consulting the injected clock"
+		if err = p.cancelled(); err != nil {
+			return err
+		}
+		if _, err = l.shipAttempt(rows); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// The compliant shape: bounded budget, cancellation check and clock-driven
+// backoff on every re-attempt.
+func compliant(l *link, p *policy, rows []row) error {
+	var err error
+	for attempt := 0; attempt <= p.retries; attempt++ {
+		if err = p.cancelled(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			if err = p.waitBackoff(attempt); err != nil {
+				return err
+			}
+		}
+		if _, err = l.shipAttempt(rows); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Loops that never ship are out of scope, unbounded or not.
+func drain(ch chan row) {
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
+// A bounded loop reading the clock without shipping is also out of scope.
+func ticks(c clock, n int) []time.Time {
+	out := make([]time.Time, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.Now())
+	}
+	return out
+}

@@ -47,6 +47,19 @@ type OpMetrics struct {
 	// SortRuns counts the sorted runs an external sort (or sort-based
 	// external aggregation) wrote to disk; 0 when the sort fit in memory.
 	SortRuns atomic.Int64
+	// Retries counts re-attempted link shipments for an exchange operator
+	// (attempts beyond each shipment's first); 0 outside the distributed
+	// runtime's fault-tolerant path.
+	Retries atomic.Int64
+	// Redeliveries counts duplicate shipment deliveries the receiver
+	// dropped — a retried shipment whose earlier attempt had in fact
+	// arrived (the ack was lost, not the payload). Each drop is a
+	// partial-aggregate state that would have been merged twice without
+	// exactly-once dedup.
+	Redeliveries atomic.Int64
+	// Failovers counts node deaths this exchange recovered from by
+	// re-executing the dead node's fragment at a surviving node.
+	Failovers atomic.Int64
 
 	// workerMorsels[w] counts the morsels executed by worker w.
 	workerMorsels []atomic.Int64
@@ -82,6 +95,9 @@ type Snapshot struct {
 	SpillBytes    int64   `json:"spill_bytes,omitempty"`
 	SpillParts    int64   `json:"spill_parts,omitempty"`
 	SortRuns      int64   `json:"sort_runs,omitempty"`
+	Retries       int64   `json:"retries,omitempty"`
+	Redeliveries  int64   `json:"redeliveries_dropped,omitempty"`
+	Failovers     int64   `json:"failovers,omitempty"`
 	WorkerMorsels []int64 `json:"worker_morsels,omitempty"`
 }
 
@@ -99,6 +115,9 @@ func (m *OpMetrics) Snapshot() Snapshot {
 		SpillBytes:   m.SpillBytes.Load(),
 		SpillParts:   m.SpillParts.Load(),
 		SortRuns:     m.SortRuns.Load(),
+		Retries:      m.Retries.Load(),
+		Redeliveries: m.Redeliveries.Load(),
+		Failovers:    m.Failovers.Load(),
 	}
 	if s.Batches > 0 && len(m.workerMorsels) > 0 {
 		s.WorkerMorsels = m.WorkerMorsels()
@@ -139,6 +158,22 @@ type Governance struct {
 	// SpillBytes is the total bytes the execution wrote to spill files;
 	// 0 when every operator stayed in memory.
 	SpillBytes int64 `json:"spill_bytes,omitempty"`
+	// LinkRetries is the total re-attempted link shipments across every
+	// exchange of the run (the distributed runtime fills it in).
+	LinkRetries int64 `json:"link_retries,omitempty"`
+	// RedeliveriesDropped is the total duplicate shipment deliveries the
+	// receivers deduplicated (merge-at-most-once for partial aggregates).
+	RedeliveriesDropped int64 `json:"redeliveries_dropped,omitempty"`
+	// Failovers is the total node deaths the run recovered from by
+	// re-executing fragments at surviving nodes.
+	Failovers int64 `json:"failovers,omitempty"`
+	// Degraded is true when the distributed execution was abandoned —
+	// retries exhausted, cluster unhealthy — and the engine re-ran the
+	// query locally instead (the distributed analogue of Fallback).
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason holds the distributed error that forced the local
+	// re-run.
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // NewCollector returns an empty collector sized for serial execution.
@@ -183,6 +218,27 @@ func (c *Collector) SetBudgetUsed(bytes int64) {
 func (c *Collector) SetSpilled(bytes int64) {
 	c.mu.Lock()
 	c.gov.SpillBytes = bytes
+	c.mu.Unlock()
+}
+
+// AddRecovery accumulates the run's fault-recovery totals: re-attempted
+// shipments, deduplicated redeliveries, and node failovers. The distributed
+// runtime calls it once per Run.
+func (c *Collector) AddRecovery(retries, redeliveries, failovers int64) {
+	c.mu.Lock()
+	c.gov.LinkRetries += retries
+	c.gov.RedeliveriesDropped += redeliveries
+	c.gov.Failovers += failovers
+	c.mu.Unlock()
+}
+
+// SetDegraded marks this execution as the local re-run of a distributed
+// plan whose cluster became unavailable, with the distributed error as the
+// reason.
+func (c *Collector) SetDegraded(reason string) {
+	c.mu.Lock()
+	c.gov.Degraded = true
+	c.gov.DegradedReason = reason
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,68 @@
+// Recovery-plan verification. When the distributed runtime's circuit
+// breaker declares a node dead and moves its shard ownership to a
+// survivor, the re-routed execution is a new physical plan: same operator
+// tree, different placement. CheckRecovery is the dist-recovery rule the
+// runner consults before continuing on a re-route — the same adversarial
+// posture as the rest of this package: the recovery decision is re-checked
+// from its inputs (liveness and ownership), not trusted.
+package plancheck
+
+import "repro/internal/algebra"
+
+// CheckRecovery verifies a failover re-route of a distributed plan:
+// alive[i] reports node i's liveness, owner[i] names the node that now
+// owns node i's shards (itself while alive). It enforces the placement
+// half of the recovery contract —
+//
+//   - the coordinator (node 0) is alive: it is the gather site and the
+//     result location, so its death is unrecoverable by re-routing;
+//   - a live node owns its own shards (ownership only moves off the dead);
+//   - every dead node's shards moved to exactly one node that is alive,
+//     in range, and not the dead node itself;
+//
+// — and then re-checks the structural distributed invariants (placement,
+// shuffle keys, agg split) on the plan tree, which the re-route must have
+// left untouched: failover changes where fragments run, never what the
+// exchanges ship or how the partial aggregates merge.
+func CheckRecovery(root algebra.Node, alive []bool, owner []int) []Violation {
+	c := &checker{opts: &Options{}}
+	anchor := algebra.Node(nilNode{})
+	if root != nil {
+		anchor = root
+	}
+	n := len(alive)
+	if len(owner) != n {
+		c.report("dist-recovery", anchor,
+			"ownership table covers %d node(s) but the liveness vector has %d", len(owner), n)
+		return c.violations
+	}
+	if n > 0 && !alive[0] {
+		c.report("dist-recovery", anchor,
+			"coordinator (node 0) is dead: the gather site cannot be failed over")
+	}
+	for i := 0; i < n; i++ {
+		o := owner[i]
+		if alive[i] {
+			if o != i {
+				c.report("dist-recovery", anchor,
+					"live node %d re-routed to node %d: ownership moves only off dead nodes", i, o)
+			}
+			continue
+		}
+		switch {
+		case o < 0 || o >= n:
+			c.report("dist-recovery", anchor,
+				"dead node %d re-routed to out-of-range node %d", i, o)
+		case o == i:
+			c.report("dist-recovery", anchor,
+				"dead node %d still owns its shards: no surviving owner was assigned", i)
+		case !alive[o]:
+			c.report("dist-recovery", anchor,
+				"dead node %d re-routed to dead node %d", i, o)
+		}
+	}
+	if root != nil {
+		c.checkDistributed(root)
+	}
+	return c.violations
+}

@@ -1,0 +1,94 @@
+package plancheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckRecovery pins the dist-recovery placement rules on liveness and
+// ownership tables alone (nil root: the structural re-check is exercised
+// by the package's distributed-plan tests).
+func TestCheckRecovery(t *testing.T) {
+	cases := []struct {
+		name  string
+		alive []bool
+		owner []int
+		want  []string // substrings, one per expected violation
+	}{
+		{
+			name:  "all alive identity ownership",
+			alive: []bool{true, true, true, true},
+			owner: []int{0, 1, 2, 3},
+		},
+		{
+			name:  "dead node adopted by survivor",
+			alive: []bool{true, true, false, true},
+			owner: []int{0, 1, 3, 3},
+		},
+		{
+			name:  "cascaded adoption",
+			alive: []bool{true, true, false, false},
+			owner: []int{0, 1, 1, 1},
+		},
+		{
+			name:  "length mismatch reports and stops",
+			alive: []bool{true, true},
+			owner: []int{0},
+			want:  []string{"ownership table covers 1 node(s)"},
+		},
+		{
+			name:  "dead coordinator",
+			alive: []bool{false, true},
+			owner: []int{1, 1},
+			want:  []string{"coordinator (node 0) is dead"},
+		},
+		{
+			name:  "live node re-routed",
+			alive: []bool{true, true, true},
+			owner: []int{0, 2, 2},
+			want:  []string{"live node 1 re-routed to node 2"},
+		},
+		{
+			name:  "dead node keeps its shards",
+			alive: []bool{true, false},
+			owner: []int{0, 1},
+			want:  []string{"dead node 1 still owns its shards"},
+		},
+		{
+			name:  "dead node routed to dead node",
+			alive: []bool{true, false, false},
+			owner: []int{0, 2, 1},
+			want: []string{
+				"dead node 1 re-routed to dead node 2",
+				"dead node 2 re-routed to dead node 1",
+			},
+		},
+		{
+			name:  "dead node routed out of range",
+			alive: []bool{true, false},
+			owner: []int{0, 7},
+			want:  []string{"dead node 1 re-routed to out-of-range node 7"},
+		},
+		{
+			name:  "empty cluster",
+			alive: nil,
+			owner: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			vs := CheckRecovery(nil, c.alive, c.owner)
+			if len(vs) != len(c.want) {
+				t.Fatalf("got %d violation(s) %v, want %d", len(vs), vs, len(c.want))
+			}
+			for i, v := range vs {
+				if v.Rule != "dist-recovery" {
+					t.Errorf("violation %d carries rule %q, want dist-recovery", i, v.Rule)
+				}
+				if !strings.Contains(v.Msg, c.want[i]) {
+					t.Errorf("violation %d = %q, want it to mention %q", i, v.Msg, c.want[i])
+				}
+			}
+		})
+	}
+}
