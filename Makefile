@@ -5,16 +5,17 @@
 # model checker, the independent certificate re-derivation gate
 # (verify-certs), the chaos oracle, the fault-recovery oracle
 # (recovery-oracle), the disk-chaos spill oracle (spill-oracle), the
-# vectorization perf gate (bench-compare), and a short run of every fuzz
-# target.
+# query-service oracle (serve-oracle: concurrent-session differential,
+# admission ladder, shutdown chaos), the vectorization perf gate
+# (bench-compare), and a short run of every fuzz target.
 
 GO ?= go
 FUZZTIME ?= 10s
 MODELCHECK_K ?= 3
 
-.PHONY: check vet lint plancheck modelcheck verify-certs build test race chaos dist-oracle recovery-oracle spill-oracle fuzz bench bench-json bench-compare
+.PHONY: check vet lint plancheck modelcheck verify-certs build test race chaos dist-oracle recovery-oracle spill-oracle serve-oracle fuzz bench bench-json bench-compare
 
-check: vet lint build race plancheck modelcheck verify-certs chaos dist-oracle recovery-oracle spill-oracle bench-json bench-compare fuzz
+check: vet lint build race plancheck modelcheck verify-certs chaos dist-oracle recovery-oracle spill-oracle serve-oracle bench-json bench-compare fuzz
 
 vet:
 	$(GO) vet ./...
@@ -101,6 +102,15 @@ spill-oracle:
 	$(GO) test -race ./internal/exec -run 'TestDiskChaosOracle|TestSpillOperatorDiskFaults'
 	$(GO) test -race . -run 'TestSpillCompletes64KiB|TestSpillFailureFallsBack'
 
+# The query-service oracle under the race detector: the 64-session
+# HTTP-vs-direct differential (every response byte-identical to the
+# single-caller engine or provably untorn), the admission-ladder tests
+# (degrade, queue, typed 429 — never an OOM), and the mid-query shutdown
+# chaos test (clean typed errors, zero leaked goroutines, zero live
+# spill files). See DESIGN.md §17.
+serve-oracle:
+	$(GO) test -race ./internal/server -run 'TestServeOracleDifferential|TestShutdownMidQueryChaos|TestAdmit'
+
 # Each fuzz target needs its own invocation (go test allows one -fuzz
 # pattern per package run). -run=^$ skips the regular tests.
 fuzz:
@@ -116,13 +126,14 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Machine-readable experiment records: one quick pass over the paper's two
-# headline experiments (Figure 1 and Figure 8) plus the row-vs-vectorized
-# throughput comparison, with per-operator metrics, written to
-# BENCH_gbj.json. E13 doubles as a perf gate: gbj-bench exits nonzero if
+# headline experiments (Figure 1 and Figure 8), the row-vs-vectorized
+# throughput comparison, and the closed-loop server load run (E17:
+# concurrent-session p50/p99, plan-cache hit rate, cold-vs-warm p50),
+# with per-operator metrics, written to BENCH_gbj.json. E13 doubles as a perf gate: gbj-bench exits nonzero if
 # the vectorized engine is slower than the row engine on the Figure 1
 # workload.
 bench-json:
-	$(GO) run ./cmd/gbj-bench -exp E1,E2,E13 -reps 3 -json BENCH_gbj.json > /dev/null
+	$(GO) run ./cmd/gbj-bench -exp E1,E2,E13,E17 -reps 3 -json BENCH_gbj.json > /dev/null
 
 # The vectorization perf gate alone, verbosely: row vs columnar engine on
 # the Figure 1 workload (10000 x 100) and the group-count sweep. Fails if

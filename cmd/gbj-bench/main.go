@@ -19,6 +19,10 @@
 //	gbj-bench -spill-dir /tmp/gbj  # with -mem-budget, spill over-budget
 //	                               # operator state to temp files instead of
 //	                               # degrading; E15 sweeps budgets either way
+//	gbj-bench -exp E17             # closed-loop server load: 64 concurrent
+//	                               # sessions against an in-process gbj-server
+//	gbj-bench -exp E17 -server http://127.0.0.1:7432
+//	                               # ...or against an already-running daemon
 //
 // Flag values are validated up front: -parallelism below -1, -nodes below
 // 1, and non-power-of-two -shards are rejected with an error (exit 2)
@@ -75,6 +79,11 @@ var (
 // the sweep caps its fault counts at this budget.
 var linkRetries int
 
+// serverURL, when non-empty, points the server load experiment (E17) at an
+// already-running gbj-server instead of the in-process one it starts by
+// default.
+var serverURL string
+
 // measureCtx returns the context one measurement runs under.
 func measureCtx() (context.Context, context.CancelFunc) {
 	if timeout > 0 {
@@ -123,12 +132,14 @@ func main() {
 	flag.DurationVar(&timeout, "timeout", 0, "per-measurement deadline (0 = none)")
 	flag.Int64Var(&memBudget, "mem-budget", 0, "per-execution operator-state byte cap (0 = unlimited); over-budget eager plans degrade to the lazy plan")
 	flag.StringVar(&spillDir, "spill-dir", "", "directory for spill temp files; with -mem-budget set, over-budget operators spill to disk instead of degrading (empty = spilling off; E15 uses a default sweep area)")
+	flag.StringVar(&serverURL, "server", "", "base URL of a running gbj-server for the load experiment (E17), e.g. http://127.0.0.1:7432 (empty = start one in-process)")
 	flag.Parse()
 	for _, err := range []error{
 		cliutil.ValidateParallelism(parallelism),
 		cliutil.ValidateNodes(nodes),
 		cliutil.ValidateShards(shards),
 		cliutil.ValidateLinkRetries(linkRetries),
+		validateServerURL(serverURL),
 	} {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gbj-bench:", err)
@@ -141,7 +152,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12", "E13", "E15", "E16"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E12", "E13", "E15", "E16", "E17"} {
 			want[id] = true
 		}
 	} else {
@@ -166,6 +177,7 @@ func main() {
 		{"E13", "row-at-a-time vs vectorized execution (throughput)", runE13},
 		{"E15", "spill-to-disk budget sweep (in-memory vs external crossover)", runE15},
 		{"E16", "fault-rate sweep — recovery cost under injected link faults", runE16},
+		{"E17", "closed-loop server load — concurrent sessions, admission, plan-cache p50/p99", runE17},
 	}
 	failed := false
 	for _, r := range runners {

@@ -3,6 +3,12 @@
 // Usage:
 //
 //	gbj-shell [-f script.sql] [-parallelism n] [-vectorize] [-nodes n] [-shards n] [-spill-dir dir]
+//	gbj-shell -connect http://127.0.0.1:7432
+//
+// With -connect the shell is a network client of a running gbj-server:
+// SELECTs go through /v1/query, DDL/DML through /v1/exec, and \stats shows
+// the server's counters (sessions, plan-cache hit rate, admission ladder).
+// Engine flags do not apply in client mode — the daemon owns the engine.
 //
 // With -nodes above 1 the engine runs every query on a simulated cluster:
 // base tables are hash-partitioned across the nodes (into -shards
@@ -89,6 +95,7 @@ func main() {
 	shards := flag.Int("shards", 0, "hash shards per table, a power of two (0 = one per node)")
 	linkRetries := flag.Int("link-retries", 0, "per-shipment link retry budget for distributed runs (0 = fail fast)")
 	spillDir := flag.String("spill-dir", "", "directory for spill temp files; with a \\budget set, over-budget operators spill to disk instead of degrading (empty = spilling off)")
+	connect := flag.String("connect", "", "URL of a running gbj-server (e.g. http://127.0.0.1:7432); the shell becomes a network client instead of embedding an engine")
 	flag.Parse()
 	for _, err := range []error{
 		cliutil.ValidateParallelism(*parallelism),
@@ -100,6 +107,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gbj-shell:", err)
 			os.Exit(2)
 		}
+	}
+	if *connect != "" {
+		if err := cliutil.ValidateServerURL(*connect); err != nil {
+			fmt.Fprintln(os.Stderr, "gbj-shell: -connect:", err)
+			os.Exit(2)
+		}
+		if *file != "" {
+			fmt.Fprintln(os.Stderr, "gbj-shell: -f is not supported with -connect (pipe statements on stdin instead)")
+			os.Exit(2)
+		}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		for range sigc {
+			if cancel := inflight.Load(); cancel != nil {
+				(*cancel)()
+				fmt.Fprintln(os.Stderr, "\ncancelling query...")
+			} else {
+				fmt.Fprintln(os.Stderr, "\ninterrupt — use \\quit to exit")
+			}
+		}
+	}()
+	if *connect != "" {
+		os.Exit(runConnected(*connect))
 	}
 
 	engine := gbj.New()
@@ -118,19 +151,6 @@ func main() {
 		os.Exit(2)
 	}
 	engine.SetSpillDir(*spillDir)
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
-	go func() {
-		for range sigc {
-			if cancel := inflight.Load(); cancel != nil {
-				(*cancel)()
-				fmt.Fprintln(os.Stderr, "\ncancelling query...")
-			} else {
-				fmt.Fprintln(os.Stderr, "\ninterrupt — use \\quit to exit")
-			}
-		}
-	}()
 	if *file != "" {
 		data, err := os.ReadFile(*file)
 		if err != nil {

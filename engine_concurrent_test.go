@@ -1,0 +1,121 @@
+package gbj
+
+// Concurrent-engine regression: the server reads engine accessors and runs
+// queries from many handler goroutines while DML and mode setters fire.
+// Run under -race (make race does), this is the data-race audit for every
+// surface a handler touches: Query*, Exec, the mode setters/getters,
+// Fallbacks, RecoveryCounters, PlanCacheStats and ListObjects. The
+// snapshot-consistency assertion inside each query — COUNT and SUM taken
+// in one statement must agree — is what catches a query observing a
+// half-published write.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestConcurrentEngineMixedTraffic(t *testing.T) {
+	e := New()
+	e.SetPlanCacheSize(64)
+	e.MustExec(`CREATE TABLE kv (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)`)
+	for i := 0; i < 16; i++ {
+		e.MustExec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, %d, 2)`, i, i%4))
+	}
+
+	const (
+		writers   = 2
+		readers   = 6
+		perWriter = 60
+		perReader = 80
+	)
+	var wg sync.WaitGroup
+	var inserted atomic.Int64
+	errs := make(chan error, writers+readers+2)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := 100 + w*perWriter + i
+				if err := e.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, %d, 2)`, id, id%4)); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				inserted.Add(1)
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perReader; i++ {
+				res, err := e.QueryContext(context.Background(), `SELECT COUNT(id), SUM(val) FROM kv`)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				count := res.Rows[0][0].(int64)
+				sum := res.Rows[0][1].(int64)
+				if sum != 2*count {
+					errs <- fmt.Errorf("reader %d: torn snapshot: COUNT=%d SUM=%d", r, count, sum)
+					return
+				}
+				if count < 16 || count > int64(16+writers*perWriter) {
+					errs <- fmt.Errorf("reader %d: impossible count %d", r, count)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// A config flipper and an accessor poller: the handler-goroutine
+	// surfaces the server reads while queries run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			e.SetVectorize(i%2 == 0)
+			e.SetParallelism(i % 3)
+			e.SetMode([]Mode{ModeCost, ModeAlways, ModeNever}[i%3])
+		}
+		e.SetVectorize(false)
+		e.SetParallelism(0)
+		e.SetMode(ModeCost)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = e.Fallbacks()
+			_ = e.RecoveryCounters()
+			_ = e.PlanCacheStats()
+			_ = e.Mode()
+			_ = e.Parallelism()
+			_ = e.Vectorize()
+			_ = e.MemoryBudget()
+			_ = e.ListObjects()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiesced: the final count must equal everything inserted.
+	res, err := e.Query(`SELECT COUNT(id) FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(16) + inserted.Load()
+	if got := res.Rows[0][0].(int64); got != want {
+		t.Fatalf("final count %d, want %d", got, want)
+	}
+}

@@ -76,7 +76,10 @@ type ExecPanicError = exec.ExecPanicError
 type SpillError = exec.SpillError
 
 // Engine is an embedded SQL engine instance. It is safe for concurrent
-// use: DDL/DML statements take a write lock, queries a read lock.
+// use: DDL/DML statements take a write lock; queries hold the read lock
+// only long enough to plan and snapshot the store, then execute against
+// the snapshot — so long-running queries never block writers, and writers
+// never change the rows a running query sees (snapshot isolation).
 type Engine struct {
 	mu          sync.RWMutex
 	store       *storage.Store
@@ -87,6 +90,13 @@ type Engine struct {
 	spillDir    string
 	clock       obs.Clock
 	fallbacks   atomic.Int64
+
+	// planCache, when non-nil (SetPlanCacheSize), memoizes plan selection
+	// keyed by (canonical AST, store epoch, engine mode); cacheStats
+	// counts its traffic. Guarded by mu like the other config fields; the
+	// cache itself is internally synchronized.
+	planCache  *core.PlanCache
+	cacheStats obs.CacheStats
 
 	// Distributed execution state (gbj_dist.go). distMu guards the lazily
 	// built cluster so concurrent queries (read-locked on mu) can share a
@@ -117,6 +127,7 @@ func (e *Engine) SetMode(m Mode) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.opt.Mode = m
+	e.invalidatePlans()
 }
 
 // Mode returns the current optimizer mode.
@@ -135,6 +146,7 @@ func (e *Engine) SetParallelism(n int) {
 	defer e.mu.Unlock()
 	e.parallelism = n
 	e.opt.Parallelism = n
+	e.invalidatePlans()
 }
 
 // Parallelism returns the configured executor worker count.
@@ -156,6 +168,7 @@ func (e *Engine) SetVectorize(on bool) {
 	defer e.mu.Unlock()
 	e.vectorize = on
 	e.opt.Vectorize = on
+	e.invalidatePlans()
 }
 
 // Vectorize reports whether vectorized execution is enabled.
@@ -178,6 +191,7 @@ func (e *Engine) SetMemoryBudget(bytes int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.memBudget = bytes
+	e.invalidatePlans()
 }
 
 // MemoryBudget returns the per-query state-byte cap, 0 when unlimited.
@@ -200,6 +214,7 @@ func (e *Engine) SetSpillDir(dir string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.spillDir = dir
+	e.invalidatePlans()
 }
 
 // SpillDir returns the spill directory, "" when spilling is disabled.
@@ -234,6 +249,7 @@ func (e *Engine) SetPlanCheck(on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.opt.CheckPlans = on
+	e.invalidatePlans()
 }
 
 // PlanCheck reports whether static plan verification is enabled.
@@ -316,6 +332,7 @@ func (e *Engine) Exec(text string) error {
 		}
 	}
 	e.invalidateCluster()
+	e.invalidatePlans()
 	return nil
 }
 
@@ -336,22 +353,32 @@ func (e *Engine) execStmt(stmt sql.Stmt) error {
 		}
 		return e.store.CreateTable(def)
 	case *sql.CreateDomainStmt:
-		return e.store.Catalog().AddDomain(&schema.Domain{
+		if err := e.store.Catalog().AddDomain(&schema.Domain{
 			Name:  s.Name,
 			Type:  s.Type,
 			Check: s.Check,
-		})
+		}); err != nil {
+			return err
+		}
+		// Domain/view DDL goes straight to the catalog; bump the store
+		// epoch by hand so epoch-keyed caches observe the change.
+		e.store.BumpEpoch()
+		return nil
 	case *sql.CreateViewStmt:
 		// Validate the definition by binding it now.
 		if _, err := core.NewPlanner(e.store).Bind(s.Query); err != nil {
 			return fmt.Errorf("gbj: invalid view %s: %w", s.Name, err)
 		}
-		return e.store.Catalog().AddView(&schema.View{
+		if err := e.store.Catalog().AddView(&schema.View{
 			Name:    s.Name,
 			Text:    s.Text,
 			Def:     s.Query,
 			Columns: s.Columns,
-		})
+		}); err != nil {
+			return err
+		}
+		e.store.BumpEpoch()
+		return nil
 	case *sql.InsertStmt:
 		return e.execInsert(s)
 	case *sql.SelectStmt:
@@ -463,31 +490,68 @@ func (e *Engine) QueryParams(text string, params map[string]any) (*Result, error
 
 // QueryParamsContext is QueryParams under a context.
 func (e *Engine) QueryParamsContext(ctx context.Context, text string, params map[string]any) (*Result, error) {
+	return e.QueryOptionsContext(ctx, text, &QueryOptions{Params: params})
+}
+
+// QueryOptions carries per-query execution options. The zero value means
+// "use the engine's settings".
+type QueryOptions struct {
+	// Params are host-variable bindings (":name" references).
+	Params map[string]any
+	// MemoryBudget, when > 0, overrides the engine's per-query budget for
+	// this query only — the admission controller leases budgets from a
+	// global pool and passes them through here.
+	MemoryBudget int64
+	// Serial forces serial row-at-a-time execution (sheds parallelism and
+	// vectorization) for this query only — the admission controller's
+	// degradation mode under load. The plan choice is unchanged: serial
+	// and parallel, row and vectorized execution are equivalence-oracled,
+	// so shedding degrades resources, never results. Ignored by
+	// distributed execution (nodes > 1), whose worker configuration is
+	// cluster-wide.
+	Serial bool
+}
+
+// QueryOptionsContext executes a SELECT with per-query options. Plan
+// selection happens under the engine's read lock (through the plan cache
+// when enabled); execution then runs against a store snapshot with the
+// lock released, so concurrent DML neither blocks on this query nor
+// changes the rows it sees.
+func (e *Engine) QueryOptionsContext(ctx context.Context, text string, o *QueryOptions) (*Result, error) {
 	q, err := sql.ParseQuery(text)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	pc, err := e.chooseForExec(q)
+	if o == nil {
+		o = &QueryOptions{}
+	}
+	p, err := convertParams(o.Params)
 	if err != nil {
 		return nil, err
 	}
-	p, err := convertParams(params)
+	e.mu.RLock()
+	pc, err := e.chooseForExecCached(q)
 	if err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	if e.nodes > 1 {
+		// Distributed execution stays under the read lock: the cluster is
+		// a shared materialization of the live store, so it must not see
+		// concurrent DML mid-query.
+		defer e.mu.RUnlock()
 		res, err := e.distExecute(ctx, pc, p, nil)
 		if err != nil {
 			return nil, err
 		}
 		return convertResult(res), nil
 	}
-	res, err := e.governedRun(ctx, pc.plan, p, nil, nil, true)
+	cfg := e.runConfigLocked(o)
+	e.mu.RUnlock()
+	res, err := governedRun(ctx, cfg, pc.plan, p, nil, nil, true)
 	if fe := fallbackError(err, pc); fe != nil {
 		e.fallbacks.Add(1)
-		res, err = e.governedRun(ctx, pc.fallback, p, nil, nil, false)
+		res, err = governedRun(ctx, cfg, pc.fallback, p, nil, nil, false)
 	}
 	if err != nil {
 		return nil, err
@@ -495,33 +559,71 @@ func (e *Engine) QueryParamsContext(ctx context.Context, text string, params map
 	return convertResult(res), nil
 }
 
-// governedRun executes one plan under the engine's governance settings:
-// the caller's context and the configured memory budget. With spill set and
-// a spill directory configured, the run gets a per-query SpillManager so
-// budget pressure triggers disk spilling instead of a *ResourceError; the
-// manager is swept when the run returns, so no temp files outlive a query.
-// Fallback re-executions pass spill=false: a spill failure must not retry
-// through the same failing disk, and the lazy plan is the conservative
-// in-memory shape either way.
-func (e *Engine) governedRun(ctx context.Context, plan algebra.Node, params expr.Params, col *obs.Collector, tracer *obs.Tracer, spill bool) (*exec.Result, error) {
+// runConfig is the bundle of settings governedRun needs, copied out of
+// the engine under its lock so execution can proceed with the lock
+// released. The store field is a frozen snapshot: the query's stable view
+// of the data.
+type runConfig struct {
+	store       *storage.Store
+	parallelism int
+	vectorize   bool
+	memBudget   int64
+	spillDir    string
+	clock       obs.Clock
+	faults      *faultInjector
+}
+
+// runConfigLocked snapshots the store and the governance settings,
+// applying per-query overrides. Caller holds e.mu (read suffices).
+func (e *Engine) runConfigLocked(o *QueryOptions) runConfig {
+	cfg := runConfig{
+		store:       e.store.Snapshot(),
+		parallelism: e.parallelism,
+		vectorize:   e.vectorize,
+		memBudget:   e.memBudget,
+		spillDir:    e.spillDir,
+		clock:       e.clock,
+		faults:      e.faults,
+	}
+	if o != nil {
+		if o.MemoryBudget > 0 {
+			cfg.memBudget = o.MemoryBudget
+		}
+		if o.Serial {
+			cfg.parallelism = 0
+			cfg.vectorize = false
+		}
+	}
+	return cfg
+}
+
+// governedRun executes one plan under the config's governance settings:
+// the caller's context and the memory budget, against the config's store
+// snapshot. With spill set and a spill directory configured, the run gets
+// a per-query SpillManager so budget pressure triggers disk spilling
+// instead of a *ResourceError; the manager is swept when the run returns,
+// so no temp files outlive a query. Fallback re-executions pass
+// spill=false: a spill failure must not retry through the same failing
+// disk, and the lazy plan is the conservative in-memory shape either way.
+func governedRun(ctx context.Context, cfg runConfig, plan algebra.Node, params expr.Params, col *obs.Collector, tracer *obs.Tracer, spill bool) (*exec.Result, error) {
 	opts := &exec.Options{
 		Params:       params,
 		Group:        groupStrategyFor(plan),
-		Parallelism:  e.parallelism,
-		Vectorize:    e.vectorize,
+		Parallelism:  cfg.parallelism,
+		Vectorize:    cfg.vectorize,
 		Context:      ctx,
-		MemoryBudget: e.memBudget,
+		MemoryBudget: cfg.memBudget,
 		Metrics:      col,
-		Clock:        e.clock,
+		Clock:        cfg.clock,
 		Trace:        tracer,
-		Faults:       e.faults,
+		Faults:       cfg.faults,
 	}
-	if spill && e.spillDir != "" && e.memBudget > 0 {
-		mgr := storage.NewSpillManager(e.spillDir)
+	if spill && cfg.spillDir != "" && cfg.memBudget > 0 {
+		mgr := storage.NewSpillManager(cfg.spillDir)
 		defer func() { _ = mgr.Cleanup() }()
 		opts.Spill = mgr
 	}
-	return exec.Run(plan, e.store, opts)
+	return exec.Run(plan, cfg.store, opts)
 }
 
 // fallbackError returns the error when err is a budget abort or a spill
@@ -741,18 +843,21 @@ func (e *Engine) QueryAnalyzedContext(ctx context.Context, text string) (*Analys
 		return nil, err
 	}
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	pc, err := e.chooseForExec(q)
+	pc, err := e.chooseForExecCached(q)
 	if err != nil {
+		e.mu.RUnlock()
 		return nil, err
 	}
 	if e.nodes > 1 {
+		defer e.mu.RUnlock()
 		return e.distAnalyze(ctx, pc)
 	}
+	cfg := e.runConfigLocked(nil)
+	e.mu.RUnlock()
 	plan, est := pc.plan, pc.ann
 	col := obs.NewCollector()
-	tracer := obs.NewTracer(e.clock)
-	res, err := e.governedRun(ctx, plan, nil, col, tracer, true)
+	tracer := obs.NewTracer(cfg.clock)
+	res, err := governedRun(ctx, cfg, plan, nil, col, tracer, true)
 	if fe := fallbackError(err, pc); fe != nil {
 		// Degrade: re-run the lazy plan with fresh instrumentation so the
 		// analysis describes the run that produced the rows; the collector
@@ -760,9 +865,9 @@ func (e *Engine) QueryAnalyzedContext(ctx context.Context, text string) (*Analys
 		e.fallbacks.Add(1)
 		plan, est = pc.fallback, pc.fallbackAnn
 		col = obs.NewCollector()
-		tracer = obs.NewTracer(e.clock)
+		tracer = obs.NewTracer(cfg.clock)
 		col.SetFallback(fallbackReason(fe))
-		res, err = e.governedRun(ctx, plan, nil, col, tracer, false)
+		res, err = governedRun(ctx, cfg, plan, nil, col, tracer, false)
 	}
 	if err != nil {
 		return nil, err

@@ -127,6 +127,7 @@ func (e *Engine) SetNodes(n int) error {
 	e.nodes = n
 	e.opt.Nodes = n
 	e.invalidateCluster()
+	e.invalidatePlans()
 	return nil
 }
 
@@ -155,6 +156,7 @@ func (e *Engine) SetShards(s int) error {
 	defer e.mu.Unlock()
 	e.shards = s
 	e.invalidateCluster()
+	e.invalidatePlans()
 	return nil
 }
 
@@ -170,6 +172,7 @@ func (e *Engine) SetDistStrategy(s DistStrategy) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.distStrategy = s
+	e.invalidatePlans()
 }
 
 // DistStrategyConfigured returns the configured distributed grouping
@@ -355,10 +358,11 @@ func (e *Engine) distExecute(ctx context.Context, pc planChoice, params expr.Par
 		if col != nil {
 			col.SetDegraded(degradeReason(ue))
 		}
-		res, err = e.governedRun(ctx, pc.plan, params, col, nil, true)
+		cfg := e.runConfigLocked(nil)
+		res, err = governedRun(ctx, cfg, pc.plan, params, col, nil, true)
 		if fe := fallbackError(err, pc); fe != nil {
 			e.fallbacks.Add(1)
-			res, err = e.governedRun(ctx, pc.fallback, params, col, nil, false)
+			res, err = governedRun(ctx, cfg, pc.fallback, params, col, nil, false)
 		}
 	}
 	return res, err
@@ -427,18 +431,19 @@ func (e *Engine) distAnalyze(ctx context.Context, pc planChoice) (*Analysis, err
 // further eager→lazy fallback if the local run then trips the budget).
 func (e *Engine) degradedAnalyze(ctx context.Context, pc planChoice, ue *dist.UnavailableError) (*Analysis, error) {
 	plan, est := pc.plan, pc.ann
+	cfg := e.runConfigLocked(nil)
 	col := obs.NewCollector()
 	col.SetDegraded(degradeReason(ue))
-	tracer := obs.NewTracer(e.clock)
-	res, err := e.governedRun(ctx, plan, nil, col, tracer, true)
+	tracer := obs.NewTracer(cfg.clock)
+	res, err := governedRun(ctx, cfg, plan, nil, col, tracer, true)
 	if fe := fallbackError(err, pc); fe != nil {
 		e.fallbacks.Add(1)
 		plan, est = pc.fallback, pc.fallbackAnn
 		col = obs.NewCollector()
 		col.SetDegraded(degradeReason(ue))
 		col.SetFallback(fallbackReason(fe))
-		tracer = obs.NewTracer(e.clock)
-		res, err = e.governedRun(ctx, plan, nil, col, tracer, false)
+		tracer = obs.NewTracer(cfg.clock)
+		res, err = governedRun(ctx, cfg, plan, nil, col, tracer, false)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,271 @@
+package bench
+
+// Closed-loop load harness behind experiment E17: N concurrent client
+// sessions drive a gbj-server over its HTTP API with a mixed read/write
+// workload and the harness reports latency percentiles (p50/p99), the
+// plan-cache hit rate, and a cold-vs-warm comparison that makes the cache's
+// benefit visible as wall time. The harness is closed-loop — each client
+// issues its next operation only after the previous one returns — so
+// offered load scales with the server's capacity instead of queueing
+// unboundedly.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// LoadConfig shapes one closed-loop run.
+type LoadConfig struct {
+	// Clients is the number of concurrent sessions (default 64).
+	Clients int
+	// Ops is the number of operations each client issues (default 20).
+	Ops int
+	// Queries is the read mix; each client round-robins through it.
+	Queries []string
+	// Write generates the DML text for write operations; nil disables
+	// writes. The (client, op) pair is unique per call, so generators can
+	// mint collision-free primary keys.
+	Write func(client, op int) string
+	// WriteEvery turns every Nth operation of every Nth client into a
+	// write (0 = read-only). With WriteEvery=4, clients 0, 4, 8, ... issue
+	// a write on ops 0, 4, 8, ... — a ~6% write fraction.
+	WriteEvery int
+	// WarmReps is how many measured repetitions the warm pass runs per
+	// query (default 3).
+	WarmReps int
+}
+
+func (c *LoadConfig) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 64
+	}
+	if c.Ops <= 0 {
+		c.Ops = 20
+	}
+	if c.WarmReps <= 0 {
+		c.WarmReps = 3
+	}
+}
+
+// LoadResult is the measured outcome of one closed-loop run.
+type LoadResult struct {
+	// Clients and Ops echo the configuration; Writes counts the DML
+	// operations actually issued.
+	Clients, Ops, Writes int
+	// Rejected counts typed admission rejections (HTTP 429) — expected
+	// under deliberate overload, zero on a well-provisioned pool.
+	Rejected int
+	// DegradedResponses counts queries the server answered under a shed
+	// (serial, reduced-budget) grant rather than rejecting.
+	DegradedResponses int
+	// ColdP50 is the median first-execution latency of the query mix on a
+	// cache-cold server; WarmP50 is the median once every plan is cached.
+	// Warm measurably below cold is the plan cache paying for itself.
+	ColdP50, WarmP50 time.Duration
+	// P50 and P99 are latency percentiles across every storm operation.
+	P50, P99 time.Duration
+	// Elapsed is the storm's wall time; QPS is storm operations over it.
+	Elapsed time.Duration
+	QPS     float64
+	// CacheHitRate is hits/(hits+misses) from the server's plan-cache
+	// counters after the run.
+	CacheHitRate float64
+}
+
+// percentile returns the p-th percentile (0..1) of a sorted duration slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// timedQuery runs one query through the client and returns its latency and
+// whether the response was served degraded.
+func timedQuery(ctx context.Context, c *server.Client, q string) (time.Duration, bool, error) {
+	start := time.Now()
+	resp, err := c.QueryDetail(ctx, q, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	return time.Since(start), resp.Degraded, nil
+}
+
+// RunLoad drives the server at baseURL with cfg's workload: a cold pass
+// (each query once, cache empty), the concurrent storm, then a warm pass
+// (each query re-cached and re-measured). The server must be freshly
+// started for the cold pass to measure actual cache misses.
+func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (*LoadResult, error) {
+	cfg.defaults()
+	if len(cfg.Queries) == 0 {
+		return nil, errors.New("bench: load harness needs at least one query")
+	}
+	res := &LoadResult{Clients: cfg.Clients, Ops: cfg.Clients * cfg.Ops}
+
+	// Cold pass: first execution of each query on an empty plan cache.
+	cold := server.NewClient(baseURL, nil)
+	if err := cold.NewSession(ctx); err != nil {
+		return nil, fmt.Errorf("bench: cold pass session: %w", err)
+	}
+	var coldLat []time.Duration
+	for _, q := range cfg.Queries {
+		d, _, err := timedQuery(ctx, cold, q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cold pass: %w", err)
+		}
+		coldLat = append(coldLat, d)
+	}
+	if err := cold.CloseSession(ctx); err != nil {
+		return nil, err
+	}
+	sort.Slice(coldLat, func(i, j int) bool { return coldLat[i] < coldLat[j] })
+	res.ColdP50 = percentile(coldLat, 0.5)
+
+	// Storm: Clients concurrent sessions, each closed-loop over Ops
+	// operations. Admission rejections are counted, not fatal; any other
+	// error aborts the run.
+	var (
+		mu       sync.Mutex
+		lat      []time.Duration
+		firstErr error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			c := server.NewClient(baseURL, nil)
+			if err := c.NewSession(ctx); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("bench: client %d session: %w", cl, err)
+				}
+				mu.Unlock()
+				return
+			}
+			defer c.CloseSession(ctx)
+			var local []time.Duration
+			var writes, rejected, degraded int
+			for op := 0; op < cfg.Ops; op++ {
+				write := cfg.Write != nil && cfg.WriteEvery > 0 &&
+					cl%cfg.WriteEvery == 0 && op%cfg.WriteEvery == 0
+				var d time.Duration
+				var err error
+				if write {
+					s := time.Now()
+					err = c.Exec(ctx, cfg.Write(cl, op))
+					d = time.Since(s)
+					writes++
+				} else {
+					var deg bool
+					d, deg, err = timedQuery(ctx, c, cfg.Queries[(cl+op)%len(cfg.Queries)])
+					if deg {
+						degraded++
+					}
+				}
+				var ae *server.APIError
+				switch {
+				case err == nil:
+					local = append(local, d)
+				case errors.As(err, &ae) && ae.IsAdmission():
+					rejected++
+				default:
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("bench: client %d op %d: %w", cl, op, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			lat = append(lat, local...)
+			res.Writes += writes
+			res.Rejected += rejected
+			res.DegradedResponses += degraded
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Elapsed = time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.P50 = percentile(lat, 0.5)
+	res.P99 = percentile(lat, 0.99)
+	if res.Elapsed > 0 {
+		res.QPS = float64(len(lat)+res.Rejected) / res.Elapsed.Seconds()
+	}
+
+	// Warm pass: the storm's writes invalidated the cache (epoch bump), so
+	// re-prime each query once, then measure WarmReps cached executions.
+	warm := server.NewClient(baseURL, nil)
+	if err := warm.NewSession(ctx); err != nil {
+		return nil, err
+	}
+	var warmLat []time.Duration
+	for _, q := range cfg.Queries {
+		if _, _, err := timedQuery(ctx, warm, q); err != nil {
+			return nil, fmt.Errorf("bench: warm prime: %w", err)
+		}
+		for i := 0; i < cfg.WarmReps; i++ {
+			d, _, err := timedQuery(ctx, warm, q)
+			if err != nil {
+				return nil, fmt.Errorf("bench: warm pass: %w", err)
+			}
+			warmLat = append(warmLat, d)
+		}
+	}
+	if err := warm.CloseSession(ctx); err != nil {
+		return nil, err
+	}
+	sort.Slice(warmLat, func(i, j int) bool { return warmLat[i] < warmLat[j] })
+	res.WarmP50 = percentile(warmLat, 0.5)
+
+	// Plan-cache hit rate from the server's own counters.
+	st, err := server.NewClient(baseURL, nil).Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if total := st.PlanCache.Hits + st.PlanCache.Misses; total > 0 {
+		res.CacheHitRate = float64(st.PlanCache.Hits) / float64(total)
+	}
+	return res, nil
+}
+
+// Record converts the result to its machine-readable BENCH_*.json form.
+func (r *LoadResult) Record() *LoadRecord {
+	return &LoadRecord{
+		Clients:           r.Clients,
+		Ops:               r.Ops,
+		Writes:            r.Writes,
+		Rejected:          r.Rejected,
+		DegradedResponses: r.DegradedResponses,
+		ColdP50Ns:         r.ColdP50.Nanoseconds(),
+		WarmP50Ns:         r.WarmP50.Nanoseconds(),
+		P50Ns:             r.P50.Nanoseconds(),
+		P99Ns:             r.P99.Nanoseconds(),
+		QPS:               r.QPS,
+		CacheHitRate:      r.CacheHitRate,
+	}
+}
+
+// String renders the result as the two-section table gbj-bench prints.
+func (r *LoadResult) String() string {
+	return fmt.Sprintf(
+		"clients=%d ops=%d writes=%d rejected=%d degraded=%d\n"+
+			"p50=%v p99=%v qps=%.0f elapsed=%v\n"+
+			"cold p50=%v warm p50=%v cache hit rate=%.1f%%",
+		r.Clients, r.Ops, r.Writes, r.Rejected, r.DegradedResponses,
+		r.P50, r.P99, r.QPS, r.Elapsed.Round(time.Millisecond),
+		r.ColdP50, r.WarmP50, 100*r.CacheHitRate)
+}

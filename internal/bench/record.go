@@ -120,6 +120,32 @@ type RunRecord struct {
 	Retries   int64 `json:"retries"`
 	Failovers int64 `json:"failovers"`
 	Degraded  int64 `json:"degraded"`
+	// Load carries the closed-loop server load measurement (E17); nil for
+	// plan-comparison experiments.
+	Load *LoadRecord `json:"load,omitempty"`
+}
+
+// LoadRecord is the machine-readable form of one closed-loop load run
+// (E17): concurrent-session latency percentiles, the plan-cache hit rate,
+// and the cold-vs-warm p50 pair the cache's benefit is trended by.
+type LoadRecord struct {
+	Clients int `json:"clients"`
+	Ops     int `json:"ops"`
+	Writes  int `json:"writes"`
+	// Rejected counts typed admission rejections (HTTP 429);
+	// DegradedResponses counts queries served under a shed serial grant.
+	Rejected          int `json:"rejected"`
+	DegradedResponses int `json:"degraded_responses"`
+	// P50Ns/P99Ns are storm latency percentiles; ColdP50Ns/WarmP50Ns are
+	// the single-client first-execution vs cached-execution medians.
+	P50Ns     int64 `json:"p50_ns"`
+	P99Ns     int64 `json:"p99_ns"`
+	ColdP50Ns int64 `json:"cold_p50_ns"`
+	WarmP50Ns int64 `json:"warm_p50_ns"`
+	// QPS is completed operations per second of storm wall time.
+	QPS float64 `json:"qps"`
+	// CacheHitRate is hits/(hits+misses) of the server's plan cache.
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // File is the top-level BENCH_*.json document.
@@ -161,6 +187,16 @@ func (f *File) Add(experiment, note string, parallelism int, c *Comparison) {
 		}
 	}
 	f.Runs = append(f.Runs, rec)
+}
+
+// AddLoad appends a load-harness measurement as a run record.
+func (f *File) AddLoad(experiment, note string, parallelism int, r *LoadResult) {
+	f.Runs = append(f.Runs, RunRecord{
+		Experiment:  experiment,
+		Note:        note,
+		Parallelism: parallelism,
+		Load:        r.Record(),
+	})
 }
 
 // WriteFile writes the document as indented JSON. An empty run set still

@@ -5,7 +5,12 @@
 // run a subtly different experiment than the one asked for.
 package cliutil
 
-import "fmt"
+import (
+	"fmt"
+	"net"
+	"net/url"
+	"strconv"
+)
 
 // ValidateParallelism checks an executor worker count: 0 runs serial, a
 // positive count runs that many workers, and -1 is the documented "one
@@ -72,6 +77,75 @@ func ValidateModelCheck(enabled, kSet bool, k int) error {
 func ValidateLintOutput(jsonOut, list bool) error {
 	if jsonOut && list {
 		return fmt.Errorf("-json and -list are mutually exclusive: the catalog listing has no JSON form")
+	}
+	return nil
+}
+
+// ValidateAddr checks gbj-server's listen address: a host:port pair whose
+// port part is non-empty ("127.0.0.1:7432", ":7432", "[::1]:0"). Bare
+// ports and bare hosts are rejected, not guessed at — "7432" would
+// otherwise resolve as a hostname and fail at bind time with a much less
+// helpful message.
+func ValidateAddr(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("-addr must be a host:port listen address, got an empty string")
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-addr must be a host:port listen address (e.g. 127.0.0.1:7432 or :7432): %w", err)
+	}
+	_ = host // an empty host means "all interfaces" and is fine
+	if port == "" {
+		return fmt.Errorf("-addr %q has no port; use host:port (e.g. :7432)", addr)
+	}
+	if n, err := strconv.Atoi(port); err != nil || n < 0 || n > 65535 {
+		return fmt.Errorf("-addr %q has invalid port %q; ports are 0..65535 (0 picks a free port)", addr, port)
+	}
+	return nil
+}
+
+// ValidatePoolBytes checks gbj-server's admission-pool size: 0 disables
+// admission control, a positive byte count enables it. Negative sizes are
+// rejected, not clamped to zero — a script that computed a negative pool
+// would otherwise silently run with admission control off, the opposite
+// of the protection it asked for.
+func ValidatePoolBytes(b int64) error {
+	if b < 0 {
+		return fmt.Errorf("-pool must be 0 (admission control off) or a positive byte count, got %d", b)
+	}
+	return nil
+}
+
+// ValidateServerURL checks a client-side gbj-server base URL (gbj-bench
+// -server, gbj-shell -connect): http or https, with an explicit host:port.
+// A missing port is rejected, never defaulted — the client guessing 7432
+// while the daemon listens elsewhere is a confusing way to find out.
+func ValidateServerURL(u string) error {
+	parsed, err := url.Parse(u)
+	if err != nil {
+		return fmt.Errorf("server URL %q: %w", u, err)
+	}
+	if parsed.Scheme != "http" && parsed.Scheme != "https" {
+		return fmt.Errorf("server URL %q: scheme must be http or https", u)
+	}
+	_, port, err := net.SplitHostPort(parsed.Host)
+	if err != nil {
+		return fmt.Errorf("server URL %q must include an explicit host:port (e.g. http://127.0.0.1:7432): %w", u, err)
+	}
+	if n, err := strconv.Atoi(port); err != nil || n < 1 || n > 65535 {
+		return fmt.Errorf("server URL %q has invalid port %q; ports are 1..65535", u, port)
+	}
+	return nil
+}
+
+// ValidateMaxSessions checks gbj-server's session bound: 0 means
+// unbounded, a positive count caps concurrently open sessions. Negative
+// counts are rejected, not clamped — -1 might plausibly mean either
+// "unbounded" or "none", and the server guessing would be worse than the
+// operator retyping.
+func ValidateMaxSessions(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-max-sessions must be 0 (unbounded) or a positive session cap, got %d", n)
 	}
 	return nil
 }

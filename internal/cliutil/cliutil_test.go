@@ -130,3 +130,69 @@ func TestValidateLintOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateAddr(t *testing.T) {
+	tests := []struct {
+		addr string
+		ok   bool
+	}{
+		{"", false},
+		{"7432", false},      // bare port: would resolve as a hostname
+		{"localhost", false}, // bare host: no port
+		{"host:port:extra", false},
+		{":notaport", false},
+		{":70000", false}, // port out of range
+		{":-1", false},
+		{":7432", true}, // all interfaces
+		{":0", true},    // kernel-assigned port
+		{"127.0.0.1:7432", true},
+		{"localhost:7432", true},
+		{"[::1]:7432", true},
+	}
+	for _, tt := range tests {
+		err := ValidateAddr(tt.addr)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidateAddr(%q) = %v, want ok=%v", tt.addr, err, tt.ok)
+		}
+	}
+}
+
+func TestValidatePoolBytes(t *testing.T) {
+	tests := []struct {
+		b  int64
+		ok bool
+	}{
+		{-1 << 30, false},
+		{-1, false}, // rejected, not clamped to "admission off"
+		{0, true},   // admission control off
+		{1, true},
+		{1 << 20, true},
+		{1 << 40, true},
+	}
+	for _, tt := range tests {
+		err := ValidatePoolBytes(tt.b)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidatePoolBytes(%d) = %v, want ok=%v", tt.b, err, tt.ok)
+		}
+	}
+}
+
+func TestValidateMaxSessions(t *testing.T) {
+	tests := []struct {
+		n  int
+		ok bool
+	}{
+		{-100, false},
+		{-1, false}, // no "unbounded" sentinel: 0 already means that
+		{0, true},   // unbounded
+		{1, true},
+		{64, true},
+		{4096, true},
+	}
+	for _, tt := range tests {
+		err := ValidateMaxSessions(tt.n)
+		if (err == nil) != tt.ok {
+			t.Errorf("ValidateMaxSessions(%d) = %v, want ok=%v", tt.n, err, tt.ok)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	stats := &obs.CacheStats{}
+	c := NewPlanCache(2, stats)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // a becomes MRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b, the LRU
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+	s := stats.Snapshot()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	// 4 Gets above: b missed once, the rest hit.
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", s.Hits, s.Misses)
+	}
+}
+
+func TestPlanCacheClearAndDrop(t *testing.T) {
+	stats := &obs.CacheStats{}
+	c := NewPlanCache(8, stats)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Drop("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived Drop")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("len after clear = %d", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived Clear")
+	}
+	if s := stats.Snapshot(); s.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", s.Invalidations)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(16, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				if i%3 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+				if i%100 == 0 {
+					c.Clear()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache exceeded bound: %d", c.Len())
+	}
+}

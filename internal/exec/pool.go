@@ -1,0 +1,181 @@
+package exec
+
+// MemoryPool is the admission controller's global byte pool: a fixed total
+// from which every admitted query leases its Options.MemoryBudget. The
+// governor enforces a single query's budget; the pool bounds the sum of
+// budgets across concurrent queries, which is what stands between a busy
+// server and the OOM killer.
+//
+// Lease grants between min and want bytes — granting less than want is the
+// degradation seam: the caller runs the query with a smaller budget and
+// lets the spill fallback absorb the difference. When not even min is
+// free, the caller waits in a bounded FIFO queue; a full queue or an
+// expired context turns into an error immediately, which the server wraps
+// in its typed *AdmissionError. The pool never reads the wall clock —
+// deadlines arrive through the context.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrPoolSaturated is returned when the pool's waiter queue is full — the
+// signal to shed load rather than queue deeper.
+var ErrPoolSaturated = errors.New("memory pool saturated: waiter queue full")
+
+// ErrLeaseImpossible is returned when min exceeds the pool total: no
+// amount of waiting can satisfy the request.
+var ErrLeaseImpossible = errors.New("lease minimum exceeds pool total")
+
+// MemoryPool tracks leased bytes against a fixed total.
+type MemoryPool struct {
+	mu    sync.Mutex
+	total int64
+	avail int64
+	// queue holds waiters in arrival order; the head is granted first
+	// (strict FIFO — a large request blocks later small ones, which
+	// trades some utilization for freedom from starvation).
+	queue    []*poolWaiter
+	maxQueue int
+	// granted counts live leases, for observability.
+	granted int
+}
+
+type poolWaiter struct {
+	want, min int64
+	// ready receives the granted byte count; buffered so the granter
+	// never blocks on a waiter that timed out concurrently.
+	ready chan int64
+}
+
+// NewMemoryPool returns a pool of total bytes admitting at most maxQueue
+// queued waiters (0 means no queue: an unsatisfiable request fails at
+// once).
+func NewMemoryPool(total int64, maxQueue int) *MemoryPool {
+	if total < 0 {
+		total = 0
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &MemoryPool{total: total, avail: total, maxQueue: maxQueue}
+}
+
+// Lease acquires between min and want bytes, blocking in the FIFO queue
+// when nothing is free. It returns ErrLeaseImpossible when min can never
+// be satisfied, ErrPoolSaturated when the queue is full, or the context's
+// error when cancellation or the deadline fires first. Release the lease
+// when the query finishes.
+func (p *MemoryPool) Lease(ctx context.Context, want, min int64) (*Lease, error) {
+	if min <= 0 {
+		min = 1
+	}
+	if want < min {
+		want = min
+	}
+	if min > p.total {
+		return nil, fmt.Errorf("memory pool: want %d (min %d) of %d total: %w", want, min, p.total, ErrLeaseImpossible)
+	}
+	p.mu.Lock()
+	// Grant immediately only when no one is queued ahead — FIFO order.
+	if len(p.queue) == 0 && p.avail >= min {
+		g := p.avail
+		if g > want {
+			g = want
+		}
+		p.avail -= g
+		p.granted++
+		p.mu.Unlock()
+		return &Lease{pool: p, bytes: g}, nil
+	}
+	if len(p.queue) >= p.maxQueue {
+		queued := len(p.queue)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("memory pool: %d waiters queued: %w", queued, ErrPoolSaturated)
+	}
+	w := &poolWaiter{want: want, min: min, ready: make(chan int64, 1)}
+	p.queue = append(p.queue, w)
+	p.mu.Unlock()
+
+	select {
+	case g := <-w.ready:
+		return &Lease{pool: p, bytes: g}, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		for i, q := range p.queue {
+			if q == w {
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				p.mu.Unlock()
+				return nil, fmt.Errorf("memory pool: queued lease abandoned: %w", ctx.Err())
+			}
+		}
+		// Not queued anymore: a grant raced the timeout. Take it back.
+		p.mu.Unlock()
+		g := <-w.ready
+		(&Lease{pool: p, bytes: g}).Release()
+		return nil, fmt.Errorf("memory pool: queued lease abandoned: %w", ctx.Err())
+	}
+}
+
+// release returns bytes and hands freed capacity to queued waiters.
+func (p *MemoryPool) release(bytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.avail += bytes
+	p.granted--
+	for len(p.queue) > 0 {
+		head := p.queue[0]
+		if p.avail < head.min {
+			return
+		}
+		g := p.avail
+		if g > head.want {
+			g = head.want
+		}
+		p.avail -= g
+		p.granted++
+		p.queue = p.queue[1:]
+		head.ready <- g
+	}
+}
+
+// PoolStats is a point-in-time view of the pool.
+type PoolStats struct {
+	Total     int64 `json:"total"`
+	Available int64 `json:"available"`
+	Granted   int   `json:"granted"`
+	Queued    int   `json:"queued"`
+}
+
+// Stats reports current occupancy.
+func (p *MemoryPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Total: p.total, Available: p.avail, Granted: p.granted, Queued: len(p.queue)}
+}
+
+// Lease is a granted slice of the pool. Release returns it; Release is
+// idempotent.
+type Lease struct {
+	pool     *MemoryPool
+	bytes    int64
+	mu       sync.Mutex
+	released bool
+}
+
+// Bytes returns the granted byte count — the query's memory budget.
+func (l *Lease) Bytes() int64 { return l.bytes }
+
+// Release returns the bytes to the pool. Safe to call more than once.
+func (l *Lease) Release() {
+	l.mu.Lock()
+	done := l.released
+	l.released = true
+	l.mu.Unlock()
+	if done {
+		return
+	}
+	l.pool.release(l.bytes)
+}

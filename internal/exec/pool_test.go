@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolImmediateGrantAndDegradedGrant(t *testing.T) {
+	p := NewMemoryPool(100, 4)
+	full, err := p.Lease(context.Background(), 60, 10)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if full.Bytes() != 60 {
+		t.Fatalf("granted %d, want 60", full.Bytes())
+	}
+	// Only 40 left: a want=60/min=10 request degrades to 40.
+	part, err := p.Lease(context.Background(), 60, 10)
+	if err != nil {
+		t.Fatalf("degraded lease: %v", err)
+	}
+	if part.Bytes() != 40 {
+		t.Fatalf("granted %d, want degraded 40", part.Bytes())
+	}
+	s := p.Stats()
+	if s.Available != 0 || s.Granted != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	part.Release()
+	part.Release() // idempotent
+	full.Release()
+	if s := p.Stats(); s.Available != 100 || s.Granted != 0 {
+		t.Fatalf("stats after release = %+v", s)
+	}
+}
+
+func TestPoolImpossibleAndSaturated(t *testing.T) {
+	p := NewMemoryPool(100, 0)
+	if _, err := p.Lease(context.Background(), 500, 200); !errors.Is(err, ErrLeaseImpossible) {
+		t.Fatalf("err = %v, want ErrLeaseImpossible", err)
+	}
+	hold, err := p.Lease(context.Background(), 100, 100)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	// maxQueue == 0: the next request fails instead of queueing.
+	if _, err := p.Lease(context.Background(), 50, 50); !errors.Is(err, ErrPoolSaturated) {
+		t.Fatalf("err = %v, want ErrPoolSaturated", err)
+	}
+	hold.Release()
+}
+
+func TestPoolQueueFIFOAndWake(t *testing.T) {
+	p := NewMemoryPool(100, 8)
+	hold, err := p.Lease(context.Background(), 100, 100)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	launch := func(id int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l, err := p.Lease(context.Background(), 100, 100)
+			if err != nil {
+				t.Errorf("waiter %d: %v", id, err)
+				return
+			}
+			order <- id
+			l.Release()
+		}()
+	}
+	launch(1)
+	// Ensure waiter 1 queues first.
+	for p.Stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	launch(2)
+	for p.Stats().Queued < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	hold.Release()
+	wg.Wait()
+	if first := <-order; first != 1 {
+		t.Fatalf("waiter %d granted first, want FIFO order", first)
+	}
+}
+
+func TestPoolDeadlineWhileQueued(t *testing.T) {
+	p := NewMemoryPool(10, 4)
+	hold, err := p.Lease(context.Background(), 10, 10)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Lease(ctx, 5, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if q := p.Stats().Queued; q != 0 {
+		t.Fatalf("abandoned waiter still queued: %d", q)
+	}
+	hold.Release()
+	// The pool must be whole again.
+	if s := p.Stats(); s.Available != 10 {
+		t.Fatalf("available = %d, want 10", s.Available)
+	}
+}
+
+func TestPoolConcurrentChurn(t *testing.T) {
+	p := NewMemoryPool(1<<20, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l, err := p.Lease(context.Background(), 1<<16, 1<<12)
+				if err != nil {
+					t.Errorf("lease: %v", err)
+					return
+				}
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Available != 1<<20 || s.Granted != 0 || s.Queued != 0 {
+		t.Fatalf("pool not whole after churn: %+v", s)
+	}
+}

@@ -56,6 +56,10 @@
 //   - selbounds: no direct indexing of a batch's selection vector outside
 //     internal/vec; Sel is an optional representation (nil means identity)
 //     and only the Batch accessors handle both cases.
+//   - sessionctx: no context.Background()/context.TODO() in the query
+//     server (internal/server); every context must derive from the request
+//     (r.Context()) joined to the caller-provided server root, or shutdown
+//     and client disconnects cannot cancel the work it governs.
 //   - retryloop: retry loops around link shipments (internal/dist) must be
 //     bounded by a retry budget, consult the injected clock between
 //     attempts, and check cancellation — an unbounded `for` around a
@@ -266,5 +270,6 @@ func DefaultAnalyzers() []*Analyzer {
 		SelBoundsAnalyzer,
 		SpillCleanupAnalyzer,
 		RetryLoopAnalyzer,
+		SessionCtxAnalyzer,
 	}
 }

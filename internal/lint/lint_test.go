@@ -88,6 +88,10 @@ func TestRetryLoopFixture(t *testing.T) {
 	linttest.Run(t, loader, fixture(t, "retryloop"), lint.RetryLoopAnalyzer)
 }
 
+func TestSessionCtxFixture(t *testing.T) {
+	linttest.Run(t, loader, fixture(t, "sessionctx"), lint.SessionCtxAnalyzer)
+}
+
 // unscoped strips an analyzer's Dirs so it runs on fixtures outside its
 // production scope (the same trick linttest.Run uses internally).
 func unscoped(a *lint.Analyzer) *lint.Analyzer {

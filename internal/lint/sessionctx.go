@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SessionCtxAnalyzer keeps the server's request paths cancellable: calling
+// context.Background() or context.TODO() inside internal/server fabricates
+// a root context that nothing can cancel, so a query started from it
+// survives both the client disconnecting and the server shutting down —
+// exactly the leak the shutdown-chaos oracle hunts. Every server context
+// must derive from the request (r.Context()) joined to the server's root
+// context, which itself arrives from the caller through server.New; the
+// daemon binary (cmd/gbj-server, outside this rule's scope) is the one
+// place the process root is minted.
+var SessionCtxAnalyzer = &Analyzer{
+	Name: "sessionctx",
+	Doc:  "forbid context.Background/TODO in the server package (derive from r.Context() joined to the caller-provided root)",
+	Dirs: []string{"internal/server"},
+	Run:  runSessionCtx,
+}
+
+func runSessionCtx(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok && pn.Imported().Path() == "context" {
+				pass.Reportf(sel.Pos(), "context.%s in server code: derive the context from r.Context() (joined to the server root from New) so shutdown and client disconnects cancel the work", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Fixture for the sessionctx analyzer.
+package sessionctx
+
+import "context"
+
+// Fabricated roots: nothing can cancel work started from these, so a
+// shutdown or client disconnect leaves the query running.
+func fabricatedRoot() context.Context {
+	return context.Background() // want "context.Background in server code"
+}
+
+func fabricatedTODO() context.Context {
+	return context.TODO() // want "context.TODO in server code"
+}
+
+type request struct{ ctx context.Context }
+
+func (r *request) Context() context.Context { return r.ctx }
+
+func handlerBad(r *request) context.Context {
+	_ = r.Context()
+	ctx := context.Background() // want "context.Background in server code"
+	return ctx
+}
+
+// The sanctioned shapes: derive from the request and join to a root that
+// arrived from the caller.
+func handlerGood(root context.Context, r *request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	detach := context.AfterFunc(root, cancel)
+	return ctx, func() { detach(); cancel() }
+}
+
+// Mentioning the functions without calling them is fine; only the call
+// fabricates a root.
+var rootFactory = context.Background
+
+// A local type named context is not package context.
+type fakeContext struct{}
+
+func (fakeContext) Background() int { return 0 }
+
+func notTheRealThing() int {
+	var context fakeContext
+	return context.Background()
+}

@@ -302,6 +302,25 @@ func equalStringSets(a, b []string) bool {
 	return true
 }
 
+// Snapshot returns a point-in-time copy of the catalog. The maps are
+// copied so later DDL on the live catalog (CREATE TABLE/DOMAIN/VIEW) is
+// invisible to the snapshot; the definitions themselves are shared —
+// they are immutable once registered (Validate mutates a Table only
+// before AddTable publishes it).
+func (c *Catalog) Snapshot() *Catalog {
+	snap := NewCatalog()
+	for name, t := range c.tables {
+		snap.tables[name] = t
+	}
+	for name, d := range c.domains {
+		snap.domains[name] = d
+	}
+	for name, v := range c.views {
+		snap.views[name] = v
+	}
+	return snap
+}
+
 // Table returns the named table, or an error.
 func (c *Catalog) Table(name string) (*Table, error) {
 	t, ok := c.tables[name]

@@ -1,0 +1,192 @@
+package server
+
+// The admission controller. Every query leases its memory budget from one
+// global exec.MemoryPool before it may run — the governor bounds a single
+// query's state bytes, the pool bounds the sum across concurrent queries,
+// and together they are what stands between a busy server and the OOM
+// killer. The ladder sheds before it rejects:
+//
+//  1. Full lease (PerQueryBytes free): the query runs with the engine's
+//     full execution configuration.
+//  2. Partial lease (at least a quarter of PerQueryBytes free): the query
+//     runs degraded — serial, row-at-a-time, under the smaller leased
+//     budget, with the engine's spill/lazy-fallback machinery absorbing
+//     the squeeze. Resources degrade; results never do (serial/parallel
+//     and row/vectorized execution are equivalence-oracled).
+//  3. Queue: the request waits in the pool's bounded FIFO, up to
+//     QueueTimeout.
+//  4. Reject: a full queue or an expired admission deadline returns a
+//     typed *AdmissionError, which handlers map to HTTP 429. Overload is
+//     always this error — never an engine OOM, never a panic.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/exec"
+)
+
+// AdmissionError is the typed overload signal: the server refused to run
+// a query (or open a session) because a bounded resource is exhausted.
+// Match it with errors.As; over HTTP it is status 429 with code
+// "admission".
+type AdmissionError struct {
+	// Reason says which bound was hit.
+	Reason string
+	// Queued is the pool waiter-queue depth at rejection, when relevant.
+	Queued int
+	// Sessions is the open-session count at rejection, when relevant.
+	Sessions int
+}
+
+func (e *AdmissionError) Error() string {
+	return "server admission: " + e.Reason
+}
+
+// admission wraps the global memory pool with the shed-before-reject
+// ladder and the counters /v1/stats reports.
+type admission struct {
+	// pool is nil when admission control is off (Config.PoolBytes == 0):
+	// every query is admitted untouched.
+	pool     *exec.MemoryPool
+	perQuery int64
+	timeout  time.Duration
+
+	admitted atomic.Int64
+	degraded atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+}
+
+func newAdmission(cfg Config) *admission {
+	a := &admission{timeout: cfg.QueueTimeout}
+	if cfg.PoolBytes <= 0 {
+		return a
+	}
+	a.perQuery = cfg.PerQueryBytes
+	if a.perQuery <= 0 {
+		a.perQuery = cfg.PoolBytes / 8
+	}
+	if a.perQuery <= 0 {
+		a.perQuery = 1
+	}
+	a.pool = exec.NewMemoryPool(cfg.PoolBytes, cfg.MaxQueue)
+	return a
+}
+
+// ticket is an admitted query's grant: the leased budget and whether the
+// ladder degraded it to serial execution. release must be called when the
+// query finishes (idempotent).
+type ticket struct {
+	lease  *exec.Lease
+	budget int64
+	serial bool
+}
+
+func (t *ticket) release() {
+	if t.lease != nil {
+		t.lease.Release()
+	}
+}
+
+// apply folds the grant into per-query options: the leased budget caps
+// the query's state bytes, and a degraded grant sheds parallelism and
+// vectorization for this query only.
+func (t *ticket) apply(o *gbj.QueryOptions) {
+	if t.budget > 0 {
+		o.MemoryBudget = t.budget
+	}
+	if t.serial {
+		o.Serial = true
+	}
+}
+
+// admit runs the ladder. ctx is the request context (already joined to
+// the server root); the admission deadline, when configured, bounds only
+// the queue wait.
+func (a *admission) admit(ctx context.Context) (*ticket, error) {
+	if a.pool == nil {
+		a.admitted.Add(1)
+		return &ticket{}, nil
+	}
+	want := a.perQuery
+	min := want / 4
+	if min <= 0 {
+		min = 1
+	}
+	lctx := ctx
+	if a.timeout > 0 {
+		var cancel context.CancelFunc
+		lctx, cancel = context.WithTimeout(ctx, a.timeout)
+		defer cancel()
+	}
+	lease, err := a.pool.Lease(lctx, want, min)
+	if err != nil {
+		switch {
+		case errors.Is(err, exec.ErrPoolSaturated):
+			a.rejected.Add(1)
+			return nil, &AdmissionError{
+				Reason: fmt.Sprintf("memory pool waiter queue full (%v)", err),
+				Queued: a.pool.Stats().Queued,
+			}
+		case errors.Is(err, exec.ErrLeaseImpossible):
+			a.rejected.Add(1)
+			return nil, &AdmissionError{Reason: err.Error()}
+		case ctx.Err() == nil && lctx.Err() != nil:
+			// The admission deadline fired while the request itself is
+			// still live: an overload rejection, not a client timeout.
+			a.rejected.Add(1)
+			a.timeouts.Add(1)
+			return nil, &AdmissionError{
+				Reason: fmt.Sprintf("queued past the %v admission deadline", a.timeout),
+				Queued: a.pool.Stats().Queued,
+			}
+		default:
+			// The request context itself died (client gone or server
+			// shutting down) — not an admission decision.
+			return nil, err
+		}
+	}
+	a.admitted.Add(1)
+	t := &ticket{lease: lease, budget: lease.Bytes(), serial: lease.Bytes() < want}
+	if t.serial {
+		a.degraded.Add(1)
+	}
+	return t, nil
+}
+
+// AdmissionStats is the controller's counter snapshot, served by
+// /v1/stats.
+type AdmissionStats struct {
+	// Admitted counts queries granted a budget (including degraded ones).
+	Admitted int64 `json:"admitted"`
+	// Degraded counts admissions granted less than the full per-query
+	// budget and therefore run serially.
+	Degraded int64 `json:"degraded"`
+	// Rejected counts typed *AdmissionError rejections.
+	Rejected int64 `json:"rejected"`
+	// Timeouts counts the subset of rejections caused by the admission
+	// deadline expiring in the queue.
+	Timeouts int64 `json:"timeouts"`
+	// Pool is the memory pool's occupancy; nil when admission control is
+	// off.
+	Pool *exec.PoolStats `json:"pool,omitempty"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	st := AdmissionStats{
+		Admitted: a.admitted.Load(),
+		Degraded: a.degraded.Load(),
+		Rejected: a.rejected.Load(),
+		Timeouts: a.timeouts.Load(),
+	}
+	if a.pool != nil {
+		ps := a.pool.Stats()
+		st.Pool = &ps
+	}
+	return st
+}

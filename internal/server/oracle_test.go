@@ -1,0 +1,183 @@
+package server
+
+// The serve-oracle differential: 64 concurrent sessions of mixed
+// DML/query traffic against the HTTP API, with every static-table result
+// compared byte-for-byte (canonical JSON) against the single-caller
+// Engine.Query oracle, hot-table results checked against an arithmetic
+// invariant that any torn snapshot breaks, and a full differential re-run
+// after the storm quiesces. `make serve-oracle` runs this under -race.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// oracleRows runs the query directly on the engine — the single-caller
+// oracle — and returns the canonical JSON of its rows.
+func oracleRows(t *testing.T, e *gbj.Engine, q string, params map[string]any) string {
+	t.Helper()
+	res, err := e.QueryParams(q, params)
+	if err != nil {
+		t.Fatalf("oracle %q: %v", q, err)
+	}
+	return mustJSON(t, res.Rows)
+}
+
+func TestServeOracleDifferential(t *testing.T) {
+	ctx := context.Background()
+	e := newTestEngine(t)
+	s, c0 := newTestServer(t, Config{
+		Engine:        e,
+		PoolBytes:     1 << 28,
+		PerQueryBytes: 1 << 20,
+		MaxQueue:      256,
+		MaxSessions:   128,
+		PlanCacheSize: 64,
+	})
+
+	// The static queries: results must be byte-identical to the direct
+	// oracle throughout the storm, because no writer touches Emp/Dept.
+	staticQueries := []struct {
+		sql    string
+		params map[string]any
+	}{
+		{groupByJoin, nil},
+		{`SELECT COUNT(EmpID) FROM Emp WHERE DeptID = :d`, map[string]any{"d": 2}},
+		{`SELECT d.Name, COUNT(e.EmpID) FROM Emp e, Dept d WHERE e.DeptID = d.DeptID GROUP BY d.Name ORDER BY Name`, nil},
+	}
+	want := make([]string, len(staticQueries))
+	for i, q := range staticQueries {
+		want[i] = oracleRows(t, e, q.sql, q.params)
+	}
+
+	const (
+		sessions  = 64
+		perClient = 6
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for cl := 0; cl < sessions; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			c := NewClient(c0.base, c0.hc)
+			if err := c.NewSession(ctx); err != nil {
+				errs <- fmt.Errorf("client %d: session: %w", cl, err)
+				return
+			}
+			defer c.CloseSession(ctx)
+			for i := 0; i < perClient; i++ {
+				// Every fourth client is a writer: it inserts into the hot
+				// table a row with val = 2*grp, keeping the invariant below.
+				if cl%4 == 0 {
+					id := 1000 + cl*perClient + i
+					ins := fmt.Sprintf(`INSERT INTO kv VALUES (%d, %d, %d)`, id, id%5, 2*(id%5))
+					if err := c.Exec(ctx, ins); err != nil {
+						errs <- fmt.Errorf("client %d: insert: %w", cl, err)
+						return
+					}
+				}
+				switch (cl + i) % 4 {
+				case 0, 1: // static differential
+					qi := (cl + i) % len(staticQueries)
+					resp, err := c.QueryDetail(ctx, staticQueries[qi].sql, staticQueries[qi].params)
+					if err != nil {
+						errs <- fmt.Errorf("client %d: static q%d: %w", cl, qi, err)
+						return
+					}
+					if got := mustJSON(t, resp.Rows); got != want[qi] {
+						errs <- fmt.Errorf("client %d: static q%d diverged from oracle:\n got %s\nwant %s", cl, qi, got, want[qi])
+						return
+					}
+				case 2: // hot-table invariant: SUM(val) == 2*SUM(grp) by construction
+					res, err := c.Query(ctx, `SELECT SUM(grp), SUM(val) FROM kv`, nil)
+					if err != nil {
+						errs <- fmt.Errorf("client %d: hot query: %w", cl, err)
+						return
+					}
+					g, _ := res.Rows[0][0].(int64)
+					v, _ := res.Rows[0][1].(int64)
+					if res.Rows[0][0] != nil && v != 2*g {
+						errs <- fmt.Errorf("client %d: torn snapshot: SUM(grp)=%d SUM(val)=%d", cl, g, v)
+						return
+					}
+				case 3: // grouped hot query: same invariant per group
+					res, err := c.Query(ctx, `SELECT grp, SUM(val), COUNT(id) FROM kv GROUP BY grp ORDER BY grp`, nil)
+					if err != nil {
+						errs <- fmt.Errorf("client %d: grouped hot query: %w", cl, err)
+						return
+					}
+					for _, row := range res.Rows {
+						grp := row[0].(int64)
+						sum := row[1].(int64)
+						n := row[2].(int64)
+						if sum != 2*grp*n {
+							errs <- fmt.Errorf("client %d: torn group %d: SUM(val)=%d over %d rows", cl, grp, sum, n)
+							return
+						}
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiesced: the full differential — every query, HTTP vs direct
+	// engine, byte-identical canonical JSON.
+	post := []struct {
+		sql    string
+		params map[string]any
+	}{
+		{groupByJoin, nil},
+		{`SELECT COUNT(EmpID) FROM Emp WHERE DeptID = :d`, map[string]any{"d": 2}},
+		{`SELECT grp, SUM(val), COUNT(id) FROM kv GROUP BY grp ORDER BY grp`, nil},
+		{`SELECT COUNT(id) FROM kv`, nil},
+	}
+	for _, q := range post {
+		resp, err := c0.QueryDetail(ctx, q.sql, q.params)
+		if err != nil {
+			t.Fatalf("post %q: %v", q.sql, err)
+		}
+		if got, w := mustJSON(t, resp.Rows), oracleRows(t, e, q.sql, q.params); got != w {
+			t.Fatalf("post-storm differential %q:\n got %s\nwant %s", q.sql, got, w)
+		}
+	}
+
+	// The storm shared plans: the cache served hits across sessions, and
+	// the stats surface agrees with the engine's own counters.
+	st, err := c0.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCache.Hits == 0 {
+		t.Fatalf("no plan-cache hits across %d sessions: %+v", sessions, st.PlanCache)
+	}
+	if st.Admission.Admitted == 0 || st.Admission.Rejected != 0 {
+		t.Fatalf("admission stats: %+v", st.Admission)
+	}
+	if got := e.PlanCacheStats(); got != st.PlanCache {
+		t.Fatalf("stats endpoint %+v != engine %+v", st.PlanCache, got)
+	}
+	_ = s
+}

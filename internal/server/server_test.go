@@ -1,0 +1,249 @@
+package server
+
+// API basics over httptest: sessions, exec, query (with parameters and
+// the plan cache), stats, and one test per row of the error-code table —
+// the README's error-code ↔ typed-error mapping is executable here.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// newTestEngine seeds the two-table schema every server test queries: the
+// paper's Employee/Department shape plus a writable kv table.
+func newTestEngine(t *testing.T) *gbj.Engine {
+	t.Helper()
+	e := gbj.New()
+	e.MustExec(`CREATE TABLE Dept (DeptID INTEGER PRIMARY KEY, Name CHARACTER(30))`)
+	e.MustExec(`CREATE TABLE Emp (EmpID INTEGER PRIMARY KEY, DeptID INTEGER)`)
+	e.MustExec(`INSERT INTO Dept VALUES (1, 'Eng'), (2, 'Ops'), (3, 'Sales')`)
+	e.MustExec(`INSERT INTO Emp VALUES (1, 1), (2, 1), (3, 2), (4, 2), (5, 2), (6, 3)`)
+	e.MustExec(`CREATE TABLE kv (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)`)
+	return e
+}
+
+// newTestServer stands up a Server over httptest and returns a client
+// bound to it. Cleanup shuts everything down.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = newTestEngine(t)
+	}
+	s, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(sctx)
+		ts.Close()
+	})
+	return s, NewClient(ts.URL, ts.Client())
+}
+
+const groupByJoin = `SELECT d.DeptID, d.Name, COUNT(e.EmpID) FROM Emp e, Dept d WHERE e.DeptID = d.DeptID GROUP BY d.DeptID, d.Name ORDER BY DeptID`
+
+func TestSessionLifecycleAndQuery(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestServer(t, Config{PlanCacheSize: 16})
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.NewSession(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c.Session() == "" {
+		t.Fatal("no session id")
+	}
+	res, err := c.Query(ctx, groupByJoin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[1][2] != int64(3) {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// Parameters round-trip as int64 through JSON.
+	res, err = c.Query(ctx, `SELECT COUNT(EmpID) FROM Emp WHERE DeptID = :d`, map[string]any{"d": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(3) {
+		t.Fatalf("param query: %v", res.Rows)
+	}
+	// DML through /v1/exec is visible to subsequent queries.
+	if err := c.Exec(ctx, `INSERT INTO kv VALUES (1, 1, 2), (2, 1, 2)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Query(ctx, `SELECT COUNT(id) FROM kv`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(2) {
+		t.Fatalf("post-DML count: %v", res.Rows)
+	}
+	// Warm runs hit the plan cache; stats report it. (The INSERT above
+	// invalidated the cache — epoch bump — so the first rerun is a miss
+	// and the second is the hit.)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Query(ctx, groupByJoin, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 || st.PlanCache.Hits < 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := c.CloseSession(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 0 {
+		t.Fatalf("sessions after close: %d", st.Sessions)
+	}
+}
+
+// apiError asserts err is an *APIError with the given status and code.
+func apiError(t *testing.T, err error, status int, code string) {
+	t.Helper()
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v (%T) is not an *APIError", err, err)
+	}
+	if ae.Status != status || ae.Code != code {
+		t.Fatalf("got HTTP %d code %q, want %d %q (%v)", ae.Status, ae.Code, status, code, err)
+	}
+}
+
+func TestErrorCodeTable(t *testing.T) {
+	ctx := context.Background()
+	e := newTestEngine(t)
+	_, c := newTestServer(t, Config{Engine: e})
+
+	// 400 sql: parse errors.
+	_, err := c.Query(ctx, `SELEC nonsense`, nil)
+	apiError(t, err, http.StatusBadRequest, "sql")
+	// 400 sql: bind errors.
+	_, err = c.Query(ctx, `SELECT x FROM NoSuchTable`, nil)
+	apiError(t, err, http.StatusBadRequest, "sql")
+	err = c.Exec(ctx, `INSERT INTO NoSuchTable VALUES (1)`)
+	apiError(t, err, http.StatusBadRequest, "sql")
+
+	// 404 unknown_session: querying or closing a session that isn't open.
+	c2 := NewClient(c.base, c.hc)
+	c2.session = "s999999"
+	_, err = c2.Query(ctx, groupByJoin, nil)
+	apiError(t, err, http.StatusNotFound, "unknown_session")
+	err = c2.CloseSession(ctx)
+	apiError(t, err, http.StatusNotFound, "unknown_session")
+
+	// 408 timeout: the client deadline expires mid-query.
+	e.MustExec(`INSERT INTO kv VALUES (1, 1, 2)`)
+	tctx, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	_, err = c.Query(tctx, groupByJoin, nil)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	// A nanosecond deadline usually dies in the client transport before a
+	// response arrives; either the transport's context error or the
+	// server's 408 is acceptable.
+	var ae *APIError
+	if errors.As(err, &ae) && (ae.Status != http.StatusRequestTimeout) {
+		t.Fatalf("timeout mapped to %d %s", ae.Status, ae.Code)
+	}
+
+	// 507 resource: budget exceeded with no fallback plan and no spill.
+	e.SetMemoryBudget(64)
+	e.SetMode(gbj.ModeNever) // the lazy plan has no cheaper fallback
+	_, err = c.Query(ctx, groupByJoin, nil)
+	apiError(t, err, http.StatusInsufficientStorage, "resource")
+	e.SetMemoryBudget(0)
+	e.SetMode(gbj.ModeCost)
+}
+
+func TestSessionLimitIsAdmissionError(t *testing.T) {
+	ctx := context.Background()
+	s, c := newTestServer(t, Config{MaxSessions: 2})
+	// Direct (typed) surface.
+	if _, err := s.createSession(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.createSession(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.createSession()
+	var adm *AdmissionError
+	if !errors.As(err, &adm) {
+		t.Fatalf("session overflow returned %T, want *AdmissionError", err)
+	}
+	if adm.Sessions != 2 {
+		t.Fatalf("AdmissionError.Sessions = %d, want 2", adm.Sessions)
+	}
+	// HTTP surface.
+	err = c.NewSession(ctx)
+	apiError(t, err, http.StatusTooManyRequests, "admission")
+	var cae *APIError
+	if !errors.As(err, &cae) || !cae.IsAdmission() {
+		t.Fatalf("client did not surface admission: %v", err)
+	}
+}
+
+// TestServeOnListener exercises the real net path: Serve on a loopback
+// listener, a health probe, then Shutdown unblocks Serve cleanly.
+func TestServeOnListener(t *testing.T) {
+	ctx := context.Background()
+	s, err := New(ctx, Config{Engine: newTestEngine(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	c := NewClient("http://"+ln.Addr().String(), nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Health(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Query(ctx, groupByJoin, nil); err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after Shutdown", err)
+	}
+	// The drained server answers 503 shutting_down, not connection reset,
+	// while its handler is still mounted elsewhere.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after shutdown: %d", rec.Code)
+	}
+}

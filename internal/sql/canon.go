@@ -1,0 +1,101 @@
+package sql
+
+// Canonical serialization of SELECT statements, used as the normalized-AST
+// component of the engine's plan-cache key. Two query texts that parse to
+// the same AST — regardless of whitespace, keyword case or redundant
+// parentheses — canonicalize to the same string; any semantic difference
+// (an extra predicate, a different alias, DISTINCT, LIMIT 0 vs no LIMIT)
+// changes it. The rendering leans on the expression package's String
+// methods, which already print a fixed spelling for every operator.
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical renders the statement in a single normalized spelling suitable
+// for use as a cache key. It is injective up to AST equality for the
+// engine's SELECT subset: the clause order is fixed, every clause is
+// delimited, and nested subqueries are parenthesized.
+func Canonical(s *SelectStmt) string {
+	var b strings.Builder
+	writeCanonical(&b, s)
+	return b.String()
+}
+
+func writeCanonical(b *strings.Builder, s *SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Table != "":
+			b.WriteString(it.Table)
+			b.WriteString(".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(it.E.String())
+			if it.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if t.Subquery != nil {
+			b.WriteString("(")
+			writeCanonical(b, t.Subquery)
+			b.WriteString(")")
+		} else {
+			b.WriteString(t.Name)
+		}
+		if t.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Col.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			} else {
+				b.WriteString(" ASC")
+			}
+		}
+	}
+	if s.HasLimit {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(s.Limit, 10))
+	}
+}

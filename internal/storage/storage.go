@@ -10,6 +10,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/schema"
@@ -66,9 +67,27 @@ func (t *Table) Columnar() []*vec.Batch {
 }
 
 // Store is the collection of all table instances, backed by a catalog.
+//
+// The store is versioned: every write (CreateTable, Insert, any DDL noted
+// through BumpEpoch) bumps a monotonic epoch, and Snapshot returns a frozen
+// point-in-time view that later writes can never change. Writes are
+// copy-on-write at table granularity — Insert publishes a fresh *Table
+// value instead of mutating the published one — so a snapshot taken
+// mid-stream keeps serving the exact multiset it captured. This is the
+// snapshot-isolation substrate the server's queries-vs-DML concurrency is
+// built on, and the epoch is the plan cache's invalidation clock.
 type Store struct {
 	catalog *schema.Catalog
 	tables  map[string]*Table
+
+	// mu guards tables and catalog mutation on the live store. Snapshots
+	// are immutable after construction, so their reads need no lock — but
+	// taking the read lock there too keeps the invariant trivially safe.
+	mu sync.RWMutex
+	// epoch counts writes; a snapshot records the epoch it captured.
+	epoch atomic.Uint64
+	// frozen marks a snapshot: every write is rejected.
+	frozen bool
 }
 
 // NewStore returns an empty store over the given catalog. Tables already
@@ -88,9 +107,52 @@ func NewStore(catalog *schema.Catalog) *Store {
 // Catalog returns the store's catalog.
 func (s *Store) Catalog() *schema.Catalog { return s.catalog }
 
+// Epoch returns the store's write counter. Any INSERT, CREATE TABLE or
+// BumpEpoch call advances it; two equal epochs from the same store are a
+// guarantee of identical contents.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// BumpEpoch advances the epoch without changing table data. The engine
+// calls it for DDL that bypasses the store (CREATE DOMAIN / CREATE VIEW go
+// straight to the catalog) so epoch-keyed caches still observe the change.
+func (s *Store) BumpEpoch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch.Add(1)
+}
+
+// Frozen reports whether the store is a read-only snapshot.
+func (s *Store) Frozen() bool { return s.frozen }
+
+// Snapshot returns a frozen point-in-time view of the store: the catalog
+// and the tables map are copied, the *Table versions are shared. Because
+// writers publish new *Table values instead of mutating published ones,
+// the snapshot's tables never change afterwards; writes against the
+// snapshot itself are rejected. The snapshot records the epoch it
+// captured, which Epoch reports unchanged forever.
+func (s *Store) Snapshot() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := &Store{
+		catalog: s.catalog.Snapshot(),
+		tables:  make(map[string]*Table, len(s.tables)),
+		frozen:  true,
+	}
+	for name, t := range s.tables {
+		snap.tables[name] = t
+	}
+	snap.epoch.Store(s.epoch.Load())
+	return snap
+}
+
 // CreateTable registers the definition in the catalog and materializes an
 // empty table.
 func (s *Store) CreateTable(def *schema.Table) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return fmt.Errorf("storage: store snapshot is read-only")
+	}
 	if err := s.catalog.AddTable(def); err != nil {
 		return err
 	}
@@ -99,6 +161,7 @@ func (s *Store) CreateTable(def *schema.Table) error {
 		return err
 	}
 	s.tables[def.Name] = t
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -141,8 +204,18 @@ func newTable(def *schema.Table) (*Table, error) {
 	return t, nil
 }
 
-// Table returns the named table instance.
+// Table returns the named table instance — the version current at the
+// time of the call. On a snapshot that version is fixed; on the live store
+// a later write may publish a newer version, but the returned one is
+// immutable and stays valid.
 func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.table(name)
+}
+
+// table is Table without the lock, for callers already holding mu.
+func (s *Store) table(name string) (*Table, error) {
 	t, ok := s.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown table %s", name)
@@ -155,7 +228,12 @@ func (s *Store) Table(name string) (*Table, error) {
 // a check evaluates to false — unknown passes, per SQL2), PRIMARY KEY and
 // UNIQUE, and FOREIGN KEY (all-NULL-or-match).
 func (s *Store) Insert(table string, row value.Row) error {
-	t, err := s.Table(table)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return fmt.Errorf("storage: store snapshot is read-only")
+	}
+	t, err := s.table(table)
 	if err != nil {
 		return err
 	}
@@ -212,7 +290,22 @@ func (s *Store) Insert(table string, row value.Row) error {
 			t.keyIndex[ki][key]++
 		}
 	}
-	t.rows = append(t.rows, row)
+	// Copy-on-write publish: a fresh *Table carries the appended rows so
+	// snapshots holding the old version keep their exact multiset. The
+	// append may share the backing array — safe, because the old version's
+	// readers never index past its recorded length. The key indexes are
+	// shared and mutated in place: only writers consult them, and writers
+	// are serialized on the live store (snapshots reject writes outright).
+	// The columnar cache starts empty in the new version; old snapshots
+	// keep theirs.
+	s.tables[table] = &Table{
+		Def:         t.Def,
+		rows:        append(t.rows, row),
+		keyIndex:    t.keyIndex,
+		keyCols:     t.keyCols,
+		boundChecks: t.boundChecks,
+	}
+	s.epoch.Add(1)
 	return nil
 }
 
@@ -244,7 +337,8 @@ func (s *Store) checkForeignKey(def *schema.Table, fk schema.ForeignKey, row val
 	if anyNull(row, cols) {
 		return nil
 	}
-	ref, err := s.Table(fk.RefTable)
+	// Called with mu held by Insert; use the unlocked lookup.
+	ref, err := s.table(fk.RefTable)
 	if err != nil {
 		return err
 	}

@@ -31,17 +31,18 @@ func (e *Engine) RunScriptContext(ctx context.Context, text string, w io.Writer)
 		switch s := stmt.(type) {
 		case *sql.SelectStmt:
 			e.mu.RLock()
-			pc, err := e.chooseForExec(s)
+			pc, err := e.chooseForExecCached(s)
 			if err != nil {
 				e.mu.RUnlock()
 				return err
 			}
-			eres, err := e.governedRun(ctx, pc.plan, nil, nil, nil, true)
+			cfg := e.runConfigLocked(nil)
+			e.mu.RUnlock()
+			eres, err := governedRun(ctx, cfg, pc.plan, nil, nil, nil, true)
 			if fe := fallbackError(err, pc); fe != nil {
 				e.fallbacks.Add(1)
-				eres, err = e.governedRun(ctx, pc.fallback, nil, nil, nil, false)
+				eres, err = governedRun(ctx, cfg, pc.fallback, nil, nil, nil, false)
 			}
-			e.mu.RUnlock()
 			if err != nil {
 				return err
 			}
